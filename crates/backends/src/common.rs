@@ -1,0 +1,158 @@
+//! Shared machinery for the worker-pool baselines: round-robin slot
+//! delivery and the backend scaffold (pool + queues + stop flag).
+
+use dlb_membridge::{BatchUnit, BlockingQueue, MemManager, PoolConfig};
+use dlbooster_core::HostBatch;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Round-robin delivery of finished batches to per-engine slot queues,
+/// with globally ordered sequence numbers.
+pub struct SlotRouter {
+    queues: Vec<BlockingQueue<HostBatch>>,
+    /// Serialises sequence assignment + push so slot `seq % n` always holds.
+    order: Mutex<u64>,
+    delivered: AtomicU64,
+    max_batches: Option<u64>,
+}
+
+impl SlotRouter {
+    /// `n_slots` bounded queues; delivery stops (queues close) after
+    /// `max_batches` total batches when set.
+    pub fn new(n_slots: usize, depth: usize, max_batches: Option<u64>) -> Self {
+        assert!(n_slots >= 1);
+        Self {
+            queues: (0..n_slots).map(|_| BlockingQueue::bounded(depth)).collect(),
+            order: Mutex::new(0),
+            delivered: AtomicU64::new(0),
+            max_batches,
+        }
+    }
+
+    /// Delivers one finished unit. Returns `false` once the router is done
+    /// (max reached or queues closed) — producers should then stop.
+    pub fn deliver(&self, mut unit: BatchUnit, arrivals: Vec<u64>) -> bool {
+        let mut order = self.order.lock();
+        if let Some(max) = self.max_batches {
+            if *order >= max {
+                return false;
+            }
+        }
+        let seq = *order;
+        *order += 1;
+        let slot = (seq % self.queues.len() as u64) as usize;
+        unit.seal(seq);
+        let batch = HostBatch {
+            unit,
+            sequence: seq,
+            ready_at: Instant::now(),
+            arrivals,
+        };
+        let ok = self.queues[slot].push(batch).is_ok();
+        if ok {
+            self.delivered.fetch_add(1, Ordering::Relaxed);
+            if self.max_batches == Some(*order) {
+                drop(order);
+                self.close();
+            }
+        }
+        ok
+    }
+
+    /// Queue for engine `slot`.
+    pub fn queue(&self, slot: usize) -> &BlockingQueue<HostBatch> {
+        &self.queues[slot]
+    }
+
+    /// Closes all queues.
+    pub fn close(&self) {
+        for q in &self.queues {
+            q.close();
+        }
+    }
+
+    /// Batches delivered.
+    pub fn delivered(&self) -> u64 {
+        self.delivered.load(Ordering::Relaxed)
+    }
+}
+
+/// The shared skeleton of a worker-pool backend.
+pub struct PoolScaffold {
+    /// Batch-buffer pool.
+    pub pool: MemManager,
+    /// Slot delivery.
+    pub router: Arc<SlotRouter>,
+    /// Worker stop flag.
+    pub stop: Arc<AtomicBool>,
+    /// Accumulated worker CPU busy nanos.
+    pub cpu_busy_nanos: Arc<AtomicU64>,
+}
+
+impl PoolScaffold {
+    /// Builds the scaffold with `pool_units` buffers of `unit_size` bytes.
+    pub fn new(
+        n_slots: usize,
+        unit_size: usize,
+        pool_units: usize,
+        max_batches: Option<u64>,
+    ) -> Result<Self, String> {
+        let pool = MemManager::new(PoolConfig {
+            unit_size,
+            unit_count: pool_units,
+            phys_base: 0x6_0000_0000,
+        })
+        .map_err(|e| e.to_string())?;
+        Ok(Self {
+            pool,
+            router: Arc::new(SlotRouter::new(n_slots, 8, max_batches)),
+            stop: Arc::new(AtomicBool::new(false)),
+            cpu_busy_nanos: Arc::new(AtomicU64::new(0)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(pool: &MemManager) -> BatchUnit {
+        let mut u = pool.get_item().unwrap();
+        u.append(&[1, 2, 3], 0, 1, 1, 3).unwrap();
+        u
+    }
+
+    #[test]
+    fn router_round_robins_and_caps() {
+        let s = PoolScaffold::new(2, 1024, 8, Some(5)).unwrap();
+        for _ in 0..5 {
+            assert!(s.router.deliver(unit(&s.pool), vec![]));
+        }
+        // Sixth delivery refused.
+        let u = unit(&s.pool);
+        assert!(!s.router.deliver(u, vec![]));
+        let mut seq0 = Vec::new();
+        while let Ok(b) = s.router.queue(0).pop() {
+            seq0.push(b.sequence);
+            s.pool.recycle_item(b.unit).unwrap();
+        }
+        let mut seq1 = Vec::new();
+        while let Ok(b) = s.router.queue(1).pop() {
+            seq1.push(b.sequence);
+            s.pool.recycle_item(b.unit).unwrap();
+        }
+        assert_eq!(seq0, vec![0, 2, 4]);
+        assert_eq!(seq1, vec![1, 3]);
+        assert_eq!(s.router.delivered(), 5);
+    }
+
+    #[test]
+    fn close_stops_delivery() {
+        let s = PoolScaffold::new(1, 1024, 2, None).unwrap();
+        s.router.close();
+        assert!(!s.router.deliver(unit(&s.pool), vec![]));
+        assert!(s.router.queue(0).pop().is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! # dlb-backends
+//!
+//! The three baseline preprocessing backends the paper compares DLBooster
+//! against (§5.2 training: CPU-based and LMDB; §5.3 inference: CPU-based and
+//! nvJPEG), all behind the same
+//! [`PreprocessBackend`](dlbooster_core::PreprocessBackend) trait so the
+//! compute engines cannot tell them apart.
+//!
+//! * [`cpu`] — online decoding on a pool of host worker threads. The decode
+//!   is *real* (`dlb-codec`); the worker count is the knob that burns the
+//!   7–14 cores of Figs. 2(b)/6/9.
+//! * [`lmdb`] — the offline backend: a one-off conversion pass
+//!   (decode-once into fixed-geometry raw records, §2.2's "2 hours"), then
+//!   per-datum copy-out reads at training time.
+//! * [`nvjpeg`] — GPU-side decoding: cheap on host CPU, but advertises a
+//!   device background share that stretches the compute engine's kernels
+//!   (the −30..40 % contention of §5.3).
+
+pub mod common;
+pub mod cpu;
+pub mod lmdb;
+pub mod nvjpeg;
+
+pub use cpu::{CpuBackend, CpuBackendConfig};
+pub use lmdb::{LmdbBackend, LmdbBackendConfig};
+pub use nvjpeg::{NvJpegBackend, NvJpegBackendConfig};

@@ -1,0 +1,272 @@
+//! The nvJPEG GPU-decoding backend.
+//!
+//! NVIDIA's nvJPEG (paper §5.3 and [16]) moves JPEG decode onto the GPU.
+//! Host CPU cost collapses (≈1.5 cores: kernel launches only), but the
+//! decode kernels hold ≈30 % of the device, so the *inference engine's* own
+//! kernels stretch — "the CUDA cores are competed between the inference
+//! engine and nvJPEG", costing 30–40 % end-to-end throughput and the latency
+//! growth of Fig. 8.
+//!
+//! Functionally the decode arithmetic still has to happen somewhere (this is
+//! a simulation — there is no CUDA device), so worker threads run the real
+//! codec; what distinguishes this backend from [`crate::cpu`] is its
+//! *accounting contract*: only the per-image kernel-launch overhead is
+//! charged to `cpu_busy_nanos`, and [`NvJpegBackend::gpu_background_share`]
+//! advertises the device steal that compute engines must apply to their
+//! kernel times.
+
+use crate::common::PoolScaffold;
+use dlb_codec::resize::{resize, ResizeFilter};
+use dlb_codec::JpegDecoder;
+use dlb_fpga::DataSourceResolver;
+use dlb_gpu::NvJpegModel;
+use dlb_membridge::BatchUnit;
+use dlbooster_core::{BackendError, DataCollector, HostBatch, PreprocessBackend};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// nvJPEG backend parameters.
+#[derive(Debug, Clone)]
+pub struct NvJpegBackendConfig {
+    /// Compute engines served.
+    pub n_engines: usize,
+    /// Images per batch.
+    pub batch_size: usize,
+    /// Output width.
+    pub target_w: u32,
+    /// Output height.
+    pub target_h: u32,
+    /// Host threads driving decode kernels (1–2 in practice, §5.3).
+    pub launcher_threads: usize,
+    /// Total batches to deliver.
+    pub max_batches: Option<u64>,
+    /// Device model (SM share, decode rate, launch cost).
+    pub model: NvJpegModel,
+}
+
+impl NvJpegBackendConfig {
+    /// Paper-calibrated defaults.
+    pub fn paper_defaults(n_engines: usize, batch_size: usize, target: (u32, u32)) -> Self {
+        Self {
+            n_engines,
+            batch_size,
+            target_w: target.0,
+            target_h: target.1,
+            launcher_threads: 2,
+            max_batches: None,
+            model: NvJpegModel::paper_config(),
+        }
+    }
+
+    fn unit_size(&self) -> usize {
+        self.batch_size * self.target_w as usize * self.target_h as usize * 3
+    }
+}
+
+/// The running nvJPEG backend.
+pub struct NvJpegBackend {
+    scaffold: Arc<PoolScaffold>,
+    workers: Vec<JoinHandle<()>>,
+    sm_share: f64,
+}
+
+impl NvJpegBackend {
+    /// Starts the backend.
+    pub fn start(
+        collector: Arc<DataCollector>,
+        resolver: Arc<dyn DataSourceResolver>,
+        config: NvJpegBackendConfig,
+    ) -> Result<Self, String> {
+        if config.launcher_threads == 0 || config.batch_size == 0 || config.n_engines == 0 {
+            return Err("launcher_threads, batch_size, n_engines must be positive".into());
+        }
+        let scaffold = Arc::new(PoolScaffold::new(
+            config.n_engines,
+            config.unit_size(),
+            (config.n_engines * 3).max(config.launcher_threads + 2),
+            config.max_batches,
+        )?);
+        let sm_share = config.model.sm_share;
+        let mut workers = Vec::with_capacity(config.launcher_threads);
+        for w in 0..config.launcher_threads {
+            let collector = Arc::clone(&collector);
+            let resolver = Arc::clone(&resolver);
+            let scaffold = Arc::clone(&scaffold);
+            let config = config.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("nvjpeg-launcher-{w}"))
+                    .spawn(move || nvjpeg_worker(collector, resolver, scaffold, config))
+                    .expect("spawn nvjpeg worker"),
+            );
+        }
+        Ok(Self {
+            scaffold,
+            workers,
+            sm_share,
+        })
+    }
+
+    /// Fraction of the GPU the decode kernels occupy — compute engines
+    /// stretch their kernel times by `1 / (1 - share)` while this backend
+    /// is active (§5.3's contention).
+    pub fn gpu_background_share(&self) -> f64 {
+        self.sm_share
+    }
+
+    /// Batches delivered.
+    pub fn delivered(&self) -> u64 {
+        self.scaffold.router.delivered()
+    }
+}
+
+fn nvjpeg_worker(
+    collector: Arc<DataCollector>,
+    resolver: Arc<dyn DataSourceResolver>,
+    scaffold: Arc<PoolScaffold>,
+    config: NvJpegBackendConfig,
+) {
+    let decoder = JpegDecoder::new();
+    while !scaffold.stop.load(Ordering::SeqCst) {
+        let metas = match collector.next_metas(config.batch_size) {
+            Some(m) => m,
+            None => break,
+        };
+        if metas.is_empty() {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            continue;
+        }
+        let Ok(mut unit) = scaffold.pool.get_item() else {
+            break;
+        };
+        let mut arrivals = Vec::with_capacity(metas.len());
+        for meta in &metas {
+            arrivals.push(meta.arrival_nanos.unwrap_or(0));
+            // "GPU decode": the arithmetic runs here (simulation), but the
+            // host is only charged the launch overhead below.
+            let decoded = resolver
+                .fetch(&meta.src)
+                .ok()
+                .and_then(|bytes| decoder.decode(&bytes).ok())
+                .and_then(|img| {
+                    resize(&img, config.target_w, config.target_h, ResizeFilter::Bilinear).ok()
+                })
+                .map(|img| img.to_rgb());
+            match decoded {
+                Some(img) => {
+                    unit.append(img.data(), meta.label, config.target_w, config.target_h, 3);
+                }
+                None => {
+                    unit.reserve(
+                        config.target_w as usize * config.target_h as usize * 3,
+                        meta.label,
+                        config.target_w,
+                        config.target_h,
+                        3,
+                    );
+                }
+            }
+        }
+        // Host cost contract: launch overhead only (the 1–2 cores of §5.3).
+        let launch = config.model.launch_cpu_time(metas.len() as u32);
+        scaffold
+            .cpu_busy_nanos
+            .fetch_add(launch.as_nanos(), Ordering::Relaxed);
+        if !scaffold.router.deliver(unit, arrivals) {
+            break;
+        }
+    }
+}
+
+impl PreprocessBackend for NvJpegBackend {
+    fn name(&self) -> &'static str {
+        "nvJPEG"
+    }
+
+    fn next_batch(&self, slot: usize) -> Result<HostBatch, BackendError> {
+        self.scaffold
+            .router
+            .queue(slot)
+            .pop()
+            .map_err(|_| BackendError::Exhausted)
+    }
+
+    fn recycle(&self, unit: BatchUnit) {
+        let _ = self.scaffold.pool.recycle_item(unit);
+    }
+
+    fn max_batch_bytes(&self) -> usize {
+        self.scaffold.pool.unit_size()
+    }
+
+    fn cpu_busy_nanos(&self) -> u64 {
+        self.scaffold.cpu_busy_nanos.load(Ordering::Relaxed)
+    }
+
+    fn shutdown(&self) {
+        self.scaffold.stop.store(true, Ordering::SeqCst);
+        self.scaffold.router.close();
+        self.scaffold.pool.close();
+    }
+}
+
+impl Drop for NvJpegBackend {
+    fn drop(&mut self) {
+        self.shutdown();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlbooster_core::CombinedResolver;
+    use dlb_storage::{Dataset, DatasetSpec, NvmeDisk, NvmeSpec};
+
+    fn backend(max: Option<u64>) -> NvJpegBackend {
+        let disk = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));
+        let ds = Dataset::build(DatasetSpec::ilsvrc_small(12, 6), &disk).unwrap();
+        let collector = Arc::new(DataCollector::load_from_disk(&ds.records, 0));
+        let mut config = NvJpegBackendConfig::paper_defaults(1, 4, (32, 32));
+        config.max_batches = max;
+        NvJpegBackend::start(
+            collector,
+            Arc::new(CombinedResolver::disk_only(disk)),
+            config,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn serves_batches_and_advertises_contention() {
+        let b = backend(Some(3));
+        assert!((b.gpu_background_share() - 0.30).abs() < 1e-12);
+        let mut seen = 0;
+        while let Ok(batch) = b.next_batch(0) {
+            assert_eq!(batch.len(), 4);
+            seen += 1;
+            b.recycle(batch.unit);
+        }
+        assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn cpu_cost_is_launch_overhead_only() {
+        let b = backend(Some(5));
+        while let Ok(batch) = b.next_batch(0) {
+            b.recycle(batch.unit);
+        }
+        // 5 delivered batches × 4 images × 250 µs (modelled charge, not
+        // wall time); each launcher thread may have decoded one extra batch
+        // before the router refused it.
+        let per_batch = 4 * 250_000;
+        let charged = b.cpu_busy_nanos();
+        assert!(
+            (5 * per_batch..=7 * per_batch).contains(&charged),
+            "charged {charged}"
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Functional-layer codec rates: what the real from-scratch JPEG pipeline
+//! sustains on this host. (These are the numbers behind the "CPU-based
+//! backend burns cores" story, measured rather than modelled.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dlb_codec::augment::{center_crop, hflip, to_tensor_chw};
+use dlb_codec::resize::{resize, ResizeFilter};
+use dlb_codec::synth::{generate, SynthStyle};
+use dlb_codec::{JpegDecoder, JpegEncoder};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    for (label, w, h) in [("100x75", 100u32, 75u32), ("500x375", 500, 375)] {
+        let img = generate(w, h, SynthStyle::Photo, 42);
+        let bytes = JpegEncoder::new(92).unwrap().encode(&img).unwrap();
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("decode", label), &bytes, |b, bytes| {
+            let dec = JpegDecoder::new();
+            b.iter(|| dec.decode(black_box(bytes)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("encode", label), &img, |b, img| {
+            let enc = JpegEncoder::new(92).unwrap();
+            b.iter(|| enc.encode(black_box(img)).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("resize_bilinear_224", label),
+            &img,
+            |b, img| b.iter(|| resize(black_box(img), 224, 224, ResizeFilter::Bilinear).unwrap()),
+        );
+    }
+    let img224 = generate(256, 256, SynthStyle::Photo, 7);
+    group.bench_function("augment_crop+flip+tensor", |b| {
+        b.iter(|| {
+            let crop = center_crop(black_box(&img224), 224, 224).unwrap();
+            let flipped = hflip(&crop);
+            to_tensor_chw(&flipped, &[104.0, 117.0, 123.0], &[58.0, 57.0, 57.0]).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Regenerates Figure 2: the AlexNet/Caffe motivation experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlb_bench::{print_report, save_reports};
+use dlb_workflows::calibration::Calibration;
+use dlb_workflows::figures::fig2_motivation;
+
+fn bench(c: &mut Criterion) {
+    let cal = Calibration::paper();
+    let report = fig2_motivation(&cal);
+    print_report(&report);
+    let _ = save_reports("fig2", &[report]);
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    group.bench_function("motivation_sweep", |b| {
+        b.iter(|| fig2_motivation(&cal))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

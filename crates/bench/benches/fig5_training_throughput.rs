@@ -1,0 +1,34 @@
+//! Regenerates Figure 5: training throughput per model/backend/GPU count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlb_bench::{print_report, save_reports};
+use dlb_workflows::calibration::{BackendKind, Calibration};
+use dlb_workflows::figures::fig5_training_throughput;
+use dlb_workflows::training::{TrainBackend, TrainingParams, TrainingSim};
+use dlb_gpu::ModelZoo;
+
+fn bench(c: &mut Criterion) {
+    let cal = Calibration::paper();
+    let report = fig5_training_throughput(&cal);
+    print_report(&report);
+    let _ = save_reports("fig5", &[report]);
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    // Time one representative cell (AlexNet / DLBooster / 2 GPUs).
+    group.bench_function("alexnet_dlbooster_2gpu", |b| {
+        b.iter(|| {
+            TrainingSim::run(
+                cal.clone(),
+                TrainingParams::paper(
+                    ModelZoo::AlexNet,
+                    TrainBackend::Kind(BackendKind::DlBooster),
+                    2,
+                ),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Regenerates Figure 6: training CPU cost and the Fig. 6(d) breakdown.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlb_bench::{print_report, save_reports};
+use dlb_workflows::calibration::{BackendKind, Calibration};
+use dlb_workflows::figures::fig6_training_cpu_cost;
+use dlb_workflows::training::{TrainBackend, TrainingParams, TrainingSim};
+use dlb_gpu::ModelZoo;
+
+fn bench(c: &mut Criterion) {
+    let cal = Calibration::paper();
+    let report = fig6_training_cpu_cost(&cal);
+    print_report(&report);
+    let _ = save_reports("fig6", &[report]);
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("resnet18_cpu_cost_cell", |b| {
+        b.iter(|| {
+            TrainingSim::run(
+                cal.clone(),
+                TrainingParams::paper(
+                    ModelZoo::ResNet18,
+                    TrainBackend::Kind(BackendKind::CpuBased),
+                    2,
+                ),
+            )
+            .cpu_cores
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Regenerates Figure 7: inference throughput vs batch size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlb_bench::{print_report, save_reports};
+use dlb_workflows::calibration::{BackendKind, Calibration};
+use dlb_workflows::figures::fig7_inference_throughput;
+use dlb_workflows::inference::InferenceSim;
+use dlb_gpu::ModelZoo;
+
+fn bench(c: &mut Criterion) {
+    let cal = Calibration::paper();
+    let report = fig7_inference_throughput(&cal);
+    print_report(&report);
+    let _ = save_reports("fig7", &[report]);
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("googlenet_dlbooster_bs32", |b| {
+        b.iter(|| {
+            InferenceSim::saturated_throughput(&cal, ModelZoo::GoogLeNet, BackendKind::DlBooster, 32)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Regenerates Figure 8: inference latency vs batch size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlb_bench::{print_report, save_reports};
+use dlb_workflows::calibration::{BackendKind, Calibration};
+use dlb_workflows::figures::fig8_inference_latency;
+use dlb_workflows::inference::InferenceSim;
+use dlb_gpu::ModelZoo;
+
+fn bench(c: &mut Criterion) {
+    let cal = Calibration::paper();
+    let report = fig8_inference_latency(&cal);
+    print_report(&report);
+    let _ = save_reports("fig8", &[report]);
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.bench_function("googlenet_dlbooster_bs1_latency", |b| {
+        b.iter(|| {
+            InferenceSim::loaded_latency(&cal, ModelZoo::GoogLeNet, BackendKind::DlBooster, 1, 0.6)
+                .p50_latency
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

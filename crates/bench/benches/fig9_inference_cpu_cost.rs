@@ -1,0 +1,30 @@
+//! Regenerates Figure 9: inference CPU cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlb_bench::{print_report, save_reports};
+use dlb_workflows::calibration::{BackendKind, Calibration};
+use dlb_workflows::figures::fig9_inference_cpu_cost;
+use dlb_workflows::inference::{InferenceParams, InferenceSim};
+use dlb_gpu::ModelZoo;
+
+fn bench(c: &mut Criterion) {
+    let cal = Calibration::paper();
+    let report = fig9_inference_cpu_cost(&cal);
+    print_report(&report);
+    let _ = save_reports("fig9", &[report]);
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    group.bench_function("resnet50_cpu_based_cores", |b| {
+        b.iter(|| {
+            InferenceSim::run(
+                cal.clone(),
+                InferenceParams::paper(ModelZoo::ResNet50, BackendKind::CpuBased, 64),
+            )
+            .cpu_cores
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Primitive costs of the host-bridger machinery: blocking queues, the
+//! memory pool, and the end-to-end functional FPGA pipeline on small
+//! images.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dlb_codec::synth::{generate, SynthStyle};
+use dlb_codec::JpegEncoder;
+use dlb_fpga::{
+    DecodeCmd, DecoderEngine, DecoderMirror, DeviceSpec, FpgaDevice, MapResolver, OutputFormat,
+    Submission,
+};
+use dlb_membridge::{BlockingQueue, MemManager, PoolConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+
+    group.bench_function("blocking_queue_push_pop", |b| {
+        let q = BlockingQueue::bounded(1024);
+        b.iter(|| {
+            q.push(black_box(1u64)).unwrap();
+            q.pop().unwrap()
+        })
+    });
+
+    group.bench_function("pool_lease_cycle", |b| {
+        let pool = MemManager::new(PoolConfig {
+            unit_size: 64 << 10,
+            unit_count: 4,
+            phys_base: 0,
+        })
+        .unwrap();
+        b.iter(|| {
+            let mut unit = pool.get_item().unwrap();
+            unit.append(black_box(&[1u8; 128]), 0, 8, 8, 3);
+            pool.recycle_item(unit).unwrap();
+        })
+    });
+
+    // Functional FPGA engine: images/s through the 4-lane decoder.
+    let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
+    device.load_mirror(DecoderMirror::jpeg_paper_config()).unwrap();
+    let resolver = Arc::new(MapResolver::new());
+    let n = 16usize;
+    let srcs: Vec<_> = (0..n)
+        .map(|i| {
+            let img = generate(100, 75, SynthStyle::Photo, i as u64);
+            let bytes = JpegEncoder::new(85).unwrap().encode(&img).unwrap();
+            resolver.put_disk(i as u64 * 1_000_000, bytes)
+        })
+        .collect();
+    let engine = DecoderEngine::start(device, resolver.clone()).unwrap();
+    let pool = MemManager::new(PoolConfig {
+        unit_size: 4 << 20,
+        unit_count: 4,
+        phys_base: 0x4_0000_0000,
+    })
+    .unwrap();
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("fpga_engine_batch16_decode", |b| {
+        b.iter(|| {
+            let mut unit = pool.get_item().unwrap();
+            let mut cmds = Vec::with_capacity(n);
+            for (i, src) in srcs.iter().enumerate() {
+                let off = unit.reserve(64 * 64 * 3, i as u64, 64, 64, 3).unwrap();
+                cmds.push(
+                    DecodeCmd {
+                        cmd_id: i as u64,
+                        src: *src,
+                        dst_phys: unit.phys_addr() + off as u64,
+                        dst_capacity: 64 * 64 * 3,
+                        target_w: 64,
+                        target_h: 64,
+                        format: OutputFormat::Rgb8,
+                    }
+                    .pack(),
+                );
+            }
+            engine.submit(Submission { unit, cmds }).unwrap();
+            let done = engine.completions().pop().unwrap();
+            assert_eq!(done.ok_count(), n);
+            pool.recycle_item(done.unit).unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Regenerates the §5.4 economic analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlb_bench::{print_report, save_reports};
+use dlb_workflows::economics::{analyze, EconomicsInputs};
+use dlb_workflows::figures::sec54_economics;
+
+fn bench(c: &mut Criterion) {
+    let report = sec54_economics();
+    print_report(&report);
+    let _ = save_reports("sec54", &[report]);
+    let mut group = c.benchmark_group("sec54");
+    group.bench_function("ledger", |b| {
+        b.iter(|| analyze(&EconomicsInputs::paper()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

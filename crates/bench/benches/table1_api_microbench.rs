@@ -1,0 +1,96 @@
+//! Table 1 API microbenchmarks: the cost of each DLBooster module verb on
+//! the functional (real-thread) implementation.
+//!
+//! | API | Owner |
+//! |---|---|
+//! | submit_cmd / drain_out | FPGAChannel |
+//! | get_item / recycle_item / phy2virt / virt2phy | MemManager |
+//! | load_from_disk / load_from_net | DataCollector |
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlb_fpga::cmd::CMD_WIRE_BYTES;
+use dlb_fpga::{DataRef, DecodeCmd, OutputFormat};
+use dlb_membridge::{MemManager, PoolConfig};
+use dlb_net::RxDescriptor;
+use dlb_storage::Record;
+use dlbooster_core::{DataCollector, FileMeta};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_api");
+
+    // MemManager verbs.
+    let pool = MemManager::new(PoolConfig {
+        unit_size: 1 << 20,
+        unit_count: 8,
+        phys_base: 0x4_0000_0000,
+    })
+    .unwrap();
+    group.bench_function("get_item+recycle_item", |b| {
+        b.iter(|| {
+            let unit = pool.get_item().unwrap();
+            pool.recycle_item(black_box(unit)).unwrap();
+        })
+    });
+    group.bench_function("phy2virt", |b| {
+        b.iter(|| pool.phy2virt(black_box(0x4_0000_1234)).unwrap())
+    });
+    group.bench_function("virt2phy", |b| {
+        let virt = pool.phy2virt(0x4_0000_1234).unwrap();
+        b.iter(|| pool.virt2phy(black_box(virt)).unwrap())
+    });
+
+    // FPGAChannel cmd path: pack + parse (the FIFO wire format).
+    let cmd = DecodeCmd {
+        cmd_id: 1,
+        src: DataRef::Disk { offset: 4096, len: 100_000 },
+        dst_phys: 0x4_0000_0000,
+        dst_capacity: 224 * 224 * 3,
+        target_w: 224,
+        target_h: 224,
+        format: OutputFormat::Rgb8,
+    };
+    group.bench_function("cmd_pack", |b| b.iter(|| black_box(cmd).pack()));
+    let wire: [u8; CMD_WIRE_BYTES] = cmd.pack();
+    group.bench_function("cmd_unpack", |b| {
+        b.iter(|| DecodeCmd::unpack(black_box(&wire)).unwrap())
+    });
+
+    // DataCollector verbs.
+    let records: Vec<Record> = (0..4096u64)
+        .map(|id| Record {
+            id,
+            label: id % 1000,
+            disk_offset: id * 131072,
+            len: 100_000,
+            width: 500,
+            height: 375,
+            channels: 3,
+        })
+        .collect();
+    group.bench_function("load_from_disk+next_metas", |b| {
+        let collector = DataCollector::load_from_disk(&records, 5);
+        b.iter(|| collector.next_metas(black_box(256)).unwrap())
+    });
+    group.bench_function("load_from_net_push_pop", |b| {
+        let collector = DataCollector::load_from_net();
+        let desc = RxDescriptor {
+            request_id: 1,
+            client_id: 0,
+            phys_addr: 0x8000_0000,
+            len: 99_000,
+            arrival_nanos: 12,
+        };
+        b.iter(|| {
+            collector.push_from_net(black_box(&desc));
+            collector.next_metas(1).unwrap()
+        })
+    });
+    group.bench_function("file_meta_from_record", |b| {
+        b.iter(|| FileMeta::from_record(black_box(&records[7])))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Prints every reproduced table/figure of the paper and saves the JSON
+//! bundle under `target/figure-reports/`.
+//!
+//! ```text
+//! cargo run -p dlb-bench --bin figures [--json]
+//! ```
+
+use dlb_workflows::calibration::Calibration;
+use dlb_workflows::figures::all_figures;
+
+fn main() {
+    let json_only = std::env::args().any(|a| a == "--json");
+    let cal = Calibration::paper();
+    eprintln!("regenerating all figures on the paper calibration…");
+    let reports = all_figures(&cal);
+    if json_only {
+        let bundle = serde_json::Value::Array(reports.iter().map(|r| r.to_json()).collect());
+        println!("{}", serde_json::to_string_pretty(&bundle).expect("serializable"));
+    } else {
+        for r in &reports {
+            println!();
+            println!("{}", r.render());
+        }
+    }
+    match dlb_bench::save_reports("all", &reports) {
+        Ok(path) => eprintln!("saved JSON bundle to {}", path.display()),
+        Err(e) => eprintln!("could not save JSON bundle: {e}"),
+    }
+}

@@ -1,0 +1,59 @@
+//! # dlb-bench
+//!
+//! The benchmark harness. Every table and figure of the paper's evaluation
+//! has a Criterion bench target that (a) prints the regenerated
+//! rows/series next to the paper-expected values and (b) times the
+//! underlying simulation/pipeline so regressions in the models show up in
+//! Criterion's reports.
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `fig2_motivation` | Fig. 2(a)+(b) motivation experiment |
+//! | `fig5_training_throughput` | Fig. 5(a)-(c) |
+//! | `fig6_training_cpu_cost` | Fig. 6(a)-(d) |
+//! | `fig7_inference_throughput` | Fig. 7(a)-(c) |
+//! | `fig8_inference_latency` | Fig. 8(a)-(c) |
+//! | `fig9_inference_cpu_cost` | Fig. 9(a)-(c) |
+//! | `table1_api_microbench` | Table 1 API op costs |
+//! | `sec54_economics` | §5.4 economics |
+//! | `codec_microbench` | raw decode/resize rates (the functional layer) |
+//! | `pipeline_microbench` | queue/pool/dispatcher primitive costs |
+//! | `ablations` | §3.3/§3.4 design-choice ablations |
+//!
+//! Run everything with `cargo bench --workspace`; regenerate just the
+//! figure tables with `cargo run -p dlb-bench --bin figures`.
+
+use dlb_workflows::report::FigureReport;
+
+/// Prints a report to stdout with a separating banner (Criterion captures
+/// stdout per bench run; the tables land in the bench log).
+pub fn print_report(report: &FigureReport) {
+    println!();
+    println!("{}", report.render());
+}
+
+/// Writes a JSON bundle of reports to `target/figure-reports/<name>.json`
+/// so EXPERIMENTS.md can be regenerated from artifacts.
+pub fn save_reports(name: &str, reports: &[FigureReport]) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("target").join("figure-reports");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::Value::Array(reports.iter().map(|r| r.to_json()).collect());
+    std::fs::write(&path, serde_json::to_string_pretty(&json)?)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_workflows::report::Row;
+
+    #[test]
+    fn save_reports_writes_json() {
+        let mut r = FigureReport::new("T", "t", &["a"]);
+        r.push_row(Row::new(&["1"]));
+        let path = save_reports("unit-test", &[r]).unwrap();
+        let body = std::fs::read_to_string(path).unwrap();
+        assert!(body.contains("\"id\": \"T\""));
+    }
+}

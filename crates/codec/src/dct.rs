@@ -1,0 +1,203 @@
+//! 8×8 forward and inverse discrete cosine transforms.
+//!
+//! The FPGA decoder's iDCT unit (paper Fig. 4) is modelled functionally by
+//! [`idct_8x8`]. Both directions use a separable direct float implementation:
+//! exact enough that quantisation — not the transform — dominates the JPEG
+//! roundtrip error, and simple enough to audit against the T.81 definition.
+
+/// Side length of a DCT block.
+pub const BLOCK_DIM: usize = 8;
+/// Coefficients per block.
+pub const BLOCK_LEN: usize = BLOCK_DIM * BLOCK_DIM;
+
+/// Cosine basis: `COS[x][u] = cos((2x+1) u π / 16)`, premultiplied by the
+/// normalisation factor `c(u) = 1/√2 for u = 0, else 1`, and by the global
+/// 1/2 from the 2-D normalisation split across both passes.
+fn basis() -> [[f32; BLOCK_DIM]; BLOCK_DIM] {
+    let mut t = [[0f32; BLOCK_DIM]; BLOCK_DIM];
+    for (x, row) in t.iter_mut().enumerate() {
+        for (u, v) in row.iter_mut().enumerate() {
+            let cu = if u == 0 {
+                (0.5f32).sqrt()
+            } else {
+                1.0
+            };
+            *v = 0.5
+                * cu
+                * ((2.0 * x as f32 + 1.0) * u as f32 * std::f32::consts::PI / 16.0).cos();
+        }
+    }
+    t
+}
+
+fn basis_cached() -> &'static [[f32; BLOCK_DIM]; BLOCK_DIM] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[[f32; BLOCK_DIM]; BLOCK_DIM]> = OnceLock::new();
+    TABLE.get_or_init(basis)
+}
+
+/// Forward 2-D DCT of one 8×8 block of level-shifted samples
+/// (each in `[-128, 127]`), producing 64 frequency coefficients.
+pub fn fdct_8x8(samples: &[f32; BLOCK_LEN], coeffs: &mut [f32; BLOCK_LEN]) {
+    let b = basis_cached();
+    // Row pass: tmp[y][u] = Σ_x samples[y][x] · COS[x][u]
+    let mut tmp = [0f32; BLOCK_LEN];
+    for y in 0..BLOCK_DIM {
+        for u in 0..BLOCK_DIM {
+            let mut acc = 0f32;
+            for x in 0..BLOCK_DIM {
+                acc += samples[y * BLOCK_DIM + x] * b[x][u];
+            }
+            tmp[y * BLOCK_DIM + u] = acc;
+        }
+    }
+    // Column pass: coeffs[v][u] = Σ_y tmp[y][u] · COS[y][v]
+    for v in 0..BLOCK_DIM {
+        for u in 0..BLOCK_DIM {
+            let mut acc = 0f32;
+            for y in 0..BLOCK_DIM {
+                acc += tmp[y * BLOCK_DIM + u] * b[y][v];
+            }
+            coeffs[v * BLOCK_DIM + u] = acc;
+        }
+    }
+}
+
+/// Inverse 2-D DCT of one 8×8 coefficient block back into level-shifted
+/// spatial samples.
+pub fn idct_8x8(coeffs: &[f32; BLOCK_LEN], samples: &mut [f32; BLOCK_LEN]) {
+    let b = basis_cached();
+    // Column pass: tmp[y][u] = Σ_v coeffs[v][u] · COS[y][v]
+    let mut tmp = [0f32; BLOCK_LEN];
+    for y in 0..BLOCK_DIM {
+        for u in 0..BLOCK_DIM {
+            let mut acc = 0f32;
+            for v in 0..BLOCK_DIM {
+                acc += coeffs[v * BLOCK_DIM + u] * b[y][v];
+            }
+            tmp[y * BLOCK_DIM + u] = acc;
+        }
+    }
+    // Row pass: samples[y][x] = Σ_u tmp[y][u] · COS[x][u]
+    for y in 0..BLOCK_DIM {
+        for x in 0..BLOCK_DIM {
+            let mut acc = 0f32;
+            for u in 0..BLOCK_DIM {
+                acc += tmp[y * BLOCK_DIM + u] * b[x][u];
+            }
+            samples[y * BLOCK_DIM + x] = acc;
+        }
+    }
+}
+
+/// Zigzag scan order mapping: `ZIGZAG[i]` is the raster index of the `i`-th
+/// coefficient in zigzag order (T.81 Figure A.6).
+pub const ZIGZAG: [usize; BLOCK_LEN] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
+    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
+    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// Inverse of [`ZIGZAG`]: raster index → zigzag position.
+pub fn zigzag_inverse() -> [usize; BLOCK_LEN] {
+    let mut inv = [0usize; BLOCK_LEN];
+    for (zz, &raster) in ZIGZAG.iter().enumerate() {
+        inv[raster] = zz;
+    }
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_error(samples: &[f32; BLOCK_LEN]) -> f32 {
+        let mut coeffs = [0f32; BLOCK_LEN];
+        let mut back = [0f32; BLOCK_LEN];
+        fdct_8x8(samples, &mut coeffs);
+        idct_8x8(&coeffs, &mut back);
+        samples
+            .iter()
+            .zip(back.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0f32, f32::max)
+    }
+
+    #[test]
+    fn dct_of_constant_block_has_only_dc() {
+        let samples = [100f32; BLOCK_LEN];
+        let mut coeffs = [0f32; BLOCK_LEN];
+        fdct_8x8(&samples, &mut coeffs);
+        // DC of a constant block: 8 * value.
+        assert!((coeffs[0] - 800.0).abs() < 1e-2, "dc = {}", coeffs[0]);
+        for (i, &c) in coeffs.iter().enumerate().skip(1) {
+            assert!(c.abs() < 1e-3, "ac[{i}] = {c}");
+        }
+    }
+
+    #[test]
+    fn idct_of_dc_only_is_constant() {
+        let mut coeffs = [0f32; BLOCK_LEN];
+        coeffs[0] = 800.0;
+        let mut samples = [0f32; BLOCK_LEN];
+        idct_8x8(&coeffs, &mut samples);
+        for &s in &samples {
+            assert!((s - 100.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_near_exact() {
+        // A deterministic pseudo-random block.
+        let mut samples = [0f32; BLOCK_LEN];
+        let mut state = 0x1234_5678u32;
+        for s in samples.iter_mut() {
+            state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            *s = ((state >> 24) as f32) - 128.0;
+        }
+        assert!(roundtrip_error(&samples) < 1e-2);
+    }
+
+    #[test]
+    fn roundtrip_extremes() {
+        assert!(roundtrip_error(&[-128.0; BLOCK_LEN]) < 1e-2);
+        assert!(roundtrip_error(&[127.0; BLOCK_LEN]) < 1e-2);
+    }
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; BLOCK_LEN];
+        for &i in &ZIGZAG {
+            assert!(!seen[i], "duplicate {i}");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn zigzag_inverse_matches() {
+        let inv = zigzag_inverse();
+        for (zz, &raster) in ZIGZAG.iter().enumerate() {
+            assert_eq!(inv[raster], zz);
+        }
+        // Spot-check documented positions.
+        assert_eq!(ZIGZAG[0], 0);
+        assert_eq!(ZIGZAG[1], 1);
+        assert_eq!(ZIGZAG[2], 8);
+        assert_eq!(ZIGZAG[63], 63);
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let mut samples = [0f32; BLOCK_LEN];
+        for (i, s) in samples.iter_mut().enumerate() {
+            *s = ((i as f32) * 3.7).sin() * 100.0;
+        }
+        let mut coeffs = [0f32; BLOCK_LEN];
+        fdct_8x8(&samples, &mut coeffs);
+        let e_spatial: f32 = samples.iter().map(|s| s * s).sum();
+        let e_freq: f32 = coeffs.iter().map(|c| c * c).sum();
+        let rel = (e_spatial - e_freq).abs() / e_spatial.max(1.0);
+        assert!(rel < 1e-4, "energy mismatch: {e_spatial} vs {e_freq}");
+    }
+}

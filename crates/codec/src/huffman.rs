@@ -1,0 +1,595 @@
+//! Bit-level I/O and canonical JPEG Huffman coding.
+//!
+//! This is the functional core of the workload DLBooster offloads: the paper's
+//! FPGA decoder dedicates a 4-way Huffman unit to it because entropy decoding
+//! is the serial bottleneck of JPEG decode. The implementation covers:
+//!
+//! * [`BitWriter`] / [`BitReader`] with JPEG `0xFF 0x00` byte stuffing,
+//! * canonical table construction from (BITS, HUFFVAL) per T.81 Annex C,
+//! * the standard Annex K.3 DC/AC tables,
+//! * fast decoding via a first-level lookup table plus canonical fallback.
+
+use crate::error::{CodecError, CodecResult};
+
+/// Maximum JPEG Huffman code length in bits.
+pub const MAX_CODE_LEN: usize = 16;
+
+// ---------------------------------------------------------------------------
+// Bit I/O
+// ---------------------------------------------------------------------------
+
+/// MSB-first bit writer with JPEG byte stuffing (`0xFF` → `0xFF 0x00`).
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    out: Vec<u8>,
+    acc: u32,
+    nbits: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `len` bits of `bits`, MSB first. `len` may be 0.
+    pub fn put_bits(&mut self, bits: u32, len: u32) {
+        debug_assert!(len <= 24, "len {len} too large for accumulator");
+        debug_assert!(len == 32 || bits < (1u32 << len.max(1)) || len == 0);
+        self.acc = (self.acc << len) | (bits & ((1u64 << len) as u32).wrapping_sub(1));
+        self.nbits += len;
+        while self.nbits >= 8 {
+            let byte = ((self.acc >> (self.nbits - 8)) & 0xFF) as u8;
+            self.out.push(byte);
+            if byte == 0xFF {
+                self.out.push(0x00); // byte stuffing
+            }
+            self.nbits -= 8;
+        }
+    }
+
+    /// Pads the final partial byte with 1-bits (T.81 F.1.2.3) and returns the
+    /// stuffed entropy-coded byte stream.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            let pad = 8 - self.nbits;
+            self.put_bits((1u32 << pad) - 1, pad);
+        }
+        self.out
+    }
+
+    /// Number of complete bytes emitted so far.
+    pub fn byte_len(&self) -> usize {
+        self.out.len()
+    }
+}
+
+/// MSB-first bit reader that undoes JPEG byte stuffing and stops at markers.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    acc: u32,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Wraps an entropy-coded segment (without the trailing marker).
+    pub fn new(data: &'a [u8]) -> Self {
+        Self {
+            data,
+            pos: 0,
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    #[inline]
+    fn refill(&mut self) -> CodecResult<()> {
+        while self.nbits <= 24 {
+            if self.pos >= self.data.len() {
+                // At end of data, feed 1-padding so a final partial code can
+                // still be rejected by table lookup rather than EOF here;
+                // genuine overruns surface as InvalidHuffmanCode or explicit
+                // EOF from `ensure_bits`.
+                return Ok(());
+            }
+            let byte = self.data[self.pos];
+            if byte == 0xFF {
+                match self.data.get(self.pos + 1) {
+                    Some(0x00) => {
+                        self.pos += 2; // stuffed 0xFF data byte
+                        self.acc = (self.acc << 8) | 0xFF;
+                        self.nbits += 8;
+                    }
+                    // A restart or terminating marker: stop feeding bits.
+                    _ => return Ok(()),
+                }
+            } else {
+                self.pos += 1;
+                self.acc = (self.acc << 8) | byte as u32;
+                self.nbits += 8;
+            }
+        }
+        Ok(())
+    }
+
+    /// Peeks up to 16 bits (left-aligned in the low bits of the return
+    /// value); missing trailing bits are 1-filled.
+    #[inline]
+    pub fn peek_bits(&mut self, len: u32) -> CodecResult<u32> {
+        debug_assert!(len <= 16);
+        self.refill()?;
+        if self.nbits >= len {
+            Ok((self.acc >> (self.nbits - len)) & ((1u32 << len) - 1))
+        } else {
+            // 1-fill the tail.
+            let have = self.nbits;
+            let missing = len - have;
+            let head = if have == 0 {
+                0
+            } else {
+                self.acc & ((1u32 << have) - 1)
+            };
+            Ok((head << missing) | ((1u32 << missing) - 1))
+        }
+    }
+
+    /// Consumes `len` bits previously peeked.
+    #[inline]
+    pub fn consume(&mut self, len: u32) -> CodecResult<()> {
+        if self.nbits < len {
+            return Err(CodecError::UnexpectedEof {
+                context: "entropy-coded segment",
+            });
+        }
+        self.nbits -= len;
+        Ok(())
+    }
+
+    /// Reads `len` bits as an unsigned value.
+    #[inline]
+    pub fn get_bits(&mut self, len: u32) -> CodecResult<u32> {
+        if len == 0 {
+            return Ok(0);
+        }
+        self.refill()?;
+        if self.nbits < len {
+            return Err(CodecError::UnexpectedEof {
+                context: "entropy-coded segment",
+            });
+        }
+        let v = (self.acc >> (self.nbits - len)) & ((1u32 << len) - 1);
+        self.nbits -= len;
+        Ok(v)
+    }
+
+    /// Byte offset of the next unread input byte (for marker resync).
+    pub fn byte_pos(&self) -> usize {
+        self.pos - (self.nbits as usize).div_ceil(8)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Canonical tables
+// ---------------------------------------------------------------------------
+
+/// A canonical Huffman code table built from (BITS, HUFFVAL) as in T.81.
+///
+/// Supports both encoding (symbol → code) and decoding (bits → symbol) with a
+/// single-level 16-bit lookup acceleration table.
+#[derive(Debug, Clone)]
+pub struct HuffTable {
+    /// `counts[l]` = number of codes of length `l+1`.
+    counts: [u8; MAX_CODE_LEN],
+    /// Symbols in canonical order.
+    symbols: Vec<u8>,
+    /// Encoder: symbol → (code, length). Length 0 means absent.
+    enc_code: [u16; 256],
+    enc_len: [u8; 256],
+    /// Decoder acceleration: for each 8-bit prefix, (symbol, code length) if
+    /// a code of ≤8 bits matches; length 0 otherwise.
+    fast: Box<[(u8, u8); 256]>,
+    /// Canonical decode bounds per length: min code, max code, index of first
+    /// symbol. Entries are valid only where `counts > 0`.
+    min_code: [i32; MAX_CODE_LEN + 1],
+    max_code: [i32; MAX_CODE_LEN + 1],
+    val_ptr: [usize; MAX_CODE_LEN + 1],
+}
+
+impl HuffTable {
+    /// Builds a table from the per-length code counts and the symbol list.
+    pub fn new(counts: [u8; MAX_CODE_LEN], symbols: &[u8]) -> CodecResult<Self> {
+        let total: usize = counts.iter().map(|&c| c as usize).sum();
+        if total != symbols.len() {
+            return Err(CodecError::MalformedSegment {
+                detail: format!(
+                    "Huffman table declares {total} codes but provides {} symbols",
+                    symbols.len()
+                ),
+            });
+        }
+        if total == 0 || total > 256 {
+            return Err(CodecError::MalformedSegment {
+                detail: format!("Huffman table has {total} codes (must be 1..=256)"),
+            });
+        }
+
+        // Canonical code assignment (T.81 C.2): codes of each length are
+        // consecutive; moving to the next length left-shifts by one.
+        let mut enc_code = [0u16; 256];
+        let mut enc_len = [0u8; 256];
+        let mut min_code = [0i32; MAX_CODE_LEN + 1];
+        let mut max_code = [-1i32; MAX_CODE_LEN + 1];
+        let mut val_ptr = [0usize; MAX_CODE_LEN + 1];
+
+        let mut code: u32 = 0;
+        let mut k = 0usize;
+        for len in 1..=MAX_CODE_LEN {
+            let n = counts[len - 1] as usize;
+            if n > 0 {
+                val_ptr[len] = k;
+                min_code[len] = code as i32;
+                for _ in 0..n {
+                    if code >= (1u32 << len) {
+                        return Err(CodecError::MalformedSegment {
+                            detail: format!("Huffman code overflow at length {len}"),
+                        });
+                    }
+                    let sym = symbols[k];
+                    if enc_len[sym as usize] != 0 {
+                        return Err(CodecError::MalformedSegment {
+                            detail: format!("duplicate Huffman symbol {sym}"),
+                        });
+                    }
+                    enc_code[sym as usize] = code as u16;
+                    enc_len[sym as usize] = len as u8;
+                    code += 1;
+                    k += 1;
+                }
+                max_code[len] = code as i32 - 1;
+            }
+            code <<= 1;
+        }
+
+        // Fast 8-bit prefix decode table.
+        let mut fast = Box::new([(0u8, 0u8); 256]);
+        let mut k = 0usize;
+        let mut code: u32 = 0;
+        for len in 1..=8usize {
+            let n = counts[len - 1] as usize;
+            for _ in 0..n {
+                let prefix = (code << (8 - len)) as usize;
+                let fill = 1usize << (8 - len);
+                for entry in fast.iter_mut().skip(prefix).take(fill) {
+                    *entry = (symbols[k], len as u8);
+                }
+                code += 1;
+                k += 1;
+            }
+            code <<= 1;
+        }
+
+        Ok(Self {
+            counts,
+            symbols: symbols.to_vec(),
+            enc_code,
+            enc_len,
+            fast,
+            min_code,
+            max_code,
+            val_ptr,
+        })
+    }
+
+    /// Per-length code counts (the DHT `BITS` array).
+    pub fn counts(&self) -> &[u8; MAX_CODE_LEN] {
+        &self.counts
+    }
+
+    /// Symbols in canonical order (the DHT `HUFFVAL` array).
+    pub fn symbols(&self) -> &[u8] {
+        &self.symbols
+    }
+
+    /// Encodes one symbol into the writer.
+    #[inline]
+    pub fn encode(&self, w: &mut BitWriter, symbol: u8) -> CodecResult<()> {
+        let len = self.enc_len[symbol as usize];
+        if len == 0 {
+            return Err(CodecError::InvalidArgument {
+                detail: format!("symbol {symbol} not present in Huffman table"),
+            });
+        }
+        w.put_bits(self.enc_code[symbol as usize] as u32, len as u32);
+        Ok(())
+    }
+
+    /// Code length in bits for `symbol`, or `None` if absent. Used by the
+    /// FPGA timing model to count entropy bits without re-encoding.
+    #[inline]
+    pub fn code_len(&self, symbol: u8) -> Option<u32> {
+        match self.enc_len[symbol as usize] {
+            0 => None,
+            l => Some(l as u32),
+        }
+    }
+
+    /// Decodes one symbol from the reader.
+    #[inline]
+    pub fn decode(&self, r: &mut BitReader<'_>) -> CodecResult<u8> {
+        // Fast path: 8-bit prefix lookup.
+        let prefix = r.peek_bits(8)?;
+        let (sym, len) = self.fast[prefix as usize];
+        if len != 0 {
+            r.consume(len as u32)?;
+            return Ok(sym);
+        }
+        // Slow canonical path for codes of 9..=16 bits.
+        let code = r.peek_bits(MAX_CODE_LEN as u32)? as i32;
+        for len in 9..=MAX_CODE_LEN {
+            let c = code >> (MAX_CODE_LEN - len);
+            if self.max_code[len] >= 0 && c <= self.max_code[len] && c >= self.min_code[len] {
+                let idx = self.val_ptr[len] + (c - self.min_code[len]) as usize;
+                let sym = self.symbols[idx];
+                r.consume(len as u32)?;
+                return Ok(sym);
+            }
+        }
+        Err(CodecError::InvalidHuffmanCode)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Magnitude (SSSS) coding helpers — T.81 F.1.2.1
+// ---------------------------------------------------------------------------
+
+/// Number of magnitude bits needed for `value` (the JPEG SSSS category).
+#[inline]
+pub fn magnitude_category(value: i32) -> u32 {
+    let v = value.unsigned_abs();
+    32 - v.leading_zeros()
+}
+
+/// Encodes a signed value in the JPEG magnitude representation: negative
+/// values are stored as `value - 1` truncated to `ssss` bits.
+#[inline]
+pub fn encode_magnitude(value: i32, ssss: u32) -> u32 {
+    if value >= 0 {
+        value as u32
+    } else {
+        (value - 1) as u32 & ((1u32 << ssss) - 1)
+    }
+}
+
+/// Decodes a JPEG magnitude-coded value of category `ssss`.
+#[inline]
+pub fn decode_magnitude(bits: u32, ssss: u32) -> i32 {
+    if ssss == 0 {
+        return 0;
+    }
+    let half = 1u32 << (ssss - 1);
+    if bits >= half {
+        bits as i32
+    } else {
+        bits as i32 - (1i32 << ssss) + 1
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Standard Annex K.3 tables
+// ---------------------------------------------------------------------------
+
+/// Standard luminance DC table (K.3.3.1).
+pub fn std_dc_luma() -> HuffTable {
+    let counts = [0, 1, 5, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0];
+    let symbols = [0u8, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11];
+    HuffTable::new(counts, &symbols).expect("standard table is valid")
+}
+
+/// Standard chrominance DC table (K.3.3.1).
+pub fn std_dc_chroma() -> HuffTable {
+    let counts = [0, 3, 1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0];
+    let symbols = [0u8, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11];
+    HuffTable::new(counts, &symbols).expect("standard table is valid")
+}
+
+/// Standard luminance AC table (K.3.3.2).
+pub fn std_ac_luma() -> HuffTable {
+    let counts = [0, 2, 1, 3, 3, 2, 4, 3, 5, 5, 4, 4, 0, 0, 1, 0x7D];
+    let symbols: [u8; 162] = [
+        0x01, 0x02, 0x03, 0x00, 0x04, 0x11, 0x05, 0x12, 0x21, 0x31, 0x41, 0x06, 0x13, 0x51, 0x61,
+        0x07, 0x22, 0x71, 0x14, 0x32, 0x81, 0x91, 0xA1, 0x08, 0x23, 0x42, 0xB1, 0xC1, 0x15, 0x52,
+        0xD1, 0xF0, 0x24, 0x33, 0x62, 0x72, 0x82, 0x09, 0x0A, 0x16, 0x17, 0x18, 0x19, 0x1A, 0x25,
+        0x26, 0x27, 0x28, 0x29, 0x2A, 0x34, 0x35, 0x36, 0x37, 0x38, 0x39, 0x3A, 0x43, 0x44, 0x45,
+        0x46, 0x47, 0x48, 0x49, 0x4A, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59, 0x5A, 0x63, 0x64,
+        0x65, 0x66, 0x67, 0x68, 0x69, 0x6A, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79, 0x7A, 0x83,
+        0x84, 0x85, 0x86, 0x87, 0x88, 0x89, 0x8A, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97, 0x98, 0x99,
+        0x9A, 0xA2, 0xA3, 0xA4, 0xA5, 0xA6, 0xA7, 0xA8, 0xA9, 0xAA, 0xB2, 0xB3, 0xB4, 0xB5, 0xB6,
+        0xB7, 0xB8, 0xB9, 0xBA, 0xC2, 0xC3, 0xC4, 0xC5, 0xC6, 0xC7, 0xC8, 0xC9, 0xCA, 0xD2, 0xD3,
+        0xD4, 0xD5, 0xD6, 0xD7, 0xD8, 0xD9, 0xDA, 0xE1, 0xE2, 0xE3, 0xE4, 0xE5, 0xE6, 0xE7, 0xE8,
+        0xE9, 0xEA, 0xF1, 0xF2, 0xF3, 0xF4, 0xF5, 0xF6, 0xF7, 0xF8, 0xF9, 0xFA,
+    ];
+    HuffTable::new(counts, &symbols).expect("standard table is valid")
+}
+
+/// Standard chrominance AC table (K.3.3.2).
+pub fn std_ac_chroma() -> HuffTable {
+    let counts = [0, 2, 1, 2, 4, 4, 3, 4, 7, 5, 4, 4, 0, 1, 2, 0x77];
+    let symbols: [u8; 162] = [
+        0x00, 0x01, 0x02, 0x03, 0x11, 0x04, 0x05, 0x21, 0x31, 0x06, 0x12, 0x41, 0x51, 0x07, 0x61,
+        0x71, 0x13, 0x22, 0x32, 0x81, 0x08, 0x14, 0x42, 0x91, 0xA1, 0xB1, 0xC1, 0x09, 0x23, 0x33,
+        0x52, 0xF0, 0x15, 0x62, 0x72, 0xD1, 0x0A, 0x16, 0x24, 0x34, 0xE1, 0x25, 0xF1, 0x17, 0x18,
+        0x19, 0x1A, 0x26, 0x27, 0x28, 0x29, 0x2A, 0x35, 0x36, 0x37, 0x38, 0x39, 0x3A, 0x43, 0x44,
+        0x45, 0x46, 0x47, 0x48, 0x49, 0x4A, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59, 0x5A, 0x63,
+        0x64, 0x65, 0x66, 0x67, 0x68, 0x69, 0x6A, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79, 0x7A,
+        0x82, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89, 0x8A, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97,
+        0x98, 0x99, 0x9A, 0xA2, 0xA3, 0xA4, 0xA5, 0xA6, 0xA7, 0xA8, 0xA9, 0xAA, 0xB2, 0xB3, 0xB4,
+        0xB5, 0xB6, 0xB7, 0xB8, 0xB9, 0xBA, 0xC2, 0xC3, 0xC4, 0xC5, 0xC6, 0xC7, 0xC8, 0xC9, 0xCA,
+        0xD2, 0xD3, 0xD4, 0xD5, 0xD6, 0xD7, 0xD8, 0xD9, 0xDA, 0xE2, 0xE3, 0xE4, 0xE5, 0xE6, 0xE7,
+        0xE8, 0xE9, 0xEA, 0xF2, 0xF3, 0xF4, 0xF5, 0xF6, 0xF7, 0xF8, 0xF9, 0xFA,
+    ];
+    HuffTable::new(counts, &symbols).expect("standard table is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitwriter_pads_with_ones() {
+        let mut w = BitWriter::new();
+        w.put_bits(0b101, 3);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0b1011_1111]);
+    }
+
+    #[test]
+    fn bitwriter_stuffs_ff() {
+        let mut w = BitWriter::new();
+        w.put_bits(0xFF, 8);
+        w.put_bits(0xAB, 8);
+        assert_eq!(w.finish(), vec![0xFF, 0x00, 0xAB]);
+    }
+
+    #[test]
+    fn bitreader_unstuffs_ff() {
+        let data = [0xFFu8, 0x00, 0xAB];
+        let mut r = BitReader::new(&data);
+        assert_eq!(r.get_bits(8).unwrap(), 0xFF);
+        assert_eq!(r.get_bits(8).unwrap(), 0xAB);
+    }
+
+    #[test]
+    fn bitreader_stops_at_marker() {
+        let data = [0b1010_0000u8, 0xFF, 0xD9];
+        let mut r = BitReader::new(&data);
+        assert_eq!(r.get_bits(4).unwrap(), 0b1010);
+        // peek beyond end fills with ones; no crash at the marker.
+        let peeked = r.peek_bits(8).unwrap();
+        assert_eq!(peeked & 0x0F, 0x0F);
+    }
+
+    #[test]
+    fn bit_io_roundtrip_many_widths() {
+        let mut w = BitWriter::new();
+        let values: Vec<(u32, u32)> = (1..=16)
+            .map(|len| ((0x5A5A_5A5A >> (32 - len)) & ((1 << len) - 1), len))
+            .collect();
+        for &(v, l) in &values {
+            w.put_bits(v, l);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, l) in &values {
+            assert_eq!(r.get_bits(l).unwrap(), v, "width {l}");
+        }
+    }
+
+    #[test]
+    fn std_tables_build() {
+        for t in [std_dc_luma(), std_dc_chroma(), std_ac_luma(), std_ac_chroma()] {
+            let total: usize = t.counts().iter().map(|&c| c as usize).sum();
+            assert_eq!(total, t.symbols().len());
+        }
+        assert_eq!(std_ac_luma().symbols().len(), 162);
+        assert_eq!(std_ac_chroma().symbols().len(), 162);
+    }
+
+    #[test]
+    fn encode_decode_all_symbols() {
+        for table in [std_dc_luma(), std_ac_luma(), std_ac_chroma()] {
+            let mut w = BitWriter::new();
+            for &s in table.symbols() {
+                table.encode(&mut w, s).unwrap();
+            }
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            for &s in table.symbols() {
+                assert_eq!(table.decode(&mut r).unwrap(), s);
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_absent_code() {
+        // DC luma has 12 symbols; an all-ones 16-bit pattern is not a code.
+        let table = std_dc_luma();
+        let data = [0xFFu8, 0x00, 0xFF, 0x00];
+        let mut r = BitReader::new(&data);
+        assert_eq!(r.get_bits(0).unwrap(), 0);
+        assert!(matches!(
+            table.decode(&mut r),
+            Err(CodecError::InvalidHuffmanCode)
+        ));
+    }
+
+    #[test]
+    fn encode_rejects_absent_symbol() {
+        let table = std_dc_luma();
+        let mut w = BitWriter::new();
+        assert!(table.encode(&mut w, 200).is_err());
+    }
+
+    #[test]
+    fn table_validation() {
+        // Count/symbol mismatch.
+        let counts = [0u8; 16];
+        assert!(HuffTable::new(counts, &[1, 2]).is_err());
+        // Empty.
+        assert!(HuffTable::new(counts, &[]).is_err());
+        // Duplicate symbol.
+        let mut c = [0u8; 16];
+        c[1] = 2;
+        assert!(HuffTable::new(c, &[7, 7]).is_err());
+        // Overfull level: 3 codes of length 1 cannot exist.
+        let mut c = [0u8; 16];
+        c[0] = 3;
+        assert!(HuffTable::new(c, &[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn magnitude_category_values() {
+        assert_eq!(magnitude_category(0), 0);
+        assert_eq!(magnitude_category(1), 1);
+        assert_eq!(magnitude_category(-1), 1);
+        assert_eq!(magnitude_category(2), 2);
+        assert_eq!(magnitude_category(-3), 2);
+        assert_eq!(magnitude_category(255), 8);
+        assert_eq!(magnitude_category(-1024), 11);
+    }
+
+    #[test]
+    fn magnitude_roundtrip() {
+        for v in -2047i32..=2047 {
+            let ssss = magnitude_category(v);
+            let bits = encode_magnitude(v, ssss);
+            assert_eq!(decode_magnitude(bits, ssss), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn code_len_reports_presence() {
+        let t = std_dc_luma();
+        assert!(t.code_len(0).is_some());
+        assert!(t.code_len(11).is_some());
+        assert_eq!(t.code_len(200), None);
+    }
+
+    #[test]
+    fn long_codes_take_slow_path() {
+        // AC luma has many 16-bit codes; encode one and decode it.
+        let t = std_ac_luma();
+        // Find a symbol with a 16-bit code.
+        let sym = *t
+            .symbols()
+            .iter()
+            .find(|&&s| t.code_len(s) == Some(16))
+            .expect("AC luma has 16-bit codes");
+        let mut w = BitWriter::new();
+        t.encode(&mut w, sym).unwrap();
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(t.decode(&mut r).unwrap(), sym);
+    }
+}

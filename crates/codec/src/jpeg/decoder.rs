@@ -1,0 +1,775 @@
+//! Baseline JPEG decoder.
+//!
+//! This is the exact computation DLBooster's FPGA decoder performs (paper
+//! Fig. 4): marker/metadata parsing, Huffman entropy decode, dequantisation,
+//! inverse DCT, chroma upsampling and YCbCr→RGB conversion. The simulated
+//! FPGA lanes in `dlb-fpga` run this code in functional mode; the CPU
+//! baseline backend in `dlb-backends` runs it on worker threads.
+//!
+//! Beyond the decoded [`Image`], the decoder reports [`DecodeStats`] — MCU
+//! counts and entropy-bit totals — which the discrete-event timing model uses
+//! to charge cycle-accurate costs to the Huffman / iDCT / resize pipeline
+//! stages without re-running the arithmetic.
+
+use super::{marker, ComponentSpec, FrameInfo};
+use crate::dct::{idct_8x8, BLOCK_LEN, ZIGZAG};
+use crate::error::{CodecError, CodecResult};
+use crate::huffman::{decode_magnitude, BitReader, HuffTable};
+use crate::pixel::{clamp_u8, ycbcr_to_rgb, ColorSpace, Image};
+use crate::quant::QuantTable;
+
+/// Work statistics gathered during a decode, consumed by the FPGA timing
+/// model (`dlb-fpga::timing`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DecodeStats {
+    /// Number of MCUs in the scan.
+    pub mcus: u64,
+    /// Total 8×8 blocks entropy-decoded.
+    pub blocks: u64,
+    /// Total bits consumed from the entropy-coded segment.
+    pub entropy_bits: u64,
+    /// Non-zero coefficients reconstructed (drives iDCT sparsity models).
+    pub nonzero_coeffs: u64,
+    /// Restart segments encountered (1 if no DRI).
+    pub restart_segments: u32,
+}
+
+/// Baseline JPEG decoder with reusable internal scratch space.
+///
+/// The decoder is cheap to construct; reusing one instance across images
+/// avoids re-allocating the coefficient scratch (a hot-loop concern for the
+/// CPU baseline, which decodes hundreds of images per second per core).
+#[derive(Debug, Default)]
+pub struct JpegDecoder {
+    _private: (),
+}
+
+/// Everything parsed from the header section (before the entropy scan).
+#[derive(Debug)]
+struct Headers {
+    frame: FrameInfo,
+    qtables: [Option<QuantTable>; 4],
+    dc_tables: [Option<HuffTable>; 4],
+    ac_tables: [Option<HuffTable>; 4],
+    /// Offset of the first entropy-coded byte.
+    scan_start: usize,
+}
+
+impl JpegDecoder {
+    /// Creates a decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parses only the JFIF headers, returning the frame geometry. This is
+    /// what DLBooster's `DataCollector` calls to build decode cmds without
+    /// touching the entropy-coded payload.
+    pub fn decode_header(&self, data: &[u8]) -> CodecResult<FrameInfo> {
+        parse_headers(data).map(|h| h.frame)
+    }
+
+    /// Decodes a complete JFIF stream to an interleaved [`Image`]
+    /// (RGB for colour scans, grayscale for single-component scans).
+    pub fn decode(&self, data: &[u8]) -> CodecResult<Image> {
+        self.decode_with_stats(data).map(|(img, _)| img)
+    }
+
+    /// Decodes and additionally reports workload statistics.
+    pub fn decode_with_stats(&self, data: &[u8]) -> CodecResult<(Image, DecodeStats)> {
+        let headers = parse_headers(data)?;
+        decode_scan(data, &headers)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Header parsing
+// ---------------------------------------------------------------------------
+
+fn read_u16(data: &[u8], pos: usize, context: &'static str) -> CodecResult<u16> {
+    data.get(pos..pos + 2)
+        .map(|b| u16::from_be_bytes([b[0], b[1]]))
+        .ok_or(CodecError::UnexpectedEof { context })
+}
+
+fn parse_headers(data: &[u8]) -> CodecResult<Headers> {
+    if data.len() < 4 || data[0] != 0xFF || data[1] != marker::SOI {
+        return Err(CodecError::MalformedSegment {
+            detail: "missing SOI".into(),
+        });
+    }
+    let mut pos = 2usize;
+    let mut qtables: [Option<QuantTable>; 4] = [None, None, None, None];
+    let mut dc_tables: [Option<HuffTable>; 4] = [None, None, None, None];
+    let mut ac_tables: [Option<HuffTable>; 4] = [None, None, None, None];
+    let mut frame: Option<FrameInfo> = None;
+    let mut restart_interval = 0u16;
+
+    loop {
+        // Seek to the next marker, tolerating fill bytes (0xFF runs).
+        while pos < data.len() && data[pos] != 0xFF {
+            pos += 1;
+        }
+        while pos < data.len() && data[pos] == 0xFF {
+            pos += 1;
+        }
+        if pos >= data.len() {
+            return Err(CodecError::UnexpectedEof {
+                context: "marker stream",
+            });
+        }
+        let m = data[pos];
+        pos += 1;
+        match m {
+            marker::EOI => {
+                return Err(CodecError::MalformedSegment {
+                    detail: "EOI before SOS".into(),
+                })
+            }
+            marker::SOS => {
+                let len = read_u16(data, pos, "SOS length")? as usize;
+                let seg = data.get(pos + 2..pos + len).ok_or(CodecError::UnexpectedEof {
+                    context: "SOS payload",
+                })?;
+                let mut frame = frame.ok_or_else(|| CodecError::MalformedSegment {
+                    detail: "SOS before SOF0".into(),
+                })?;
+                parse_sos(seg, &mut frame)?;
+                frame.restart_interval = restart_interval;
+                return Ok(Headers {
+                    frame,
+                    qtables,
+                    dc_tables,
+                    ac_tables,
+                    scan_start: pos + len,
+                });
+            }
+            marker::SOF0 => {
+                let len = read_u16(data, pos, "SOF0 length")? as usize;
+                let seg = data.get(pos + 2..pos + len).ok_or(CodecError::UnexpectedEof {
+                    context: "SOF0 payload",
+                })?;
+                frame = Some(parse_sof0(seg)?);
+                pos += len;
+            }
+            0xC1..=0xCF if m != marker::DHT && m != 0xC8 => {
+                return Err(CodecError::Unsupported {
+                    feature: format!("non-baseline frame marker 0xFF{m:02X}"),
+                });
+            }
+            marker::DQT => {
+                let len = read_u16(data, pos, "DQT length")? as usize;
+                let seg = data.get(pos + 2..pos + len).ok_or(CodecError::UnexpectedEof {
+                    context: "DQT payload",
+                })?;
+                parse_dqt(seg, &mut qtables)?;
+                pos += len;
+            }
+            marker::DHT => {
+                let len = read_u16(data, pos, "DHT length")? as usize;
+                let seg = data.get(pos + 2..pos + len).ok_or(CodecError::UnexpectedEof {
+                    context: "DHT payload",
+                })?;
+                parse_dht(seg, &mut dc_tables, &mut ac_tables)?;
+                pos += len;
+            }
+            marker::DRI => {
+                let len = read_u16(data, pos, "DRI length")? as usize;
+                restart_interval = read_u16(data, pos + 2, "DRI interval")?;
+                pos += len;
+            }
+            // APPn / COM and any other length-prefixed segment: skip.
+            0xE0..=0xEF | marker::COM | 0xF0..=0xFD => {
+                let len = read_u16(data, pos, "segment length")? as usize;
+                pos += len;
+            }
+            other => {
+                return Err(CodecError::InvalidMarker {
+                    marker: other,
+                    context: "header section",
+                });
+            }
+        }
+    }
+}
+
+fn parse_sof0(seg: &[u8]) -> CodecResult<FrameInfo> {
+    if seg.len() < 6 {
+        return Err(CodecError::MalformedSegment {
+            detail: "SOF0 too short".into(),
+        });
+    }
+    let precision = seg[0];
+    if precision != 8 {
+        return Err(CodecError::Unsupported {
+            feature: format!("{precision}-bit precision"),
+        });
+    }
+    let height = u16::from_be_bytes([seg[1], seg[2]]) as u32;
+    let width = u16::from_be_bytes([seg[3], seg[4]]) as u32;
+    let ncomp = seg[5] as usize;
+    if !(1..=3).contains(&ncomp) {
+        return Err(CodecError::Unsupported {
+            feature: format!("{ncomp}-component frame"),
+        });
+    }
+    if seg.len() < 6 + 3 * ncomp {
+        return Err(CodecError::MalformedSegment {
+            detail: "SOF0 component list truncated".into(),
+        });
+    }
+    if width == 0 || height == 0 {
+        return Err(CodecError::UnsupportedDimensions { width, height });
+    }
+    let mut components = Vec::with_capacity(ncomp);
+    for i in 0..ncomp {
+        let b = &seg[6 + 3 * i..9 + 3 * i];
+        let h = b[1] >> 4;
+        let v = b[1] & 0x0F;
+        if !(1..=2).contains(&h) || !(1..=2).contains(&v) {
+            return Err(CodecError::Unsupported {
+                feature: format!("sampling factors {h}x{v}"),
+            });
+        }
+        if b[2] > 3 {
+            return Err(CodecError::MalformedSegment {
+                detail: format!("component quant slot {}", b[2]),
+            });
+        }
+        components.push(ComponentSpec {
+            id: b[0],
+            h,
+            v,
+            qtable: b[2],
+            dc_table: 0,
+            ac_table: 0,
+        });
+    }
+    Ok(FrameInfo {
+        width,
+        height,
+        components,
+        restart_interval: 0,
+    })
+}
+
+fn parse_sos(seg: &[u8], frame: &mut FrameInfo) -> CodecResult<()> {
+    if seg.is_empty() {
+        return Err(CodecError::MalformedSegment {
+            detail: "empty SOS".into(),
+        });
+    }
+    let ncomp = seg[0] as usize;
+    if ncomp != frame.components.len() {
+        return Err(CodecError::MalformedSegment {
+            detail: format!(
+                "SOS has {ncomp} components, frame has {}",
+                frame.components.len()
+            ),
+        });
+    }
+    if seg.len() < 1 + 2 * ncomp + 3 {
+        return Err(CodecError::MalformedSegment {
+            detail: "SOS truncated".into(),
+        });
+    }
+    for i in 0..ncomp {
+        let id = seg[1 + 2 * i];
+        let tables = seg[2 + 2 * i];
+        let comp = frame
+            .components
+            .iter_mut()
+            .find(|c| c.id == id)
+            .ok_or_else(|| CodecError::MalformedSegment {
+                detail: format!("SOS references unknown component id {id}"),
+            })?;
+        comp.dc_table = tables >> 4;
+        comp.ac_table = tables & 0x0F;
+        if comp.dc_table > 3 || comp.ac_table > 3 {
+            return Err(CodecError::MalformedSegment {
+                detail: format!(
+                    "SOS table slots dc={} ac={} out of range",
+                    comp.dc_table, comp.ac_table
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn parse_dqt(mut seg: &[u8], qtables: &mut [Option<QuantTable>; 4]) -> CodecResult<()> {
+    while !seg.is_empty() {
+        let pq = seg[0] >> 4;
+        let tq = (seg[0] & 0x0F) as usize;
+        if pq != 0 {
+            return Err(CodecError::Unsupported {
+                feature: "16-bit quantization tables".into(),
+            });
+        }
+        if tq > 3 {
+            return Err(CodecError::MalformedSegment {
+                detail: format!("DQT slot {tq}"),
+            });
+        }
+        if seg.len() < 65 {
+            return Err(CodecError::MalformedSegment {
+                detail: "DQT table truncated".into(),
+            });
+        }
+        // Values arrive in zigzag order; store raster order.
+        let mut vals = [0u16; BLOCK_LEN];
+        for (zz, &raster) in ZIGZAG.iter().enumerate() {
+            vals[raster] = seg[1 + zz] as u16;
+        }
+        qtables[tq] = Some(QuantTable::new(vals)?);
+        seg = &seg[65..];
+    }
+    Ok(())
+}
+
+fn parse_dht(
+    mut seg: &[u8],
+    dc_tables: &mut [Option<HuffTable>; 4],
+    ac_tables: &mut [Option<HuffTable>; 4],
+) -> CodecResult<()> {
+    while !seg.is_empty() {
+        if seg.len() < 17 {
+            return Err(CodecError::MalformedSegment {
+                detail: "DHT header truncated".into(),
+            });
+        }
+        let class = seg[0] >> 4;
+        let slot = (seg[0] & 0x0F) as usize;
+        if class > 1 || slot > 3 {
+            return Err(CodecError::MalformedSegment {
+                detail: format!("DHT class {class} slot {slot}"),
+            });
+        }
+        let mut counts = [0u8; 16];
+        counts.copy_from_slice(&seg[1..17]);
+        let total: usize = counts.iter().map(|&c| c as usize).sum();
+        if seg.len() < 17 + total {
+            return Err(CodecError::MalformedSegment {
+                detail: "DHT symbols truncated".into(),
+            });
+        }
+        let table = HuffTable::new(counts, &seg[17..17 + total])?;
+        if class == 0 {
+            dc_tables[slot] = Some(table);
+        } else {
+            ac_tables[slot] = Some(table);
+        }
+        seg = &seg[17 + total..];
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Scan decoding
+// ---------------------------------------------------------------------------
+
+/// A component's reconstruction plane (padded to whole MCUs).
+struct OutPlane {
+    data: Vec<u8>,
+    width: usize,
+    height: usize,
+}
+
+fn decode_scan(data: &[u8], headers: &Headers) -> CodecResult<(Image, DecodeStats)> {
+    let frame = &headers.frame;
+    let (mcu_cols, mcu_rows) = frame.mcu_grid();
+    let total_mcus = frame.mcu_count();
+    let ri = frame.restart_interval as u64;
+
+    // Resolve tables per component once.
+    struct CompCtx<'t> {
+        spec: ComponentSpec,
+        q: &'t QuantTable,
+        dc: &'t HuffTable,
+        ac: &'t HuffTable,
+    }
+    let mut ctx = Vec::with_capacity(frame.components.len());
+    for c in &frame.components {
+        let q = headers.qtables[c.qtable as usize]
+            .as_ref()
+            .ok_or_else(|| CodecError::MalformedSegment {
+                detail: format!("missing DQT slot {}", c.qtable),
+            })?;
+        let dc = headers.dc_tables[c.dc_table as usize]
+            .as_ref()
+            .ok_or_else(|| CodecError::MalformedSegment {
+                detail: format!("missing DC DHT slot {}", c.dc_table),
+            })?;
+        let ac = headers.ac_tables[c.ac_table as usize]
+            .as_ref()
+            .ok_or_else(|| CodecError::MalformedSegment {
+                detail: format!("missing AC DHT slot {}", c.ac_table),
+            })?;
+        ctx.push(CompCtx { spec: *c, q, dc, ac });
+    }
+
+    // Output planes padded to MCU coverage.
+    let mut planes: Vec<OutPlane> = ctx
+        .iter()
+        .map(|c| {
+            let w = mcu_cols as usize * c.spec.h as usize * 8;
+            let h = mcu_rows as usize * c.spec.v as usize * 8;
+            OutPlane {
+                data: vec![0u8; w * h],
+                width: w,
+                height: h,
+            }
+        })
+        .collect();
+
+    let scan = &data[headers.scan_start..];
+    let mut reader = BitReader::new(scan);
+    let mut dc_pred = vec![0i32; ctx.len()];
+    let mut stats = DecodeStats {
+        restart_segments: 1,
+        ..DecodeStats::default()
+    };
+
+    let mut quantized = [0i16; BLOCK_LEN];
+    let mut coeffs = [0f32; BLOCK_LEN];
+    let mut samples = [0f32; BLOCK_LEN];
+    let mut segment_base = 0usize; // offset into `scan` of current segment
+    let mut expected_rst: u8 = 0;
+
+    for mcu_index in 0..total_mcus {
+        // Handle restart boundaries.
+        if ri > 0 && mcu_index > 0 && mcu_index % ri == 0 {
+            // The entropy segment ends at a marker; locate and verify it.
+            let consumed = reader.byte_pos();
+            let mut p = segment_base + consumed;
+            // Skip pad bits already handled by byte_pos; find the marker.
+            while p + 1 < scan.len() && !(scan[p] == 0xFF && scan[p + 1] != 0x00) {
+                p += 1;
+            }
+            if p + 1 >= scan.len() {
+                return Err(CodecError::UnexpectedEof {
+                    context: "restart marker",
+                });
+            }
+            let m = scan[p + 1];
+            if !marker::is_rst(m) {
+                return Err(CodecError::InvalidMarker {
+                    marker: m,
+                    context: "restart boundary",
+                });
+            }
+            if m != marker::RST0 + (expected_rst & 7) {
+                return Err(CodecError::MalformedSegment {
+                    detail: format!(
+                        "restart marker out of order: got {m:02X}, expected {:02X}",
+                        marker::RST0 + (expected_rst & 7)
+                    ),
+                });
+            }
+            expected_rst = expected_rst.wrapping_add(1);
+            stats.entropy_bits += consumed as u64 * 8;
+            segment_base = p + 2;
+            reader = BitReader::new(&scan[segment_base..]);
+            dc_pred.iter_mut().for_each(|v| *v = 0);
+            stats.restart_segments += 1;
+        }
+
+        let my = (mcu_index / mcu_cols as u64) as u32;
+        let mx = (mcu_index % mcu_cols as u64) as u32;
+        for (ci, c) in ctx.iter().enumerate() {
+            for vy in 0..c.spec.v {
+                for hx in 0..c.spec.h {
+                    decode_block(&mut reader, c.dc, c.ac, &mut dc_pred[ci], &mut quantized, &mut stats)?;
+                    c.q.dequantize(&quantized, &mut coeffs);
+                    idct_8x8(&coeffs, &mut samples);
+                    // Write the level-shifted samples into the plane.
+                    let plane = &mut planes[ci];
+                    let bx = (mx * c.spec.h as u32 + hx as u32) as usize * 8;
+                    let by = (my * c.spec.v as u32 + vy as u32) as usize * 8;
+                    for y in 0..8 {
+                        let row = (by + y) * plane.width + bx;
+                        for x in 0..8 {
+                            plane.data[row + x] = clamp_u8(samples[y * 8 + x] + 128.0);
+                        }
+                    }
+                    stats.blocks += 1;
+                }
+            }
+        }
+        stats.mcus += 1;
+    }
+    stats.entropy_bits += reader.byte_pos() as u64 * 8;
+
+    let image = assemble_image(frame, &ctx.iter().map(|c| c.spec).collect::<Vec<_>>(), &planes)?;
+    Ok((image, stats))
+}
+
+/// Decodes one 8×8 block into raster-order quantized coefficients.
+fn decode_block(
+    r: &mut BitReader<'_>,
+    dc_table: &HuffTable,
+    ac_table: &HuffTable,
+    dc_pred: &mut i32,
+    out: &mut [i16; BLOCK_LEN],
+    stats: &mut DecodeStats,
+) -> CodecResult<()> {
+    out.fill(0);
+    // DC.
+    let ssss = dc_table.decode(r)? as u32;
+    if ssss > 11 {
+        return Err(CodecError::MalformedSegment {
+            detail: format!("DC category {ssss}"),
+        });
+    }
+    let diff = if ssss > 0 {
+        decode_magnitude(r.get_bits(ssss)?, ssss)
+    } else {
+        0
+    };
+    *dc_pred += diff;
+    out[0] = *dc_pred as i16;
+    if *dc_pred != 0 {
+        stats.nonzero_coeffs += 1;
+    }
+
+    // AC.
+    let mut k = 1usize;
+    while k < BLOCK_LEN {
+        let rs = ac_table.decode(r)?;
+        let run = (rs >> 4) as usize;
+        let size = (rs & 0x0F) as u32;
+        if size == 0 {
+            if run == 15 {
+                k += 16; // ZRL
+                continue;
+            }
+            break; // EOB
+        }
+        k += run;
+        if k >= BLOCK_LEN {
+            return Err(CodecError::MalformedSegment {
+                detail: format!("AC run overflows block at k={k}"),
+            });
+        }
+        let v = decode_magnitude(r.get_bits(size)?, size);
+        out[ZIGZAG[k]] = v as i16;
+        stats.nonzero_coeffs += 1;
+        k += 1;
+    }
+    Ok(())
+}
+
+/// Upsamples chroma planes and interleaves the final image.
+fn assemble_image(
+    frame: &FrameInfo,
+    specs: &[ComponentSpec],
+    planes: &[OutPlane],
+) -> CodecResult<Image> {
+    let w = frame.width as usize;
+    let h = frame.height as usize;
+    let (h_max, v_max) = frame.max_sampling();
+
+    if specs.len() == 1 {
+        let plane = &planes[0];
+        let mut data = vec![0u8; w * h];
+        for y in 0..h {
+            data[y * w..(y + 1) * w].copy_from_slice(&plane.data[y * plane.width..y * plane.width + w]);
+        }
+        return Image::from_vec(frame.width, frame.height, ColorSpace::Gray, data);
+    }
+
+    let mut data = vec![0u8; w * h * 3];
+    for y in 0..h {
+        for x in 0..w {
+            let mut ycc = [0u8; 3];
+            for (ci, spec) in specs.iter().enumerate() {
+                let plane = &planes[ci];
+                // Nearest-neighbour upsample by the sampling ratio.
+                let sx = x * spec.h as usize / h_max as usize;
+                let sy = y * spec.v as usize / v_max as usize;
+                let sx = sx.min(plane.width - 1);
+                let sy = sy.min(plane.height - 1);
+                ycc[ci] = plane.data[sy * plane.width + sx];
+            }
+            let [r, g, b] = ycbcr_to_rgb(ycc[0], ycc[1], ycc[2]);
+            let o = (y * w + x) * 3;
+            data[o] = r;
+            data[o + 1] = g;
+            data[o + 2] = b;
+        }
+    }
+    Image::from_vec(frame.width, frame.height, ColorSpace::Rgb, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jpeg::encoder::JpegEncoder;
+    use crate::jpeg::ChromaMode;
+
+    fn psnr(a: &Image, b: &Image) -> f64 {
+        assert_eq!(a.byte_len(), b.byte_len());
+        let mse: f64 = a
+            .data()
+            .iter()
+            .zip(b.data())
+            .map(|(&x, &y)| {
+                let d = x as f64 - y as f64;
+                d * d
+            })
+            .sum::<f64>()
+            / a.byte_len() as f64;
+        if mse == 0.0 {
+            return f64::INFINITY;
+        }
+        10.0 * (255.0f64 * 255.0 / mse).log10()
+    }
+
+    fn test_image(w: u32, h: u32) -> Image {
+        let mut img = Image::new(w, h, ColorSpace::Rgb).unwrap();
+        for y in 0..h {
+            for x in 0..w {
+                // Smooth content plus mild structure: JPEG-friendly.
+                let r = (128.0 + 100.0 * ((x as f32) * 0.07).sin()) as u8;
+                let g = (128.0 + 100.0 * ((y as f32) * 0.05).cos()) as u8;
+                let b = ((x + y) / 2 % 256) as u8;
+                img.set_pixel(x, y, [r, g, b]);
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn roundtrip_420_high_quality() {
+        let img = test_image(64, 48);
+        let bytes = JpegEncoder::new(92).unwrap().encode(&img).unwrap();
+        let out = JpegDecoder::new().decode(&bytes).unwrap();
+        assert_eq!(out.width(), 64);
+        assert_eq!(out.height(), 48);
+        assert_eq!(out.color(), ColorSpace::Rgb);
+        let p = psnr(&img, &out);
+        assert!(p > 28.0, "PSNR {p:.1} dB too low for q92 4:2:0");
+    }
+
+    #[test]
+    fn roundtrip_444_is_sharper_than_420() {
+        let img = test_image(48, 48);
+        let enc444 = JpegEncoder::new(90)
+            .unwrap()
+            .with_mode(ChromaMode::Yuv444)
+            .encode(&img)
+            .unwrap();
+        let enc420 = JpegEncoder::new(90).unwrap().encode(&img).unwrap();
+        let dec = JpegDecoder::new();
+        let p444 = psnr(&img, &dec.decode(&enc444).unwrap());
+        let p420 = psnr(&img, &dec.decode(&enc420).unwrap());
+        assert!(p444 >= p420 - 0.5, "444 {p444:.1} vs 420 {p420:.1}");
+    }
+
+    #[test]
+    fn roundtrip_grayscale() {
+        let img = test_image(40, 40).to_gray();
+        let bytes = JpegEncoder::new(90).unwrap().encode(&img).unwrap();
+        let out = JpegDecoder::new().decode(&bytes).unwrap();
+        assert_eq!(out.color(), ColorSpace::Gray);
+        let p = psnr(&img, &out);
+        assert!(p > 30.0, "grayscale PSNR {p:.1}");
+    }
+
+    #[test]
+    fn roundtrip_nonmultiple_dimensions() {
+        for (w, h) in [(17, 13), (15, 9), (31, 33), (8, 8), (1, 1), (3, 50)] {
+            let img = test_image(w, h);
+            let bytes = JpegEncoder::new(85).unwrap().encode(&img).unwrap();
+            let out = JpegDecoder::new().decode(&bytes).unwrap();
+            assert_eq!((out.width(), out.height()), (w, h), "{w}x{h}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_restart_intervals() {
+        let img = test_image(64, 64);
+        let plain = JpegEncoder::new(88).unwrap().encode(&img).unwrap();
+        let restarts = JpegEncoder::new(88)
+            .unwrap()
+            .with_restart_interval(2)
+            .encode(&img)
+            .unwrap();
+        let dec = JpegDecoder::new();
+        let a = dec.decode(&plain).unwrap();
+        let b = dec.decode(&restarts).unwrap();
+        // Restart intervals change framing, not pixels.
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn header_decode_reports_geometry() {
+        let img = test_image(100, 60);
+        let bytes = JpegEncoder::new(80)
+            .unwrap()
+            .with_restart_interval(5)
+            .encode(&img)
+            .unwrap();
+        let info = JpegDecoder::new().decode_header(&bytes).unwrap();
+        assert_eq!(info.width, 100);
+        assert_eq!(info.height, 60);
+        assert_eq!(info.restart_interval, 5);
+        assert_eq!(info.components.len(), 3);
+        assert_eq!(info.chroma_mode().unwrap(), ChromaMode::Yuv420);
+    }
+
+    #[test]
+    fn stats_are_plausible() {
+        let img = test_image(64, 48);
+        let bytes = JpegEncoder::new(85).unwrap().encode(&img).unwrap();
+        let (_, stats) = JpegDecoder::new().decode_with_stats(&bytes).unwrap();
+        // 64x48 at 4:2:0 → 4x3 MCUs, 6 blocks each.
+        assert_eq!(stats.mcus, 12);
+        assert_eq!(stats.blocks, 72);
+        assert!(stats.entropy_bits > 0);
+        assert!(stats.nonzero_coeffs > stats.blocks); // DC + some AC
+        assert_eq!(stats.restart_segments, 1);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let dec = JpegDecoder::new();
+        assert!(dec.decode(&[]).is_err());
+        assert!(dec.decode(&[0x00, 0x01, 0x02]).is_err());
+        assert!(dec.decode(&[0xFF, 0xD8, 0xFF, 0xD9]).is_err()); // EOI before SOS
+    }
+
+    #[test]
+    fn rejects_progressive() {
+        // Fake a SOF2 (progressive) frame.
+        let mut bytes = vec![0xFF, 0xD8, 0xFF, 0xC2, 0x00, 0x0B, 8, 0, 8, 0, 8, 1, 1, 0x11, 0];
+        bytes.extend_from_slice(&[0xFF, 0xD9]);
+        let err = JpegDecoder::new().decode(&bytes).unwrap_err();
+        assert!(matches!(err, CodecError::Unsupported { .. }), "{err}");
+    }
+
+    #[test]
+    fn truncated_scan_errors() {
+        let img = test_image(64, 64);
+        let mut bytes = JpegEncoder::new(85).unwrap().encode(&img).unwrap();
+        bytes.truncate(bytes.len() / 2);
+        assert!(JpegDecoder::new().decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn corrupted_entropy_detected_or_contained() {
+        // Flipping bytes mid-scan must never panic; it may decode to garbage
+        // pixels or error, both acceptable.
+        let img = test_image(48, 48);
+        let clean = JpegEncoder::new(85).unwrap().encode(&img).unwrap();
+        for step in [3usize, 7, 11] {
+            let mut bytes = clean.clone();
+            let start = bytes.len() / 2;
+            let mut i = start;
+            while i < bytes.len() - 2 {
+                bytes[i] ^= 0x55;
+                i += step;
+            }
+            let _ = JpegDecoder::new().decode(&bytes);
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Image resampling.
+//!
+//! DLBooster's FPGA pipeline ends in a 2-way resizing unit (paper Fig. 4):
+//! decoded frames are reshaped to the model input size (e.g. 256×256 before
+//! the augmentation crop to 224×224) *on the device*, so the host only ever
+//! sees fixed-size tensors. This module provides the same operation for the
+//! functional pipeline and for the CPU baseline backend.
+
+use crate::error::{CodecError, CodecResult};
+use crate::pixel::{clamp_u8, Image};
+
+/// Resampling filter selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ResizeFilter {
+    /// Nearest-neighbour: cheapest, used by the FPGA's low-area configuration.
+    Nearest,
+    /// Bilinear: the default, matching the paper's resizer unit.
+    #[default]
+    Bilinear,
+    /// Box/area averaging: best for large downscales (offline conversion).
+    Area,
+}
+
+/// Resizes `src` to `dst_w` × `dst_h` with the given filter.
+pub fn resize(src: &Image, dst_w: u32, dst_h: u32, filter: ResizeFilter) -> CodecResult<Image> {
+    if dst_w == 0 || dst_h == 0 || dst_w > Image::MAX_DIM || dst_h > Image::MAX_DIM {
+        return Err(CodecError::UnsupportedDimensions {
+            width: dst_w,
+            height: dst_h,
+        });
+    }
+    if dst_w == src.width() && dst_h == src.height() {
+        return Ok(src.clone());
+    }
+    match filter {
+        ResizeFilter::Nearest => Ok(resize_nearest(src, dst_w, dst_h)),
+        ResizeFilter::Bilinear => Ok(resize_bilinear(src, dst_w, dst_h)),
+        ResizeFilter::Area => Ok(resize_area(src, dst_w, dst_h)),
+    }
+}
+
+fn resize_nearest(src: &Image, dst_w: u32, dst_h: u32) -> Image {
+    let c = src.channels();
+    let sw = src.width() as usize;
+    let sh = src.height() as usize;
+    let mut out = vec![0u8; dst_w as usize * dst_h as usize * c];
+    let sdata = src.data();
+    for dy in 0..dst_h as usize {
+        let sy = (dy * sh / dst_h as usize).min(sh - 1);
+        for dx in 0..dst_w as usize {
+            let sx = (dx * sw / dst_w as usize).min(sw - 1);
+            let s = (sy * sw + sx) * c;
+            let d = (dy * dst_w as usize + dx) * c;
+            out[d..d + c].copy_from_slice(&sdata[s..s + c]);
+        }
+    }
+    Image::from_vec(dst_w, dst_h, src.color(), out).expect("dims validated")
+}
+
+fn resize_bilinear(src: &Image, dst_w: u32, dst_h: u32) -> Image {
+    let c = src.channels();
+    let sw = src.width() as usize;
+    let sh = src.height() as usize;
+    let sdata = src.data();
+    let mut out = vec![0u8; dst_w as usize * dst_h as usize * c];
+    // Pixel-centre mapping: d+0.5 in dst ↔ (d+0.5)·scale in src.
+    let x_scale = sw as f32 / dst_w as f32;
+    let y_scale = sh as f32 / dst_h as f32;
+    for dy in 0..dst_h as usize {
+        let fy = ((dy as f32 + 0.5) * y_scale - 0.5).max(0.0);
+        let y0 = fy as usize;
+        let y1 = (y0 + 1).min(sh - 1);
+        let wy = fy - y0 as f32;
+        for dx in 0..dst_w as usize {
+            let fx = ((dx as f32 + 0.5) * x_scale - 0.5).max(0.0);
+            let x0 = fx as usize;
+            let x1 = (x0 + 1).min(sw - 1);
+            let wx = fx - x0 as f32;
+            let d = (dy * dst_w as usize + dx) * c;
+            for ch in 0..c {
+                let p00 = sdata[(y0 * sw + x0) * c + ch] as f32;
+                let p01 = sdata[(y0 * sw + x1) * c + ch] as f32;
+                let p10 = sdata[(y1 * sw + x0) * c + ch] as f32;
+                let p11 = sdata[(y1 * sw + x1) * c + ch] as f32;
+                let top = p00 + (p01 - p00) * wx;
+                let bot = p10 + (p11 - p10) * wx;
+                out[d + ch] = clamp_u8(top + (bot - top) * wy);
+            }
+        }
+    }
+    Image::from_vec(dst_w, dst_h, src.color(), out).expect("dims validated")
+}
+
+fn resize_area(src: &Image, dst_w: u32, dst_h: u32) -> Image {
+    let c = src.channels();
+    let sw = src.width() as usize;
+    let sh = src.height() as usize;
+    let sdata = src.data();
+    let mut out = vec![0u8; dst_w as usize * dst_h as usize * c];
+    for dy in 0..dst_h as usize {
+        // Source row span covered by this destination row.
+        let y_lo = dy * sh / dst_h as usize;
+        let y_hi = (((dy + 1) * sh).div_ceil(dst_h as usize)).min(sh).max(y_lo + 1);
+        for dx in 0..dst_w as usize {
+            let x_lo = dx * sw / dst_w as usize;
+            let x_hi = (((dx + 1) * sw).div_ceil(dst_w as usize)).min(sw).max(x_lo + 1);
+            let d = (dy * dst_w as usize + dx) * c;
+            for ch in 0..c {
+                let mut acc = 0u32;
+                let mut n = 0u32;
+                for sy in y_lo..y_hi {
+                    for sx in x_lo..x_hi {
+                        acc += sdata[(sy * sw + sx) * c + ch] as u32;
+                        n += 1;
+                    }
+                }
+                out[d + ch] = ((acc + n / 2) / n) as u8;
+            }
+        }
+    }
+    Image::from_vec(dst_w, dst_h, src.color(), out).expect("dims validated")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pixel::ColorSpace;
+
+    fn solid(w: u32, h: u32, v: u8) -> Image {
+        Image::from_vec(w, h, ColorSpace::Rgb, vec![v; (w * h * 3) as usize]).unwrap()
+    }
+
+    #[test]
+    fn identity_resize_is_noop() {
+        let img = solid(10, 10, 42);
+        for f in [ResizeFilter::Nearest, ResizeFilter::Bilinear, ResizeFilter::Area] {
+            let out = resize(&img, 10, 10, f).unwrap();
+            assert_eq!(out.data(), img.data());
+        }
+    }
+
+    #[test]
+    fn constant_images_stay_constant() {
+        let img = solid(37, 23, 99);
+        for f in [ResizeFilter::Nearest, ResizeFilter::Bilinear, ResizeFilter::Area] {
+            for (w, h) in [(10, 10), (64, 64), (5, 40)] {
+                let out = resize(&img, w, h, f).unwrap();
+                assert!(
+                    out.data().iter().all(|&v| v == 99),
+                    "{f:?} {w}x{h} broke constancy"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn upscale_dimensions() {
+        let img = solid(8, 8, 1);
+        let out = resize(&img, 32, 16, ResizeFilter::Bilinear).unwrap();
+        assert_eq!(out.width(), 32);
+        assert_eq!(out.height(), 16);
+        assert_eq!(out.channels(), 3);
+    }
+
+    #[test]
+    fn rejects_zero_target() {
+        let img = solid(8, 8, 1);
+        assert!(resize(&img, 0, 8, ResizeFilter::Nearest).is_err());
+        assert!(resize(&img, 8, 0, ResizeFilter::Area).is_err());
+    }
+
+    #[test]
+    fn bilinear_preserves_horizontal_gradient_monotonicity() {
+        let mut img = Image::new(64, 4, ColorSpace::Gray).unwrap();
+        for y in 0..4 {
+            for x in 0..64 {
+                img.set_pixel(x, y, [(x * 4) as u8, 0, 0]);
+            }
+        }
+        let out = resize(&img, 16, 4, ResizeFilter::Bilinear).unwrap();
+        for x in 1..16 {
+            assert!(out.pixel(x, 0)[0] >= out.pixel(x - 1, 0)[0]);
+        }
+    }
+
+    #[test]
+    fn area_downscale_averages() {
+        // 2x2 blocks of 0 and 200 average to 100.
+        let mut img = Image::new(2, 2, ColorSpace::Gray).unwrap();
+        img.set_pixel(0, 0, [0, 0, 0]);
+        img.set_pixel(1, 0, [200, 0, 0]);
+        img.set_pixel(0, 1, [200, 0, 0]);
+        img.set_pixel(1, 1, [0, 0, 0]);
+        let out = resize(&img, 1, 1, ResizeFilter::Area).unwrap();
+        assert_eq!(out.pixel(0, 0)[0], 100);
+    }
+
+    #[test]
+    fn gray_resize_keeps_colorspace() {
+        let img = solid(12, 12, 5).to_gray();
+        let out = resize(&img, 6, 6, ResizeFilter::Bilinear).unwrap();
+        assert_eq!(out.color(), ColorSpace::Gray);
+    }
+}

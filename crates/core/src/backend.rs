@@ -1,0 +1,125 @@
+//! The backend interface compute engines program against.
+//!
+//! §3.1: "DLBooster decouples the complex data preprocessing workloads from
+//! compute engines to flexibly adapt to different DL frameworks … users can
+//! easily integrate it with different DL libraries." The decoupling point is
+//! this trait: NVCaffe-like trainers and TensorRT-like inference engines
+//! (`dlb-engines`) call `next_batch`/`recycle` and never learn whether the
+//! pixels came from an FPGA, a CPU pool, an LMDB scan, or nvJPEG.
+
+use dlb_membridge::BatchUnit;
+use std::time::Instant;
+
+/// A decoded batch ready for H2D transfer.
+#[derive(Debug)]
+pub struct HostBatch {
+    /// The buffer holding decoded pixels (items described by
+    /// [`BatchUnit::items`]).
+    pub unit: BatchUnit,
+    /// Monotone batch sequence number (per backend).
+    pub sequence: u64,
+    /// When the batch became ready (wall clock; inference latency metric).
+    pub ready_at: Instant,
+    /// Request arrival timestamps (nanos) for latency accounting, parallel
+    /// to `unit.items()` — empty in training mode.
+    pub arrivals: Vec<u64>,
+}
+
+impl HostBatch {
+    /// Images in the batch.
+    pub fn len(&self) -> usize {
+        self.unit.item_count()
+    }
+
+    /// True when the batch carries no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Backend failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendError {
+    /// No more data will ever arrive (stream closed and drained).
+    Exhausted,
+    /// The backend was shut down.
+    Stopped,
+    /// An internal component failed.
+    Failed {
+        /// Description.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendError::Exhausted => write!(f, "backend exhausted"),
+            BackendError::Stopped => write!(f, "backend stopped"),
+            BackendError::Failed { detail } => write!(f, "backend failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// A data-preprocessing backend serving one or more compute engines.
+pub trait PreprocessBackend: Send + Sync {
+    /// Backend name as the paper labels it ("DLBooster", "CPU-based", …).
+    fn name(&self) -> &'static str;
+
+    /// Blocks until the next batch for engine `slot` is ready.
+    fn next_batch(&self, slot: usize) -> Result<HostBatch, BackendError>;
+
+    /// Returns a consumed batch's buffer for reuse.
+    fn recycle(&self, unit: BatchUnit);
+
+    /// Capacity in bytes of the largest batch this backend delivers —
+    /// engines size their device-side transfer buffers from this.
+    fn max_batch_bytes(&self) -> usize;
+
+    /// Total CPU busy time this backend has accumulated, in nanoseconds —
+    /// the "CPU cost (# cores)" numerator of Figs. 2(b)/6/9.
+    fn cpu_busy_nanos(&self) -> u64;
+
+    /// Stops all daemons; subsequent `next_batch` calls fail.
+    fn shutdown(&self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_membridge::{MemManager, PoolConfig};
+
+    #[test]
+    fn host_batch_len_tracks_items() {
+        let pool = MemManager::new(PoolConfig {
+            unit_size: 1024,
+            unit_count: 1,
+            phys_base: 0,
+        })
+        .unwrap();
+        let mut unit = pool.get_item().unwrap();
+        unit.append(&[1, 2], 0, 1, 1, 2).unwrap();
+        unit.append(&[3, 4], 1, 1, 1, 2).unwrap();
+        let batch = HostBatch {
+            unit,
+            sequence: 7,
+            ready_at: Instant::now(),
+            arrivals: vec![],
+        };
+        assert_eq!(batch.len(), 2);
+        assert!(!batch.is_empty());
+        pool.recycle_item(batch.unit).unwrap();
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(BackendError::Exhausted.to_string().contains("exhausted"));
+        assert!(BackendError::Failed {
+            detail: "x".into()
+        }
+        .to_string()
+        .contains("x"));
+    }
+}

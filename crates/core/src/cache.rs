@@ -1,0 +1,177 @@
+//! The hybrid first-epoch memory cache.
+//!
+//! §3.1: "DLBooster preprocesses all data in the first epoch and caches them
+//! in memory as it can. After that, DLBooster loads the processed data from
+//! the memory cache in the following epochs." This is what makes the
+//! LeNet-5/MNIST training rows of Figs. 5(a)/6(a) cheap for every backend:
+//! the decoded dataset fits in RAM, so after epoch 0 nobody decodes at all.
+//! ILSVRC-scale datasets exceed the budget and the cache stays partial.
+
+use dlb_membridge::ItemDesc;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One cached decoded batch: payload plus item layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedBatch {
+    /// Decoded payload bytes.
+    pub payload: Vec<u8>,
+    /// Item descriptors (offsets into `payload`).
+    pub items: Vec<ItemDesc>,
+}
+
+impl CachedBatch {
+    /// Payload size.
+    pub fn byte_len(&self) -> usize {
+        self.payload.len()
+    }
+}
+
+/// A bounded decoded-batch cache keyed by batch index within the epoch.
+#[derive(Debug)]
+pub struct EpochCache {
+    capacity_bytes: u64,
+    used_bytes: AtomicU64,
+    map: Mutex<HashMap<u64, CachedBatch>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl EpochCache {
+    /// A cache bounded at `capacity_bytes` of payload.
+    pub fn new(capacity_bytes: u64) -> Self {
+        Self {
+            capacity_bytes,
+            used_bytes: AtomicU64::new(0),
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Tries to insert batch `index`; returns false (and records a
+    /// rejection) if the budget is exhausted — "as it can".
+    pub fn try_put(&self, index: u64, batch: CachedBatch) -> bool {
+        let len = batch.byte_len() as u64;
+        let mut map = self.map.lock();
+        if map.contains_key(&index) {
+            return true; // already cached
+        }
+        let used = self.used_bytes.load(Ordering::Relaxed);
+        if used + len > self.capacity_bytes {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        self.used_bytes.fetch_add(len, Ordering::Relaxed);
+        map.insert(index, batch);
+        true
+    }
+
+    /// Looks a batch up, counting hit/miss.
+    pub fn get(&self, index: u64) -> Option<CachedBatch> {
+        let map = self.map.lock();
+        match map.get(&index) {
+            Some(b) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(b.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// True if every batch of a `total`-batch epoch is cached (the
+    /// all-epochs-from-RAM fast path).
+    pub fn covers_epoch(&self, total_batches: u64) -> bool {
+        let map = self.map.lock();
+        (0..total_batches).all(|i| map.contains_key(&i))
+    }
+
+    /// Bytes currently cached.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Configured budget.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// (hits, misses, rejected-inserts).
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.rejected.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(bytes: usize) -> CachedBatch {
+        CachedBatch {
+            payload: vec![7u8; bytes],
+            items: vec![ItemDesc {
+                offset: 0,
+                len: bytes,
+                label: 1,
+                width: 1,
+                height: 1,
+                channels: 1,
+            }],
+        }
+    }
+
+    #[test]
+    fn put_get_hit_miss() {
+        let c = EpochCache::new(1000);
+        assert!(c.try_put(0, batch(400)));
+        assert!(c.get(0).is_some());
+        assert!(c.get(1).is_none());
+        let (h, m, r) = c.stats();
+        assert_eq!((h, m, r), (1, 1, 0));
+        assert_eq!(c.used_bytes(), 400);
+    }
+
+    #[test]
+    fn budget_enforced() {
+        let c = EpochCache::new(1000);
+        assert!(c.try_put(0, batch(600)));
+        assert!(!c.try_put(1, batch(600)), "must reject over budget");
+        assert!(c.try_put(2, batch(400)));
+        let (_, _, rejected) = c.stats();
+        assert_eq!(rejected, 1);
+        assert_eq!(c.used_bytes(), 1000);
+    }
+
+    #[test]
+    fn duplicate_put_is_idempotent() {
+        let c = EpochCache::new(1000);
+        assert!(c.try_put(0, batch(300)));
+        assert!(c.try_put(0, batch(300)));
+        assert_eq!(c.used_bytes(), 300);
+    }
+
+    #[test]
+    fn epoch_coverage() {
+        let c = EpochCache::new(10_000);
+        for i in 0..4 {
+            c.try_put(i, batch(10));
+        }
+        assert!(c.covers_epoch(4));
+        assert!(!c.covers_epoch(5));
+        // MNIST-vs-ILSVRC shape: a small dataset fits, a big one doesn't.
+        let small_total = 4 * 10u64;
+        let big_total = 4 * 10_000u64;
+        assert!(small_total <= c.capacity_bytes());
+        assert!(big_total > c.capacity_bytes());
+    }
+}

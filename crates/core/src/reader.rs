@@ -1,0 +1,402 @@
+//! `FPGAReader` — the asynchronous feeding daemon of Algorithm 1.
+//!
+//! The loop structure is the paper's, line for line:
+//!
+//! * lease a memory holder from the free pool (`free_batch_queue.peak/pop`,
+//!   lines 5–10) — and while none is available, *drain completed batches out
+//!   of the decoder instead of spinning* (lines 6–9), which simultaneously
+//!   applies back-pressure and keeps the full queue fed;
+//! * generate cmds carrying `mem_holder.phyaddr() + offset` (line 12);
+//! * submit asynchronously and push whatever came back (lines 13–15);
+//! * on shutdown, drain everything and recycle (lines 16–19).
+
+use crate::backend::HostBatch;
+use crate::channel::FpgaChannel;
+use crate::collector::DataCollector;
+use dlb_fpga::{CompletedBatch, DecodeCmd, OutputFormat, Submission};
+use dlb_membridge::{BlockingQueue, MemManager};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Reader configuration.
+#[derive(Debug, Clone)]
+pub struct ReaderConfig {
+    /// Images per batch.
+    pub batch_size: usize,
+    /// Resizer output width.
+    pub target_w: u16,
+    /// Resizer output height.
+    pub target_h: u16,
+    /// Output pixel format.
+    pub format: OutputFormat,
+    /// Stop after this many batches (None = run until the collector ends).
+    pub max_batches: Option<u64>,
+}
+
+impl ReaderConfig {
+    /// Bytes one decoded item occupies.
+    pub fn item_bytes(&self) -> usize {
+        self.target_w as usize
+            * self.target_h as usize
+            * self.format.bytes_per_pixel() as usize
+    }
+}
+
+/// Counters exposed by the reader.
+#[derive(Debug, Default)]
+pub struct ReaderStats {
+    /// Batches submitted to the decoder.
+    pub batches_submitted: AtomicU64,
+    /// Batches pushed to the full queue.
+    pub batches_completed: AtomicU64,
+    /// Items whose decode failed.
+    pub item_errors: AtomicU64,
+    /// Nanoseconds of host CPU busy time in the reader loop (cmd
+    /// generation + queue work — the tiny "preprocessing" CPU cost of
+    /// Fig. 6(d)).
+    pub cpu_busy_nanos: AtomicU64,
+}
+
+/// The running reader daemon.
+pub struct FpgaReader {
+    handle: Option<JoinHandle<FpgaChannel>>,
+    full_queue: BlockingQueue<HostBatch>,
+    stats: Arc<ReaderStats>,
+    stop: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl FpgaReader {
+    /// Spawns the daemon. Completed batches appear on the returned
+    /// [`FpgaReader::full_queue`].
+    pub fn start(
+        collector: Arc<DataCollector>,
+        pool: MemManager,
+        channel: FpgaChannel,
+        config: ReaderConfig,
+    ) -> Self {
+        assert!(config.batch_size >= 1, "batch size must be >= 1");
+        assert!(
+            config.item_bytes() * config.batch_size <= pool.unit_size(),
+            "pool units ({} B) cannot hold a {}-image batch of {} B items",
+            pool.unit_size(),
+            config.batch_size,
+            config.item_bytes()
+        );
+        let full_queue: BlockingQueue<HostBatch> = BlockingQueue::bounded(64);
+        let stats = Arc::new(ReaderStats::default());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let fq = full_queue.clone();
+        let st = Arc::clone(&stats);
+        let sp = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("fpga-reader".into())
+            .spawn(move || run_reader(collector, pool, channel, config, fq, st, sp))
+            .expect("spawn reader");
+        Self {
+            handle: Some(handle),
+            full_queue,
+            stats,
+            stop,
+        }
+    }
+
+    /// The `Full_Batch_Queue` this reader fills.
+    pub fn full_queue(&self) -> &BlockingQueue<HostBatch> {
+        &self.full_queue
+    }
+
+    /// Reader counters.
+    pub fn stats(&self) -> &ReaderStats {
+        &self.stats
+    }
+
+    /// Stops the daemon, returning its channel for reuse.
+    pub fn stop(mut self) -> FpgaChannel {
+        self.stop.store(true, Ordering::SeqCst);
+        
+        self
+            .handle
+            .take()
+            .expect("stop called once")
+            .join()
+            .expect("reader panicked")
+    }
+}
+
+impl Drop for FpgaReader {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for FpgaReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FpgaReader")
+            .field("full_queue_len", &self.full_queue.len())
+            .finish()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_reader(
+    collector: Arc<DataCollector>,
+    pool: MemManager,
+    channel: FpgaChannel,
+    config: ReaderConfig,
+    full_queue: BlockingQueue<HostBatch>,
+    stats: Arc<ReaderStats>,
+    stop: Arc<std::sync::atomic::AtomicBool>,
+) -> FpgaChannel {
+    let mut next_cmd_id: u64 = 0;
+    let mut next_sequence: u64 = 0;
+    // Arrival timestamps of in-flight submissions, FIFO with completions.
+    let mut pending_arrivals: VecDeque<Vec<u64>> = VecDeque::new();
+
+    let push_completed = |done: CompletedBatch,
+                          pending_arrivals: &mut VecDeque<Vec<u64>>,
+                          next_sequence: &mut u64|
+     -> bool {
+        let arrivals = pending_arrivals.pop_front().unwrap_or_default();
+        let errors = done
+            .finishes
+            .iter()
+            .filter(|f| !f.status.is_ok())
+            .count() as u64;
+        stats.item_errors.fetch_add(errors, Ordering::Relaxed);
+        let mut unit = done.unit;
+        unit.seal(*next_sequence);
+        let batch = HostBatch {
+            unit,
+            sequence: *next_sequence,
+            ready_at: Instant::now(),
+            arrivals,
+        };
+        *next_sequence += 1;
+        stats.batches_completed.fetch_add(1, Ordering::Relaxed);
+        full_queue.push(batch).is_ok()
+    };
+
+    'main: while !stop.load(Ordering::SeqCst) {
+        if let Some(max) = config.max_batches {
+            if stats.batches_submitted.load(Ordering::Relaxed) >= max {
+                break;
+            }
+        }
+        // Fetch the next batch worth of metadata.
+        let metas = match collector.next_metas(config.batch_size) {
+            Some(m) => m,
+            None => break, // stream closed and drained
+        };
+        if metas.is_empty() {
+            // Stream idle: surface any completions, then wait briefly.
+            for done in channel.drain_out() {
+                if !push_completed(done, &mut pending_arrivals, &mut next_sequence) {
+                    break 'main;
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            continue;
+        }
+
+        // Lease a holder; while none is free, drain completions (Alg. 1
+        // lines 5–9) — this is both back-pressure and forward progress.
+        let mut unit = loop {
+            match pool.try_get_item() {
+                Some(u) => break u,
+                // With work in flight, a completion will free pipeline
+                // capacity soon: wait for it and forward it. With nothing
+                // in flight the only way a unit comes back is a consumer
+                // recycle, so block on the pool itself.
+                None if channel.in_flight() > 0 => match channel.wait_one() {
+                    Some(done) => {
+                        if !push_completed(done, &mut pending_arrivals, &mut next_sequence) {
+                            break 'main;
+                        }
+                    }
+                    None => break 'main, // engine gone
+                },
+                None => match pool.get_item() {
+                    Ok(u) => break u,
+                    Err(_) => break 'main, // pool closed (shutdown)
+                },
+            }
+        };
+
+        // Cmd generation (Alg. 1 lines 11–12).
+        let t0 = Instant::now();
+        let mut cmds = Vec::with_capacity(metas.len());
+        let mut arrivals = Vec::with_capacity(metas.len());
+        for meta in &metas {
+            let out_ch = config.format.bytes_per_pixel() as u8;
+            let out_len = config.item_bytes();
+            let offset = unit
+                .reserve(
+                    out_len,
+                    meta.label,
+                    config.target_w as u32,
+                    config.target_h as u32,
+                    out_ch,
+                )
+                .expect("batch sized to fit unit");
+            let cmd = DecodeCmd {
+                cmd_id: next_cmd_id,
+                src: meta.src,
+                dst_phys: unit.phys_addr() + offset as u64,
+                dst_capacity: out_len as u32,
+                target_w: config.target_w,
+                target_h: config.target_h,
+                format: config.format,
+            };
+            next_cmd_id += 1;
+            cmds.push(cmd.pack());
+            arrivals.push(meta.arrival_nanos.unwrap_or(0));
+        }
+        stats
+            .cpu_busy_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+        pending_arrivals.push_back(arrivals);
+        stats.batches_submitted.fetch_add(1, Ordering::Relaxed);
+        // Async submit; push anything already finished (Alg. 1 lines 13–15).
+        match channel.submit_cmd(Submission { unit, cmds }) {
+            Ok(done_batches) => {
+                for done in done_batches {
+                    if !push_completed(done, &mut pending_arrivals, &mut next_sequence) {
+                        break 'main;
+                    }
+                }
+            }
+            Err(_) => break,
+        }
+    }
+
+    // Drain everything still in flight, then close (Alg. 1 lines 16–19).
+    while channel.in_flight() > 0 {
+        match channel.wait_one() {
+            Some(done) => {
+                if !push_completed(done, &mut pending_arrivals, &mut next_sequence) {
+                    break;
+                }
+            }
+            None => break,
+        }
+    }
+    full_queue.close();
+    channel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resolver::CombinedResolver;
+    use dlb_fpga::{DecoderEngine, DecoderMirror, DeviceSpec, FpgaDevice};
+    use dlb_membridge::PoolConfig;
+    use dlb_storage::{Dataset, DatasetSpec, NvmeDisk, NvmeSpec};
+
+    fn pipeline(
+        n_images: usize,
+        batch: usize,
+        max_batches: Option<u64>,
+    ) -> (FpgaReader, MemManager) {
+        let disk = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));
+        let ds = Dataset::build(DatasetSpec::ilsvrc_small(n_images, 21), &disk).unwrap();
+        let collector = Arc::new(DataCollector::load_from_disk(&ds.records, 3));
+        let mut dev = FpgaDevice::new(DeviceSpec::arria10_ax());
+        dev.load_mirror(DecoderMirror::jpeg_paper_config()).unwrap();
+        let engine =
+            DecoderEngine::start(dev, Arc::new(CombinedResolver::disk_only(disk))).unwrap();
+        let channel = FpgaChannel::init(engine, 0);
+        let pool = MemManager::new(PoolConfig {
+            unit_size: 2 << 20,
+            unit_count: 4,
+            phys_base: 0x4_0000_0000,
+        })
+        .unwrap();
+        let reader = FpgaReader::start(
+            collector,
+            pool.clone(),
+            channel,
+            ReaderConfig {
+                batch_size: batch,
+                target_w: 64,
+                target_h: 64,
+                format: OutputFormat::Rgb8,
+                max_batches,
+            },
+        );
+        (reader, pool)
+    }
+
+    #[test]
+    fn produces_decoded_batches_with_backpressure() {
+        let (reader, pool) = pipeline(16, 4, Some(6));
+        let mut seen = 0u64;
+        let mut sequences = Vec::new();
+        while let Ok(batch) = reader.full_queue().pop() {
+            assert_eq!(batch.len(), 4);
+            sequences.push(batch.sequence);
+            // Every item is a 64×64 RGB region.
+            for item in batch.unit.items() {
+                assert_eq!(item.len, 64 * 64 * 3);
+            }
+            seen += 1;
+            pool.recycle_item(batch.unit).unwrap();
+        }
+        assert_eq!(seen, 6);
+        assert_eq!(sequences, vec![0, 1, 2, 3, 4, 5]);
+        let channel = reader.stop();
+        assert_eq!(channel.in_flight(), 0);
+        assert_eq!(pool.free_count(), 4, "all units recycled");
+    }
+
+    #[test]
+    fn epoch_wrapping_keeps_feeding() {
+        // 8 images, batch 4, 5 batches ⇒ wraps into the second epoch.
+        let (reader, pool) = pipeline(8, 4, Some(5));
+        let mut seen = 0;
+        while let Ok(batch) = reader.full_queue().pop() {
+            seen += 1;
+            pool.recycle_item(batch.unit).unwrap();
+        }
+        assert_eq!(seen, 5);
+        drop(reader);
+    }
+
+    #[test]
+    fn config_validation_panics_on_oversized_batch() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let disk = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));
+            let ds = Dataset::build(DatasetSpec::mnist_like(4, 1), &disk).unwrap();
+            let collector = Arc::new(DataCollector::load_from_disk(&ds.records, 0));
+            let mut dev = FpgaDevice::new(DeviceSpec::arria10_ax());
+            dev.load_mirror(DecoderMirror::jpeg_paper_config()).unwrap();
+            let engine =
+                DecoderEngine::start(dev, Arc::new(CombinedResolver::disk_only(disk))).unwrap();
+            let pool = MemManager::new(PoolConfig {
+                unit_size: 1024, // far too small for 256 × 224×224×3
+                unit_count: 1,
+                phys_base: 0,
+            })
+            .unwrap();
+            FpgaReader::start(
+                collector,
+                pool,
+                FpgaChannel::init(engine, 0),
+                ReaderConfig {
+                    batch_size: 256,
+                    target_w: 224,
+                    target_h: 224,
+                    format: OutputFormat::Rgb8,
+                    max_batches: Some(1),
+                },
+            )
+        }));
+        assert!(result.is_err());
+    }
+}

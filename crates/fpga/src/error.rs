@@ -1,0 +1,72 @@
+//! Error types for the FPGA substrate.
+
+use std::fmt;
+
+/// Errors raised by device management, cmd handling, or the decoder engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FpgaError {
+    /// The mirror's resource requirements exceed the device budget.
+    InsufficientResources {
+        /// Which resource ran out (e.g. "ALM").
+        resource: &'static str,
+        /// Requested amount.
+        requested: u64,
+        /// Available amount.
+        available: u64,
+    },
+    /// No mirror is loaded; the device cannot decode.
+    NoMirrorLoaded,
+    /// A mirror is already loaded and the device is running.
+    DeviceBusy,
+    /// A cmd failed structural validation.
+    BadCmd {
+        /// Why the cmd is invalid.
+        detail: String,
+    },
+    /// The engine has been shut down.
+    EngineStopped,
+    /// A data fetch failed (disk block / host memory region unavailable).
+    FetchFailed {
+        /// Description from the resolver.
+        detail: String,
+    },
+}
+
+impl fmt::Display for FpgaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FpgaError::InsufficientResources {
+                resource,
+                requested,
+                available,
+            } => write!(
+                f,
+                "insufficient {resource}: mirror needs {requested}, device has {available}"
+            ),
+            FpgaError::NoMirrorLoaded => write!(f, "no decoder mirror loaded"),
+            FpgaError::DeviceBusy => write!(f, "device busy (mirror loaded and running)"),
+            FpgaError::BadCmd { detail } => write!(f, "bad decode cmd: {detail}"),
+            FpgaError::EngineStopped => write!(f, "decoder engine stopped"),
+            FpgaError::FetchFailed { detail } => write!(f, "data fetch failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for FpgaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FpgaError::InsufficientResources {
+            resource: "ALM",
+            requested: 500_000,
+            available: 427_200,
+        };
+        let s = e.to_string();
+        assert!(s.contains("ALM") && s.contains("500000") && s.contains("427200"));
+        assert!(FpgaError::NoMirrorLoaded.to_string().contains("mirror"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Pluggable decoder mirrors.
+//!
+//! The paper packs "the decoder running logic as a mirror, which can be
+//! downloaded to the FPGA devices according to different workflows" (§4.1)
+//! and stresses that users can redesign decoders for "language models, video
+//! models and speech models" (§3.1). A [`DecoderMirror`] is that artifact:
+//! a named configuration with per-unit parallelism and a resource footprint.
+
+use crate::device::ResourceBudget;
+
+/// What workload the mirror's kernel processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MirrorKind {
+    /// Baseline JPEG image decode + resize (the paper's prototype).
+    JpegImage,
+    /// Audio spectrogram extraction (future-work kernel; timing-model only).
+    AudioSpectrogram,
+    /// Text quantization (future-work kernel; timing-model only).
+    TextQuantize,
+}
+
+/// A decoder bitstream descriptor: parallelism configuration plus the
+/// resources it consumes when loaded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecoderMirror {
+    /// Human-readable name.
+    pub name: String,
+    /// Kernel type.
+    pub kind: MirrorKind,
+    /// Parallel Huffman decoding lanes (the paper uses 4).
+    pub huffman_ways: u32,
+    /// Parallel resizer lanes (the paper uses 2).
+    pub resize_ways: u32,
+    /// Depth of the on-device cmd FIFO.
+    pub cmd_fifo_depth: usize,
+    /// Resource footprint.
+    pub resources: ResourceBudget,
+}
+
+impl DecoderMirror {
+    /// The paper's prototype: 4-way Huffman, 2-way resize JPEG decoder.
+    ///
+    /// The resource footprint is sized so the mirror comfortably fits an
+    /// Arria-10 AX (≈427 k ALMs, 1518 DSPs, ≈55 Mb BRAM) but a naive "offload
+    /// everything" configuration would not — the trade-off §3.3 discusses.
+    pub fn jpeg_paper_config() -> Self {
+        Self::jpeg_with_ways(4, 2)
+    }
+
+    /// A JPEG mirror with custom lane counts (for the ablation benches).
+    pub fn jpeg_with_ways(huffman_ways: u32, resize_ways: u32) -> Self {
+        assert!(huffman_ways >= 1 && resize_ways >= 1, "lane counts >= 1");
+        Self {
+            name: format!("jpeg-h{huffman_ways}-r{resize_ways}"),
+            kind: MirrorKind::JpegImage,
+            huffman_ways,
+            resize_ways,
+            cmd_fifo_depth: 1024,
+            resources: ResourceBudget {
+                // Per-lane costs estimated from Intel's OpenCL JPEG decoder
+                // example design (the paper's reference [9]): each Huffman
+                // lane is logic-heavy; each resizer lane is DSP-heavy.
+                alms: 30_000 + 45_000 * huffman_ways as u64 + 25_000 * resize_ways as u64,
+                dsps: 40 + 60 * huffman_ways as u64 + 180 * resize_ways as u64,
+                bram_kbits: 2_000 + 3_000 * huffman_ways as u64 + 1_500 * resize_ways as u64,
+            },
+        }
+    }
+
+    /// An audio-spectrogram mirror (exercises the pluggability API; the
+    /// functional engine rejects it, the timing model can price it).
+    pub fn audio_spectrogram() -> Self {
+        Self {
+            name: "audio-dct-spectrogram".into(),
+            kind: MirrorKind::AudioSpectrogram,
+            huffman_ways: 1,
+            resize_ways: 1,
+            cmd_fifo_depth: 512,
+            resources: ResourceBudget {
+                alms: 120_000,
+                dsps: 700,
+                bram_kbits: 9_000,
+            },
+        }
+    }
+
+    /// A text-quantization mirror (pluggability demo).
+    pub fn text_quantize() -> Self {
+        Self {
+            name: "text-quantize".into(),
+            kind: MirrorKind::TextQuantize,
+            huffman_ways: 1,
+            resize_ways: 1,
+            cmd_fifo_depth: 512,
+            resources: ResourceBudget {
+                alms: 60_000,
+                dsps: 100,
+                bram_kbits: 4_000,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_has_4way_huffman_2way_resize() {
+        let m = DecoderMirror::jpeg_paper_config();
+        assert_eq!(m.huffman_ways, 4);
+        assert_eq!(m.resize_ways, 2);
+        assert_eq!(m.kind, MirrorKind::JpegImage);
+    }
+
+    #[test]
+    fn resources_scale_with_ways() {
+        let small = DecoderMirror::jpeg_with_ways(1, 1);
+        let big = DecoderMirror::jpeg_with_ways(8, 4);
+        assert!(big.resources.alms > small.resources.alms);
+        assert!(big.resources.dsps > small.resources.dsps);
+        assert!(big.resources.bram_kbits > small.resources.bram_kbits);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane counts")]
+    fn zero_ways_rejected() {
+        let _ = DecoderMirror::jpeg_with_ways(0, 1);
+    }
+
+    #[test]
+    fn alternative_kernels_exist() {
+        assert_eq!(
+            DecoderMirror::audio_spectrogram().kind,
+            MirrorKind::AudioSpectrogram
+        );
+        assert_eq!(DecoderMirror::text_quantize().kind, MirrorKind::TextQuantize);
+    }
+}

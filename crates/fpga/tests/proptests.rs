@@ -1,0 +1,119 @@
+//! Property tests: cmd wire-format integrity and timing-model monotonicity.
+
+use dlb_fpga::cmd::CMD_WIRE_BYTES;
+use dlb_fpga::{
+    DataRef, DecodeCmd, DecoderMirror, DeviceSpec, FpgaTimingModel, ImageWorkload, OutputFormat,
+};
+use proptest::prelude::*;
+
+fn arb_cmd() -> impl Strategy<Value = DecodeCmd> {
+    (
+        any::<u64>(),
+        any::<bool>(),
+        any::<u64>(),
+        1u32..=u32::MAX,
+        any::<u64>(),
+        1u32..=u32::MAX,
+        any::<u16>(),
+        any::<u16>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(cmd_id, disk, addr, len, dst_phys, dst_capacity, w, h, rgb)| DecodeCmd {
+                cmd_id,
+                src: if disk {
+                    DataRef::Disk { offset: addr, len }
+                } else {
+                    DataRef::HostMem {
+                        phys_addr: addr,
+                        len,
+                    }
+                },
+                dst_phys,
+                dst_capacity,
+                target_w: w,
+                target_h: h,
+                format: if rgb {
+                    OutputFormat::Rgb8
+                } else {
+                    OutputFormat::Gray8
+                },
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cmd_wire_roundtrips(cmd in arb_cmd()) {
+        let wire = cmd.pack();
+        prop_assert_eq!(DecodeCmd::unpack(&wire).unwrap(), cmd);
+    }
+
+    #[test]
+    fn single_byte_corruption_is_always_detected(
+        cmd in arb_cmd(),
+        pos in 0usize..CMD_WIRE_BYTES,
+        flip in 1u8..=255,
+    ) {
+        let mut wire = cmd.pack();
+        wire[pos] ^= flip;
+        // Either the CRC catches it, or (if the corrupted field happens to
+        // decode to a different but valid cmd) the result must differ from
+        // the original — silent identity corruption is the only failure.
+        match DecodeCmd::unpack(&wire) {
+            Err(_) => {}
+            Ok(decoded) => prop_assert_ne!(decoded, cmd),
+        }
+        // CRC-16 must catch ALL single-byte payload corruptions.
+        if pos < 62 {
+            prop_assert!(DecodeCmd::unpack(&wire).is_err());
+        }
+    }
+
+    #[test]
+    fn throughput_monotone_in_compressed_size(
+        small_kb in 10u64..100,
+        extra_kb in 1u64..100,
+    ) {
+        let model = FpgaTimingModel::paper_config();
+        let mut a = ImageWorkload::ilsvrc_like();
+        a.compressed_bytes = small_kb * 1000;
+        let mut b = a;
+        b.compressed_bytes = (small_kb + extra_kb) * 1000;
+        // More entropy bits can never decode faster.
+        prop_assert!(
+            model.throughput_images_per_sec(&a) >= model.throughput_images_per_sec(&b)
+        );
+        prop_assert!(model.image_latency(&a) <= model.image_latency(&b));
+    }
+
+    #[test]
+    fn batch_service_superadditive(
+        n in 1usize..64,
+        m in 1usize..64,
+    ) {
+        // Serving n+m images takes at least as long as serving n, and at
+        // most the sum of serving n and m separately (pipelining can only
+        // help).
+        let model = FpgaTimingModel::paper_config();
+        let w = ImageWorkload::ilsvrc_like();
+        let t_n = model.batch_service_time(&vec![w; n]);
+        let t_m = model.batch_service_time(&vec![w; m]);
+        let t_nm = model.batch_service_time(&vec![w; n + m]);
+        prop_assert!(t_nm >= t_n);
+        prop_assert!(t_nm <= t_n + t_m, "{t_nm} > {t_n} + {t_m}");
+    }
+
+    #[test]
+    fn wider_mirrors_never_slower(h in 1u32..8, r in 1u32..8) {
+        let spec = DeviceSpec::arria10_ax();
+        let w = ImageWorkload::ilsvrc_like();
+        let base = FpgaTimingModel::from_mirror(&DecoderMirror::jpeg_with_ways(h, r), &spec);
+        let wider = FpgaTimingModel::from_mirror(&DecoderMirror::jpeg_with_ways(h + 1, r + 1), &spec);
+        prop_assert!(
+            wider.throughput_images_per_sec(&w) >= base.throughput_images_per_sec(&w)
+        );
+    }
+}

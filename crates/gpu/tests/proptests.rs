@@ -1,0 +1,65 @@
+//! Property tests: timing-model monotonicity and model-zoo invariants.
+
+use dlb_gpu::{GpuDevice, GpuSpec, GpuTimingModel, ModelZoo, Precision};
+use proptest::prelude::*;
+
+fn zoo() -> Vec<ModelZoo> {
+    ModelZoo::all().to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn forward_time_monotone_in_batch(model_idx in 0usize..6, b in 1u32..256) {
+        let model = zoo()[model_idx];
+        let m = GpuTimingModel::new(&GpuSpec::tesla_v100(), &model.model(), Precision::Fp16);
+        prop_assert!(m.forward_time(b + 1) >= m.forward_time(b));
+        // Throughput never decreases with batch size in this model.
+        prop_assert!(
+            m.inference_throughput(b + 1) >= m.inference_throughput(b) * 0.999
+        );
+    }
+
+    #[test]
+    fn contention_strictly_slows(model_idx in 0usize..6, share_pct in 1u32..90) {
+        let model = zoo()[model_idx];
+        let mut m = GpuTimingModel::new(&GpuSpec::tesla_p100(), &model.model(), Precision::Fp32);
+        let clean = m.forward_time(32);
+        m.set_background_share(share_pct as f64 / 100.0);
+        let contended = m.forward_time(32);
+        prop_assert!(contended > clean);
+        let ratio = contended.as_secs_f64() / clean.as_secs_f64();
+        let expect = 1.0 / (1.0 - (share_pct as f64 / 100.0).min(0.95));
+        // Nanosecond quantisation of SimTime allows a small relative error.
+        prop_assert!((ratio / expect - 1.0).abs() < 1e-4, "{ratio} vs {expect}");
+    }
+
+    #[test]
+    fn device_memory_accounting_balances(
+        sizes in prop::collection::vec(1usize..(1 << 20), 1..32)
+    ) {
+        let dev = GpuDevice::new(GpuSpec::tesla_v100(), 0);
+        let mut held = Vec::new();
+        let mut total = 0u64;
+        for s in &sizes {
+            held.push(dev.alloc(*s).unwrap());
+            total += *s as u64;
+            prop_assert_eq!(dev.allocated(), total);
+        }
+        while let Some(buf) = held.pop() {
+            total -= buf.len() as u64;
+            drop(buf);
+            prop_assert_eq!(dev.allocated(), total);
+        }
+        prop_assert_eq!(dev.allocated(), 0);
+    }
+
+    #[test]
+    fn allreduce_monotone_in_devices(model_idx in 0usize..6, n in 2u32..16) {
+        let model = zoo()[model_idx];
+        let m = GpuTimingModel::new(&GpuSpec::tesla_p100(), &model.model(), Precision::Fp32);
+        prop_assert!(m.allreduce_time(n + 1) >= m.allreduce_time(n));
+        prop_assert!(m.allreduce_time(1).as_nanos() == 0);
+    }
+}

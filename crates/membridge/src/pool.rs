@@ -1,0 +1,670 @@
+//! The HugePage batch memory pool (paper Algorithm 2) and the `MemManager`
+//! API from Table 1 (`get_item`, `recycle_item`, `phy2virt`, `virt2phy`).
+
+use crate::queue::{BlockingQueue, QueueClosed};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Errors from pool operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// The pool's free queue was closed (shutdown).
+    Closed,
+    /// A translation was requested for an address the pool does not own.
+    UnknownAddress {
+        /// The offending address.
+        addr: u64,
+    },
+    /// Configuration rejected.
+    BadConfig {
+        /// Why.
+        detail: String,
+    },
+    /// A unit from a different pool was recycled here.
+    ForeignUnit,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::Closed => write!(f, "memory pool closed"),
+            PoolError::UnknownAddress { addr } => {
+                write!(f, "address {addr:#x} not owned by this pool")
+            }
+            PoolError::BadConfig { detail } => write!(f, "bad pool config: {detail}"),
+            PoolError::ForeignUnit => write!(f, "batch unit belongs to a different pool"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+impl From<QueueClosed> for PoolError {
+    fn from(_: QueueClosed) -> Self {
+        PoolError::Closed
+    }
+}
+
+/// Pool construction parameters (Algorithm 2's `size`, `counts`).
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Bytes per batch unit — sized for one *batch* of decoded images
+    /// (e.g. 256 × 224×224×3 ≈ 38 MB), not one image. This is the paper's
+    /// key trick against small-piece copy overhead.
+    pub unit_size: usize,
+    /// Number of units pre-allocated.
+    pub unit_count: usize,
+    /// Base of the simulated physical address range.
+    pub phys_base: u64,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self {
+            unit_size: 8 << 20,
+            unit_count: 16,
+            // An arbitrary high "physical" base, making accidental pointer
+            // confusion with virtual addresses obvious in logs.
+            phys_base: 0x4_0000_0000,
+        }
+    }
+}
+
+/// Description of one datum placed inside a batch unit — the `offset` of
+/// Algorithm 1 plus the metadata the compute engine needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemDesc {
+    /// Byte offset of this datum inside the unit.
+    pub offset: usize,
+    /// Length in bytes.
+    pub len: usize,
+    /// Dataset label (classification target or request id).
+    pub label: u64,
+    /// Width of the decoded image in pixels.
+    pub width: u32,
+    /// Height of the decoded image in pixels.
+    pub height: u32,
+    /// Interleaved channel count (1 or 3).
+    pub channels: u8,
+}
+
+/// An owned lease on one pool unit: a batch buffer with a stable simulated
+/// physical address. Dropping a `BatchUnit` without recycling it removes the
+/// unit from circulation (leak detection in [`PoolStats`] catches this).
+#[derive(Debug)]
+pub struct BatchUnit {
+    /// Unit index within its pool.
+    id: u32,
+    /// Pool identity tag (guards against cross-pool recycling).
+    pool_tag: u64,
+    /// Simulated physical base address of this unit.
+    phys_addr: u64,
+    /// The actual storage.
+    data: Box<[u8]>,
+    /// Bytes of `data` holding valid payload.
+    used: usize,
+    /// Items packed into this unit.
+    items: Vec<ItemDesc>,
+    /// Monotone sequence number assigned when the unit was filled.
+    sequence: u64,
+}
+
+impl BatchUnit {
+    /// Unit index within the pool.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Simulated physical address of the unit base (what goes into FPGA
+    /// decode cmds).
+    pub fn phys_addr(&self) -> u64 {
+        self.phys_addr
+    }
+
+    /// Simulated virtual address (what the dispatcher hands to CUDA-style
+    /// async copies). Equal to the stable address of the backing storage.
+    pub fn virt_addr(&self) -> u64 {
+        self.data.as_ptr() as u64
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Valid payload length.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        &self.data[..self.used]
+    }
+
+    /// Full mutable storage (the "DMA target").
+    pub fn storage_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Items packed in this unit.
+    pub fn items(&self) -> &[ItemDesc] {
+        &self.items
+    }
+
+    /// Batch sequence number (set by the producer via [`BatchUnit::seal`]).
+    pub fn sequence(&self) -> u64 {
+        self.sequence
+    }
+
+    /// Appends one datum's bytes, returning its [`ItemDesc`] slot, or `None`
+    /// if the unit cannot hold `len` more bytes.
+    pub fn append(
+        &mut self,
+        bytes: &[u8],
+        label: u64,
+        width: u32,
+        height: u32,
+        channels: u8,
+    ) -> Option<usize> {
+        let offset = self.used;
+        if offset + bytes.len() > self.data.len() {
+            return None;
+        }
+        self.data[offset..offset + bytes.len()].copy_from_slice(bytes);
+        self.used += bytes.len();
+        self.items.push(ItemDesc {
+            offset,
+            len: bytes.len(),
+            label,
+            width,
+            height,
+            channels,
+        });
+        Some(self.items.len() - 1)
+    }
+
+    /// Reserves `len` bytes for device-side writes (the FPGA DMA path writes
+    /// directly into the unit; the host only records the metadata). Returns
+    /// the reserved offset, or `None` if the unit is full.
+    pub fn reserve(
+        &mut self,
+        len: usize,
+        label: u64,
+        width: u32,
+        height: u32,
+        channels: u8,
+    ) -> Option<usize> {
+        let offset = self.used;
+        if offset + len > self.data.len() {
+            return None;
+        }
+        self.used += len;
+        self.items.push(ItemDesc {
+            offset,
+            len,
+            label,
+            width,
+            height,
+            channels,
+        });
+        Some(offset)
+    }
+
+    /// Bytes of item `idx`.
+    pub fn item_bytes(&self, idx: usize) -> &[u8] {
+        let it = &self.items[idx];
+        &self.data[it.offset..it.offset + it.len]
+    }
+
+    /// Mutable bytes of item `idx` (device writeback target).
+    pub fn item_bytes_mut(&mut self, idx: usize) -> &mut [u8] {
+        let it = self.items[idx].clone();
+        &mut self.data[it.offset..it.offset + it.len]
+    }
+
+    /// Number of packed items.
+    pub fn item_count(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Marks the unit ready with a batch sequence number.
+    pub fn seal(&mut self, sequence: u64) {
+        self.sequence = sequence;
+    }
+
+    /// Repopulates the unit from a previously captured payload + item
+    /// layout (the epoch-cache replay path). Fails if the payload exceeds
+    /// capacity or the items don't describe it.
+    pub fn restore(&mut self, payload: &[u8], items: &[ItemDesc]) -> Result<(), String> {
+        if payload.len() > self.data.len() {
+            return Err(format!(
+                "cached payload {} exceeds unit capacity {}",
+                payload.len(),
+                self.data.len()
+            ));
+        }
+        if items
+            .iter()
+            .any(|it| it.offset + it.len > payload.len())
+        {
+            return Err("item descriptor outside cached payload".into());
+        }
+        self.reset();
+        self.data[..payload.len()].copy_from_slice(payload);
+        self.used = payload.len();
+        self.items = items.to_vec();
+        Ok(())
+    }
+
+    /// Clears payload/items for reuse (done automatically on recycle).
+    pub fn reset(&mut self) {
+        self.used = 0;
+        self.items.clear();
+        self.sequence = 0;
+    }
+}
+
+/// Occupancy statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Units currently leased out (not in the free queue).
+    pub leased: usize,
+    /// Total units.
+    pub total: usize,
+    /// Lifetime lease operations.
+    pub lease_ops: u64,
+    /// Lifetime recycle operations.
+    pub recycle_ops: u64,
+}
+
+struct PoolInner {
+    free: BlockingQueue<BatchUnit>,
+    unit_size: usize,
+    unit_count: usize,
+    phys_base: u64,
+    pool_tag: u64,
+    leased: AtomicUsize,
+    lease_ops: AtomicU64,
+    recycle_ops: AtomicU64,
+    /// `virt_addr` of each unit by id — the translation table.
+    virt_table: Vec<u64>,
+}
+
+/// The pool: pre-allocates all units up front and recycles them through an
+/// internal free queue. Clone handles share the pool.
+///
+/// Named `MemManager` after the paper's Table 1 module.
+#[derive(Clone)]
+pub struct MemManager {
+    inner: Arc<PoolInner>,
+}
+
+static POOL_TAG: AtomicU64 = AtomicU64::new(1);
+
+impl MemManager {
+    /// Pre-allocates `config.unit_count` units of `config.unit_size` bytes
+    /// (Algorithm 2 lines 1–5).
+    pub fn new(config: PoolConfig) -> Result<Self, PoolError> {
+        if config.unit_size == 0 || config.unit_count == 0 {
+            return Err(PoolError::BadConfig {
+                detail: format!(
+                    "unit_size={} unit_count={} must be positive",
+                    config.unit_size, config.unit_count
+                ),
+            });
+        }
+        let pool_tag = POOL_TAG.fetch_add(1, Ordering::Relaxed);
+        let free = BlockingQueue::unbounded();
+        let mut virt_table = Vec::with_capacity(config.unit_count);
+        for id in 0..config.unit_count {
+            let data = vec![0u8; config.unit_size].into_boxed_slice();
+            let unit = BatchUnit {
+                id: id as u32,
+                pool_tag,
+                phys_addr: config.phys_base + (id * config.unit_size) as u64,
+                data,
+                used: 0,
+                items: Vec::new(),
+                sequence: 0,
+            };
+            virt_table.push(unit.virt_addr());
+            free.push(unit).expect("fresh queue is open");
+        }
+        Ok(Self {
+            inner: Arc::new(PoolInner {
+                free,
+                unit_size: config.unit_size,
+                unit_count: config.unit_count,
+                phys_base: config.phys_base,
+                pool_tag,
+                leased: AtomicUsize::new(0),
+                lease_ops: AtomicU64::new(0),
+                recycle_ops: AtomicU64::new(0),
+                virt_table,
+            }),
+        })
+    }
+
+    /// Table 1 `get_item`: leases a free unit, blocking while none is
+    /// available (the back-pressure of Algorithm 1 lines 5–9).
+    pub fn get_item(&self) -> Result<BatchUnit, PoolError> {
+        let unit = self.inner.free.pop()?;
+        self.inner.leased.fetch_add(1, Ordering::Relaxed);
+        self.inner.lease_ops.fetch_add(1, Ordering::Relaxed);
+        Ok(unit)
+    }
+
+    /// Non-blocking variant of [`MemManager::get_item`].
+    pub fn try_get_item(&self) -> Option<BatchUnit> {
+        let unit = self.inner.free.try_pop()?;
+        self.inner.leased.fetch_add(1, Ordering::Relaxed);
+        self.inner.lease_ops.fetch_add(1, Ordering::Relaxed);
+        Some(unit)
+    }
+
+    /// Table 1 `recycle_item`: clears the unit and returns it to the free
+    /// queue for the next batch.
+    pub fn recycle_item(&self, mut unit: BatchUnit) -> Result<(), PoolError> {
+        if unit.pool_tag != self.inner.pool_tag {
+            return Err(PoolError::ForeignUnit);
+        }
+        unit.reset();
+        self.inner.leased.fetch_sub(1, Ordering::Relaxed);
+        self.inner.recycle_ops.fetch_add(1, Ordering::Relaxed);
+        self.inner.free.push(unit)?;
+        Ok(())
+    }
+
+    /// Table 1 `phy2virt`: translates a simulated physical address inside
+    /// the pool's range to the corresponding virtual address.
+    pub fn phy2virt(&self, phys: u64) -> Result<u64, PoolError> {
+        let span = (self.inner.unit_size * self.inner.unit_count) as u64;
+        if phys < self.inner.phys_base || phys >= self.inner.phys_base + span {
+            return Err(PoolError::UnknownAddress { addr: phys });
+        }
+        let off = phys - self.inner.phys_base;
+        let id = (off / self.inner.unit_size as u64) as usize;
+        let within = off % self.inner.unit_size as u64;
+        Ok(self.inner.virt_table[id] + within)
+    }
+
+    /// Table 1 `virt2phy`: inverse translation.
+    pub fn virt2phy(&self, virt: u64) -> Result<u64, PoolError> {
+        for (id, &base) in self.inner.virt_table.iter().enumerate() {
+            let end = base + self.inner.unit_size as u64;
+            if virt >= base && virt < end {
+                return Ok(self.inner.phys_base
+                    + (id * self.inner.unit_size) as u64
+                    + (virt - base));
+            }
+        }
+        Err(PoolError::UnknownAddress { addr: virt })
+    }
+
+    /// Bytes per unit.
+    pub fn unit_size(&self) -> usize {
+        self.inner.unit_size
+    }
+
+    /// Units in the pool.
+    pub fn unit_count(&self) -> usize {
+        self.inner.unit_count
+    }
+
+    /// Units currently free.
+    pub fn free_count(&self) -> usize {
+        self.inner.free.len()
+    }
+
+    /// Occupancy statistics.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            leased: self.inner.leased.load(Ordering::Relaxed),
+            total: self.inner.unit_count,
+            lease_ops: self.inner.lease_ops.load(Ordering::Relaxed),
+            recycle_ops: self.inner.recycle_ops.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Shuts the pool down: blocked and future `get_item` calls fail.
+    pub fn close(&self) {
+        self.inner.free.close();
+    }
+}
+
+impl std::fmt::Debug for MemManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemManager")
+            .field("unit_size", &self.inner.unit_size)
+            .field("unit_count", &self.inner.unit_count)
+            .field("free", &self.inner.free.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    fn small_pool() -> MemManager {
+        MemManager::new(PoolConfig {
+            unit_size: 1024,
+            unit_count: 4,
+            phys_base: 0x1000_0000,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn lease_and_recycle_roundtrip() {
+        let pool = small_pool();
+        assert_eq!(pool.free_count(), 4);
+        let unit = pool.get_item().unwrap();
+        assert_eq!(pool.free_count(), 3);
+        assert_eq!(pool.stats().leased, 1);
+        pool.recycle_item(unit).unwrap();
+        assert_eq!(pool.free_count(), 4);
+        assert_eq!(pool.stats().leased, 0);
+        assert_eq!(pool.stats().lease_ops, 1);
+        assert_eq!(pool.stats().recycle_ops, 1);
+    }
+
+    #[test]
+    fn units_have_distinct_contiguous_phys_addrs() {
+        let pool = small_pool();
+        let units: Vec<BatchUnit> = (0..4).map(|_| pool.get_item().unwrap()).collect();
+        let mut addrs: Vec<u64> = units.iter().map(|u| u.phys_addr()).collect();
+        addrs.sort_unstable();
+        assert_eq!(addrs, vec![0x1000_0000, 0x1000_0400, 0x1000_0800, 0x1000_0C00]);
+        for u in units {
+            pool.recycle_item(u).unwrap();
+        }
+    }
+
+    #[test]
+    fn get_item_blocks_until_recycle() {
+        let pool = MemManager::new(PoolConfig {
+            unit_size: 64,
+            unit_count: 1,
+            phys_base: 0,
+        })
+        .unwrap();
+        let unit = pool.get_item().unwrap();
+        let pool2 = pool.clone();
+        let waiter = thread::spawn(move || pool2.get_item().map(|u| u.id()));
+        thread::sleep(Duration::from_millis(20));
+        assert!(!waiter.is_finished(), "get_item must block when pool empty");
+        pool.recycle_item(unit).unwrap();
+        assert_eq!(waiter.join().unwrap().unwrap(), 0);
+    }
+
+    #[test]
+    fn append_and_reserve_pack_items() {
+        let pool = small_pool();
+        let mut unit = pool.get_item().unwrap();
+        let idx = unit.append(&[1, 2, 3, 4], 7, 2, 2, 1).unwrap();
+        assert_eq!(idx, 0);
+        assert_eq!(unit.item_bytes(0), &[1, 2, 3, 4]);
+        let off = unit.reserve(8, 8, 2, 2, 2).unwrap();
+        assert_eq!(off, 4);
+        assert_eq!(unit.used(), 12);
+        assert_eq!(unit.item_count(), 2);
+        assert_eq!(unit.items()[1].label, 8);
+        // Fill to capacity boundary.
+        assert!(unit.reserve(2000, 0, 1, 1, 1).is_none());
+        pool.recycle_item(unit).unwrap();
+        // After recycle, the unit comes back cleared.
+        let unit = pool.get_item().unwrap();
+        assert_eq!(unit.used(), 0);
+        assert_eq!(unit.item_count(), 0);
+    }
+
+    #[test]
+    fn restore_replays_cached_batches() {
+        let pool = small_pool();
+        // Capture a filled unit's state.
+        let mut unit = pool.get_item().unwrap();
+        unit.append(&[1, 2, 3, 4], 7, 2, 2, 1).unwrap();
+        unit.append(&[5, 6], 8, 1, 2, 1).unwrap();
+        let payload = unit.payload().to_vec();
+        let items = unit.items().to_vec();
+        pool.recycle_item(unit).unwrap();
+        // Replay into a fresh lease.
+        let mut unit = pool.get_item().unwrap();
+        unit.restore(&payload, &items).unwrap();
+        assert_eq!(unit.used(), 6);
+        assert_eq!(unit.item_count(), 2);
+        assert_eq!(unit.item_bytes(0), &[1, 2, 3, 4]);
+        assert_eq!(unit.item_bytes(1), &[5, 6]);
+        assert_eq!(unit.items()[1].label, 8);
+        pool.recycle_item(unit).unwrap();
+    }
+
+    #[test]
+    fn restore_rejects_oversized_or_inconsistent() {
+        let pool = small_pool();
+        let mut unit = pool.get_item().unwrap();
+        // Payload larger than capacity.
+        assert!(unit.restore(&vec![0u8; 4096], &[]).is_err());
+        // Item descriptor outside the payload.
+        let bad_item = ItemDesc {
+            offset: 8,
+            len: 8,
+            label: 0,
+            width: 1,
+            height: 1,
+            channels: 1,
+        };
+        assert!(unit.restore(&[0u8; 10], &[bad_item]).is_err());
+        pool.recycle_item(unit).unwrap();
+    }
+
+    #[test]
+    fn seal_sets_sequence_and_reset_clears_it() {
+        let pool = small_pool();
+        let mut unit = pool.get_item().unwrap();
+        unit.seal(99);
+        assert_eq!(unit.sequence(), 99);
+        unit.reset();
+        assert_eq!(unit.sequence(), 0);
+        pool.recycle_item(unit).unwrap();
+    }
+
+    #[test]
+    fn address_translation_roundtrips() {
+        let pool = small_pool();
+        let unit = pool.get_item().unwrap();
+        let phys = unit.phys_addr() + 100;
+        let virt = pool.phy2virt(phys).unwrap();
+        assert_eq!(virt, unit.virt_addr() + 100);
+        assert_eq!(pool.virt2phy(virt).unwrap(), phys);
+        pool.recycle_item(unit).unwrap();
+    }
+
+    #[test]
+    fn translation_rejects_foreign_addresses() {
+        let pool = small_pool();
+        assert!(matches!(
+            pool.phy2virt(0xDEAD_0000),
+            Err(PoolError::UnknownAddress { .. })
+        ));
+        assert!(matches!(
+            pool.virt2phy(7),
+            Err(PoolError::UnknownAddress { .. })
+        ));
+    }
+
+    #[test]
+    fn foreign_unit_rejected() {
+        let pool_a = small_pool();
+        let pool_b = small_pool();
+        let unit = pool_a.get_item().unwrap();
+        assert_eq!(pool_b.recycle_item(unit), Err(PoolError::ForeignUnit));
+    }
+
+    #[test]
+    fn close_unblocks_getters() {
+        let pool = MemManager::new(PoolConfig {
+            unit_size: 64,
+            unit_count: 1,
+            phys_base: 0,
+        })
+        .unwrap();
+        let _held = pool.get_item().unwrap();
+        let pool2 = pool.clone();
+        let waiter = thread::spawn(move || pool2.get_item().err());
+        thread::sleep(Duration::from_millis(10));
+        pool.close();
+        assert_eq!(waiter.join().unwrap(), Some(PoolError::Closed));
+    }
+
+    #[test]
+    fn bad_config_rejected() {
+        assert!(MemManager::new(PoolConfig {
+            unit_size: 0,
+            unit_count: 1,
+            phys_base: 0
+        })
+        .is_err());
+        assert!(MemManager::new(PoolConfig {
+            unit_size: 1,
+            unit_count: 0,
+            phys_base: 0
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn concurrent_lease_recycle_conserves_units() {
+        let pool = MemManager::new(PoolConfig {
+            unit_size: 256,
+            unit_count: 8,
+            phys_base: 0x2000_0000,
+        })
+        .unwrap();
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let pool = pool.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..200 {
+                    let mut unit = pool.get_item().unwrap();
+                    let payload = [t as u8, i as u8];
+                    unit.append(&payload, i, 1, 1, 1).unwrap();
+                    assert_eq!(unit.item_bytes(0), &payload);
+                    pool.recycle_item(unit).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(pool.free_count(), 8);
+        let stats = pool.stats();
+        assert_eq!(stats.leased, 0);
+        assert_eq!(stats.lease_ops, 800);
+        assert_eq!(stats.recycle_ops, 800);
+    }
+}

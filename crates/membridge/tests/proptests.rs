@@ -1,0 +1,89 @@
+//! Property tests: the pool never double-leases, always conserves units,
+//! and address translation is a bijection over the pool's range.
+
+use dlb_membridge::{MemManager, PoolConfig};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn leased_units_are_distinct(
+        unit_size in 64usize..4096,
+        unit_count in 1usize..32,
+    ) {
+        let pool = MemManager::new(PoolConfig {
+            unit_size,
+            unit_count,
+            phys_base: 0x1_0000_0000,
+        }).unwrap();
+        let mut ids = HashSet::new();
+        let mut phys = HashSet::new();
+        let mut units = Vec::new();
+        while let Some(u) = pool.try_get_item() {
+            prop_assert!(ids.insert(u.id()), "duplicate unit id {}", u.id());
+            prop_assert!(phys.insert(u.phys_addr()), "duplicate phys addr");
+            prop_assert_eq!(u.capacity(), unit_size);
+            units.push(u);
+        }
+        prop_assert_eq!(units.len(), unit_count);
+        for u in units {
+            pool.recycle_item(u).unwrap();
+        }
+        prop_assert_eq!(pool.free_count(), unit_count);
+    }
+
+    #[test]
+    fn translation_is_bijective_over_pool_range(
+        unit_size in 64usize..2048,
+        unit_count in 1usize..16,
+        probes in prop::collection::vec(any::<u64>(), 1..50),
+    ) {
+        let base = 0x2_0000_0000u64;
+        let pool = MemManager::new(PoolConfig {
+            unit_size,
+            unit_count,
+            phys_base: base,
+        }).unwrap();
+        let span = (unit_size * unit_count) as u64;
+        for p in probes {
+            let phys = base + p % span;
+            let virt = pool.phy2virt(phys).unwrap();
+            prop_assert_eq!(pool.virt2phy(virt).unwrap(), phys);
+        }
+        // Out-of-range probes must fail.
+        prop_assert!(pool.phy2virt(base - 1).is_err());
+        prop_assert!(pool.phy2virt(base + span).is_err());
+    }
+
+    #[test]
+    fn append_never_overflows_capacity(
+        unit_size in 16usize..512,
+        chunks in prop::collection::vec(1usize..128, 1..64),
+    ) {
+        let pool = MemManager::new(PoolConfig {
+            unit_size,
+            unit_count: 1,
+            phys_base: 0,
+        }).unwrap();
+        let mut unit = pool.get_item().unwrap();
+        let mut expected_used = 0usize;
+        for (i, len) in chunks.iter().enumerate() {
+            let bytes = vec![i as u8; *len];
+            match unit.append(&bytes, i as u64, 1, 1, 1) {
+                Some(idx) => {
+                    expected_used += len;
+                    prop_assert_eq!(unit.item_bytes(idx), &bytes[..]);
+                }
+                None => {
+                    // Rejected append must not mutate the unit.
+                    prop_assert!(expected_used + len > unit_size);
+                }
+            }
+            prop_assert_eq!(unit.used(), expected_used);
+            prop_assert!(unit.used() <= unit.capacity());
+        }
+        pool.recycle_item(unit).unwrap();
+    }
+}

@@ -1,0 +1,253 @@
+//! NIC RX engine: 40 Gbps wire model + host-memory payload placement.
+
+use crate::framing::{Frame, FrameError};
+use dlb_simcore::queueing::SerialPipe;
+use dlb_simcore::SimTime;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Static NIC characteristics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NicSpec {
+    /// Marketing name.
+    pub name: String,
+    /// Wire bandwidth, bytes/second.
+    pub wire_bytes_per_sec: f64,
+    /// Fixed per-packet latency (fabric + NIC processing).
+    pub packet_latency: SimTime,
+}
+
+impl NicSpec {
+    /// The paper's 40 Gbps fabric.
+    pub fn forty_gbps() -> Self {
+        Self {
+            name: "40Gbps fabric".into(),
+            wire_bytes_per_sec: 40.0e9 / 8.0,
+            packet_latency: SimTime::from_micros(8),
+        }
+    }
+}
+
+/// Descriptor the NIC posts after depositing one request's payload in host
+/// memory — the metadata `DataCollector::load_from_net` translates into
+/// decode cmds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RxDescriptor {
+    /// Request id from the frame.
+    pub request_id: u64,
+    /// Originating client.
+    pub client_id: u32,
+    /// Simulated physical address of the payload.
+    pub phys_addr: u64,
+    /// Payload length.
+    pub len: u32,
+    /// Arrival timestamp (set by the caller's clock domain; wall-clock nanos
+    /// in the functional pipeline, virtual nanos in the DES).
+    pub arrival_nanos: u64,
+}
+
+/// The functional RX engine: parses frames, stores payloads at fresh
+/// simulated physical addresses, posts descriptors to an RX ring, and serves
+/// fetches (the resolver side).
+#[derive(Debug)]
+pub struct NicRx {
+    spec: NicSpec,
+    state: Mutex<RxState>,
+}
+
+#[derive(Debug)]
+struct RxState {
+    buffers: HashMap<u64, Vec<u8>>,
+    ring: VecDeque<RxDescriptor>,
+    next_phys: u64,
+    frames_ok: u64,
+    frames_bad: u64,
+    bytes_rx: u64,
+}
+
+impl NicRx {
+    /// A fresh RX engine whose buffer region starts at `phys_base`.
+    pub fn new(spec: NicSpec, phys_base: u64) -> Self {
+        Self {
+            spec,
+            state: Mutex::new(RxState {
+                buffers: HashMap::new(),
+                ring: VecDeque::new(),
+                next_phys: phys_base,
+                frames_ok: 0,
+                frames_bad: 0,
+                bytes_rx: 0,
+            }),
+        }
+    }
+
+    /// NIC characteristics.
+    pub fn spec(&self) -> &NicSpec {
+        &self.spec
+    }
+
+    /// Delivers raw wire bytes (one frame). On success the payload is
+    /// placed in a fresh buffer and a descriptor is queued.
+    pub fn deliver(&self, wire_bytes: &[u8], arrival_nanos: u64) -> Result<RxDescriptor, FrameError> {
+        let frame = match Frame::decode(wire_bytes) {
+            Ok(f) => f,
+            Err(e) => {
+                self.state.lock().frames_bad += 1;
+                return Err(e);
+            }
+        };
+        let mut st = self.state.lock();
+        let phys_addr = st.next_phys;
+        // 256-byte aligned buffer slots.
+        st.next_phys += (frame.payload.len() as u64).div_ceil(256) * 256;
+        let desc = RxDescriptor {
+            request_id: frame.request_id,
+            client_id: frame.client_id,
+            phys_addr,
+            len: frame.payload.len() as u32,
+            arrival_nanos,
+        };
+        st.bytes_rx += wire_bytes.len() as u64;
+        st.frames_ok += 1;
+        st.buffers.insert(phys_addr, frame.payload);
+        st.ring.push_back(desc.clone());
+        Ok(desc)
+    }
+
+    /// Pops the next RX descriptor, if any.
+    pub fn poll(&self) -> Option<RxDescriptor> {
+        self.state.lock().ring.pop_front()
+    }
+
+    /// Pops up to `n` descriptors (batch assembly).
+    pub fn poll_batch(&self, n: usize) -> Vec<RxDescriptor> {
+        let mut st = self.state.lock();
+        let take = n.min(st.ring.len());
+        st.ring.drain(..take).collect()
+    }
+
+    /// Reads a deposited payload (the DataReader's "DMA from DRAM").
+    pub fn fetch(&self, phys_addr: u64, len: u32) -> Result<Vec<u8>, String> {
+        let st = self.state.lock();
+        let buf = st
+            .buffers
+            .get(&phys_addr)
+            .ok_or_else(|| format!("no RX buffer at {phys_addr:#x}"))?;
+        if buf.len() != len as usize {
+            return Err(format!(
+                "RX buffer at {phys_addr:#x} is {} bytes, requested {len}",
+                buf.len()
+            ));
+        }
+        Ok(buf.clone())
+    }
+
+    /// Frees a payload buffer after the decoder consumed it.
+    pub fn release(&self, phys_addr: u64) -> bool {
+        self.state.lock().buffers.remove(&phys_addr).is_some()
+    }
+
+    /// Descriptors waiting.
+    pub fn pending(&self) -> usize {
+        self.state.lock().ring.len()
+    }
+
+    /// Buffers currently held.
+    pub fn buffers_held(&self) -> usize {
+        self.state.lock().buffers.len()
+    }
+
+    /// (ok, bad, bytes) lifetime counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        let st = self.state.lock();
+        (st.frames_ok, st.frames_bad, st.bytes_rx)
+    }
+
+    /// Wire timing pipe for the DES layer.
+    pub fn wire_pipe(&self) -> SerialPipe {
+        SerialPipe::new(self.spec.wire_bytes_per_sec, self.spec.packet_latency)
+    }
+
+    /// Modelled wire time of one frame of `bytes` on an idle link.
+    pub fn wire_time(&self, bytes: u64) -> SimTime {
+        SimTime::from_secs_f64(bytes as f64 / self.spec.wire_bytes_per_sec)
+            + self.spec.packet_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(id: u64, payload_len: usize) -> Vec<u8> {
+        Frame {
+            request_id: id,
+            client_id: (id % 5) as u32,
+            send_ts_nanos: id * 1000,
+            payload: vec![id as u8; payload_len],
+        }
+        .encode()
+    }
+
+    #[test]
+    fn deliver_poll_fetch_release() {
+        let nic = NicRx::new(NicSpec::forty_gbps(), 0x8_0000_0000);
+        let d1 = nic.deliver(&frame(1, 100), 10).unwrap();
+        let d2 = nic.deliver(&frame(2, 300), 20).unwrap();
+        assert_ne!(d1.phys_addr, d2.phys_addr);
+        assert_eq!(nic.pending(), 2);
+        let p = nic.poll().unwrap();
+        assert_eq!(p.request_id, 1);
+        assert_eq!(p.arrival_nanos, 10);
+        let bytes = nic.fetch(p.phys_addr, p.len).unwrap();
+        assert_eq!(bytes, vec![1u8; 100]);
+        assert!(nic.release(p.phys_addr));
+        assert!(!nic.release(p.phys_addr), "double release");
+        assert!(nic.fetch(p.phys_addr, p.len).is_err());
+        assert_eq!(nic.buffers_held(), 1);
+    }
+
+    #[test]
+    fn poll_batch_takes_up_to_n() {
+        let nic = NicRx::new(NicSpec::forty_gbps(), 0);
+        for i in 0..5 {
+            nic.deliver(&frame(i, 50), i).unwrap();
+        }
+        let batch = nic.poll_batch(3);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch[0].request_id, 0);
+        assert_eq!(nic.pending(), 2);
+        assert_eq!(nic.poll_batch(10).len(), 2);
+        assert!(nic.poll_batch(1).is_empty());
+    }
+
+    #[test]
+    fn bad_frames_counted_not_stored() {
+        let nic = NicRx::new(NicSpec::forty_gbps(), 0);
+        assert!(nic.deliver(&[0xFF; 10], 0).is_err());
+        let (ok, bad, _) = nic.counters();
+        assert_eq!((ok, bad), (0, 1));
+        assert_eq!(nic.pending(), 0);
+    }
+
+    #[test]
+    fn wire_timing_40gbps() {
+        let nic = NicRx::new(NicSpec::forty_gbps(), 0);
+        // 100 KB at 5 GB/s = 20 µs + 8 µs latency.
+        let t = nic.wire_time(100_000);
+        assert_eq!(t, SimTime::from_micros(20) + SimTime::from_micros(8));
+        // Aggregate: 5 clients × 100 KB × 1200 req/s = 600 MB/s ≪ 5 GB/s —
+        // the fabric is never the bottleneck in the paper's experiments.
+        let offered = 5.0 * 100_000.0 * 1200.0;
+        assert!(offered < nic.spec().wire_bytes_per_sec);
+    }
+
+    #[test]
+    fn fetch_validates_length() {
+        let nic = NicRx::new(NicSpec::forty_gbps(), 0);
+        let d = nic.deliver(&frame(9, 64), 0).unwrap();
+        assert!(nic.fetch(d.phys_addr, 63).is_err());
+        assert!(nic.fetch(d.phys_addr, 64).is_ok());
+    }
+}

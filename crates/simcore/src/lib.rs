@@ -1,0 +1,29 @@
+//! # dlb-simcore
+//!
+//! A small deterministic discrete-event simulation (DES) engine plus the
+//! queueing/statistics building blocks used by the hardware substrates
+//! (`dlb-fpga`, `dlb-gpu`, `dlb-storage`, `dlb-net`) and by the experiment
+//! runners in `dlb-workflows`.
+//!
+//! Design notes:
+//!
+//! * **Virtual time** is a `u64` nanosecond counter ([`SimTime`]); all device
+//!   calibration constants convert into it exactly once.
+//! * **Determinism**: events at equal timestamps are ordered by insertion
+//!   sequence number, so a simulation is a pure function of its inputs. The
+//!   bundled [`rng::SimRng`] is a splitmix/xorshift generator seeded
+//!   explicitly — wall-clock never leaks in.
+//! * The engine is *callback-free*: a model implements [`SimModel::handle`]
+//!   and receives a [`Scheduler`] to post future events. This sidesteps the
+//!   `Rc<RefCell>` patterns that closure-based DES engines need in Rust and
+//!   keeps the hot loop allocation-light (one `BinaryHeap` entry per event).
+
+pub mod engine;
+pub mod queueing;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use engine::{Scheduler, SimModel, Simulation};
+pub use rng::SimRng;
+pub use time::SimTime;

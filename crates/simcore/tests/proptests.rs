@@ -1,0 +1,124 @@
+//! Property tests: the DES engine's ordering and determinism guarantees,
+//! and queueing-helper invariants.
+
+use dlb_simcore::queueing::{FifoStation, SerialPipe};
+use dlb_simcore::{Scheduler, SimModel, SimTime, Simulation};
+use proptest::prelude::*;
+
+/// A model that records (time, tag) for every event it sees.
+struct Recorder {
+    log: Vec<(u64, u32)>,
+}
+
+impl SimModel for Recorder {
+    type Event = u32;
+    fn handle(&mut self, now: SimTime, ev: u32, _sched: &mut Scheduler<u32>) {
+        self.log.push((now.as_nanos(), ev));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn events_always_dispatch_in_time_order(
+        seeds in prop::collection::vec((0u64..1_000_000, any::<u32>()), 1..200)
+    ) {
+        let mut sim = Simulation::new(Recorder { log: vec![] });
+        for &(at, tag) in &seeds {
+            sim.seed(SimTime::from_nanos(at), tag);
+        }
+        sim.run_to_completion();
+        let log = &sim.model().log;
+        prop_assert_eq!(log.len(), seeds.len());
+        for w in log.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time went backwards: {:?}", w);
+        }
+    }
+
+    #[test]
+    fn equal_time_events_dispatch_in_seed_order(
+        tags in prop::collection::vec(any::<u32>(), 1..100),
+        at in 0u64..1000,
+    ) {
+        let mut sim = Simulation::new(Recorder { log: vec![] });
+        for &t in &tags {
+            sim.seed(SimTime::from_nanos(at), t);
+        }
+        sim.run_to_completion();
+        let seen: Vec<u32> = sim.model().log.iter().map(|&(_, t)| t).collect();
+        prop_assert_eq!(seen, tags);
+    }
+
+    #[test]
+    fn simulation_is_deterministic(
+        seeds in prop::collection::vec((0u64..10_000, any::<u32>()), 1..100)
+    ) {
+        let run = |seeds: &[(u64, u32)]| {
+            let mut sim = Simulation::new(Recorder { log: vec![] });
+            for &(at, tag) in seeds {
+                sim.seed(SimTime::from_nanos(at), tag);
+            }
+            sim.run_to_completion();
+            sim.into_model().log
+        };
+        prop_assert_eq!(run(&seeds), run(&seeds));
+    }
+
+    #[test]
+    fn fifo_station_conserves_jobs(
+        capacity in 1usize..8,
+        ops in prop::collection::vec(any::<bool>(), 1..200),
+    ) {
+        // true = arrival, false = completion (when something is in service).
+        let mut st = FifoStation::new(capacity);
+        let mut submitted = 0u64;
+        let mut started = 0u64;
+        let mut finished = 0u64;
+        let mut in_service = 0usize;
+        for op in ops {
+            if op {
+                submitted += 1;
+                if st.admit(submitted).is_some() {
+                    started += 1;
+                    in_service += 1;
+                }
+            } else if in_service > 0 {
+                finished += 1;
+                if st.complete().is_some() {
+                    started += 1;
+                } else {
+                    in_service -= 1;
+                }
+            }
+            prop_assert!(st.busy() <= capacity);
+            prop_assert_eq!(st.busy(), in_service);
+        }
+        // Conservation: everything submitted is started, queued, or...
+        prop_assert_eq!(started as usize, submitted as usize - st.queued());
+        prop_assert!(finished <= started);
+    }
+
+    #[test]
+    fn serial_pipe_completions_are_monotone(
+        transfers in prop::collection::vec((0u64..10_000, 1u64..1_000_000), 1..100)
+    ) {
+        let mut pipe = SerialPipe::new(1e9, SimTime::from_micros(5));
+        let mut sorted = transfers.clone();
+        sorted.sort_by_key(|&(at, _)| at);
+        let mut last_done = SimTime::ZERO;
+        let mut total = 0u64;
+        for (at, bytes) in sorted {
+            let done = pipe.transfer(SimTime::from_nanos(at), bytes);
+            prop_assert!(done >= last_done, "pipe completions reordered");
+            prop_assert!(done > SimTime::from_nanos(at));
+            last_done = done;
+            total += bytes;
+        }
+        prop_assert_eq!(pipe.total_bytes(), total);
+        // The pipe can never be "faster than its bandwidth": the final
+        // completion is at least total/bw after the earliest submission.
+        let min_span = total as f64 / 1e9;
+        prop_assert!(last_done.as_secs_f64() >= min_span);
+    }
+}

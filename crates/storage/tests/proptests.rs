@@ -1,0 +1,55 @@
+//! Property tests: dataset determinism across the parameter space and NVMe
+//! store integrity.
+
+use dlb_storage::{Dataset, DatasetSpec, NvmeDisk, NvmeSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn datasets_are_pure_functions_of_their_spec(
+        count in 1usize..12,
+        seed in any::<u64>(),
+        mnist in any::<bool>(),
+    ) {
+        let spec = if mnist {
+            DatasetSpec::mnist_like(count, seed)
+        } else {
+            DatasetSpec::ilsvrc_small(count, seed)
+        };
+        let d1 = NvmeDisk::new(NvmeSpec::optane_900p());
+        let d2 = NvmeDisk::new(NvmeSpec::optane_900p());
+        let a = Dataset::build(spec.clone(), &d1).unwrap();
+        let b = Dataset::build(spec, &d2).unwrap();
+        prop_assert_eq!(&a.records, &b.records);
+        prop_assert_eq!(a.total_bytes, b.total_bytes);
+        // Bytes on disk are identical too.
+        for r in &a.records {
+            let x = d1.read(r.disk_offset, r.len).unwrap();
+            let y = d2.read(r.disk_offset, r.len).unwrap();
+            prop_assert_eq!(x.as_slice(), y.as_slice());
+        }
+    }
+
+    #[test]
+    fn nvme_objects_never_alias(
+        sizes in prop::collection::vec(1usize..10_000, 1..40)
+    ) {
+        let disk = NvmeDisk::new(NvmeSpec::optane_900p());
+        let mut placed = Vec::new();
+        for (i, len) in sizes.iter().enumerate() {
+            let (off, l) = disk.append(vec![i as u8; *len]).unwrap();
+            placed.push((off, l));
+        }
+        let mut ranges = placed.clone();
+        ranges.sort_unstable();
+        for w in ranges.windows(2) {
+            prop_assert!(w[0].0 + w[0].1 as u64 <= w[1].0, "objects alias: {:?}", w);
+        }
+        for (i, (off, len)) in placed.iter().enumerate() {
+            let got = disk.read(*off, *len).unwrap();
+            prop_assert_eq!(got.as_slice(), &vec![i as u8; sizes[i]][..]);
+        }
+    }
+}

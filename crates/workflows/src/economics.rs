@@ -1,0 +1,144 @@
+//! The §5.4 economic analysis.
+//!
+//! Inputs quoted by the paper:
+//! * "a physical core (2 hyperthreads) on the cloud sells for $0.10∼0.11 per
+//!   hour, or potential revenue of ∼$900 per year";
+//! * "a well-optimized FPGA decoder can offer the same online data
+//!   preprocessing services as 30 cores";
+//! * "the saved CPU cores can still be sold to other tenants for more than
+//!   $1.5/h";
+//! * power: FPGA ≈25 W vs CPU ≈130 W vs GPU ≈250 W.
+
+use serde::Serialize;
+
+/// Price/power assumptions.
+#[derive(Debug, Clone, Serialize)]
+pub struct EconomicsInputs {
+    /// Cloud price of one physical core, $/hour.
+    pub core_price_per_hour: f64,
+    /// Decode capability of one well-optimised FPGA, in core-equivalents.
+    pub fpga_core_equivalents: f64,
+    /// FPGA board power, watts.
+    pub fpga_watts: f64,
+    /// CPU socket power, watts.
+    pub cpu_watts: f64,
+    /// GPU board power, watts.
+    pub gpu_watts: f64,
+    /// Cores per CPU socket (for per-core power proration).
+    pub cores_per_socket: f64,
+    /// Electricity price, $/kWh (maintenance-cost component).
+    pub power_price_per_kwh: f64,
+    /// FPGA board amortised cost, $/hour (purchase / 3-year life).
+    pub fpga_price_per_hour: f64,
+}
+
+impl Default for EconomicsInputs {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl EconomicsInputs {
+    /// The paper's §5.4 numbers (electricity and board amortisation filled
+    /// with public figures: ≈$0.10/kWh industrial power, ≈$5 k Arria-10
+    /// board over 3 years).
+    pub fn paper() -> Self {
+        Self {
+            core_price_per_hour: 0.105,
+            fpga_core_equivalents: 30.0,
+            fpga_watts: 25.0,
+            cpu_watts: 130.0,
+            gpu_watts: 250.0,
+            cores_per_socket: 16.0,
+            power_price_per_kwh: 0.10,
+            fpga_price_per_hour: 5_000.0 / (3.0 * 365.0 * 24.0),
+        }
+    }
+}
+
+/// Derived economics per deployed FPGA decoder.
+#[derive(Debug, Clone, Serialize)]
+pub struct EconomicsReport {
+    /// Hourly revenue of the cores one FPGA frees (the ">$1.5/h" claim).
+    pub freed_core_revenue_per_hour: f64,
+    /// Yearly revenue of one core (the "∼$900/year" claim).
+    pub core_revenue_per_year: f64,
+    /// Hourly power cost of decoding on CPUs (prorated per-core power).
+    pub cpu_decode_power_cost_per_hour: f64,
+    /// Hourly power cost of the FPGA doing the same work.
+    pub fpga_power_cost_per_hour: f64,
+    /// Hourly FPGA amortisation.
+    pub fpga_amortisation_per_hour: f64,
+    /// Net hourly benefit to the provider per FPGA.
+    pub net_benefit_per_hour: f64,
+    /// Watts saved per FPGA deployed.
+    pub watts_saved: f64,
+}
+
+/// Computes the §5.4 ledger.
+pub fn analyze(inputs: &EconomicsInputs) -> EconomicsReport {
+    let freed_core_revenue_per_hour =
+        inputs.fpga_core_equivalents * inputs.core_price_per_hour;
+    let core_revenue_per_year = inputs.core_price_per_hour * 24.0 * 365.0;
+    let per_core_watts = inputs.cpu_watts / inputs.cores_per_socket;
+    let cpu_decode_watts = per_core_watts * inputs.fpga_core_equivalents;
+    let cpu_decode_power_cost_per_hour =
+        cpu_decode_watts / 1000.0 * inputs.power_price_per_kwh;
+    let fpga_power_cost_per_hour = inputs.fpga_watts / 1000.0 * inputs.power_price_per_kwh;
+    let net_benefit_per_hour = freed_core_revenue_per_hour
+        + (cpu_decode_power_cost_per_hour - fpga_power_cost_per_hour)
+        - inputs.fpga_price_per_hour;
+    EconomicsReport {
+        freed_core_revenue_per_hour,
+        core_revenue_per_year,
+        cpu_decode_power_cost_per_hour,
+        fpga_power_cost_per_hour,
+        fpga_amortisation_per_hour: inputs.fpga_price_per_hour,
+        net_benefit_per_hour,
+        watts_saved: cpu_decode_watts - inputs.fpga_watts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_claims_hold() {
+        let r = analyze(&EconomicsInputs::paper());
+        // ">$1.5/h" freed-core revenue.
+        assert!(
+            r.freed_core_revenue_per_hour > 1.5,
+            "freed revenue {:.2}",
+            r.freed_core_revenue_per_hour
+        );
+        // "∼$900 per year" per core.
+        assert!(
+            (850.0..1_000.0).contains(&r.core_revenue_per_year),
+            "yearly {:.0}",
+            r.core_revenue_per_year
+        );
+        // FPGA power below CPU decode power.
+        assert!(r.fpga_power_cost_per_hour < r.cpu_decode_power_cost_per_hour);
+        assert!(r.watts_saved > 100.0, "watts saved {:.0}", r.watts_saved);
+        // The deployment pays for itself.
+        assert!(r.net_benefit_per_hour > 1.0, "net {:.2}", r.net_benefit_per_hour);
+    }
+
+    #[test]
+    fn break_even_against_expensive_fpgas() {
+        let mut inputs = EconomicsInputs::paper();
+        // Even a board 10× the price still nets positive.
+        inputs.fpga_price_per_hour *= 10.0;
+        assert!(analyze(&inputs).net_benefit_per_hour > 0.0);
+        // An absurd price finally flips the sign (sanity of the ledger).
+        inputs.fpga_price_per_hour = 100.0;
+        assert!(analyze(&inputs).net_benefit_per_hour < 0.0);
+    }
+
+    #[test]
+    fn power_ordering_matches_paper() {
+        let i = EconomicsInputs::paper();
+        assert!(i.fpga_watts < i.cpu_watts && i.cpu_watts < i.gpu_watts);
+    }
+}

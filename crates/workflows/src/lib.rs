@@ -1,0 +1,30 @@
+//! # dlb-workflows
+//!
+//! End-to-end experiment runners that regenerate every table and figure of
+//! the paper's evaluation (§5) on the discrete-event timing layer, plus the
+//! §5.4 economics model.
+//!
+//! * [`calibration`] — every constant of the timing models, each tied to the
+//!   paper sentence (or public spec) that fixes it.
+//! * [`training`] — the offline-training DES (Figs. 2, 5, 6): data-parallel
+//!   solvers over P100s fed by a backend model, synchronous SGD with
+//!   allreduce, warmup-trimmed throughput and CPU-core accounting.
+//! * [`inference`] — the online-inference DES (Figs. 7, 8, 9): Poisson
+//!   clients over the 40 Gbps NIC, batch assembly, backend decode station,
+//!   PCIe copy, contended GPU service, per-request latency.
+//! * [`figures`] — per-figure sweep drivers producing [`report`] tables with
+//!   paper-expected values alongside measured ones.
+//! * [`economics`] — the cost model of §5.4.
+//! * [`report`] — plain-text table rendering and JSON export.
+
+pub mod calibration;
+pub mod economics;
+pub mod figures;
+pub mod inference;
+pub mod report;
+pub mod training;
+
+pub use calibration::{BackendKind, Calibration, Workload};
+pub use inference::{InferenceOutcome, InferenceSim};
+pub use report::{FigureReport, Row};
+pub use training::{TrainingOutcome, TrainingSim};

@@ -1,0 +1,167 @@
+//! Table rendering and JSON export for figure reproductions.
+
+use serde::Serialize;
+
+/// One table row (pre-formatted cells).
+#[derive(Debug, Clone, Serialize, PartialEq, Eq)]
+pub struct Row {
+    /// Cell strings, aligned with the report's columns.
+    pub cells: Vec<String>,
+}
+
+impl Row {
+    /// Builds a row from anything displayable.
+    pub fn new<S: ToString>(cells: &[S]) -> Self {
+        Row {
+            cells: cells.iter().map(|c| c.to_string()).collect(),
+        }
+    }
+}
+
+/// A reproduced table/figure: id, caption, columns, rows, commentary.
+#[derive(Debug, Clone, Serialize)]
+pub struct FigureReport {
+    /// Paper identifier, e.g. "Figure 5(b)".
+    pub id: String,
+    /// What it shows.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Row>,
+    /// Free-form notes (expected-vs-measured commentary).
+    pub notes: Vec<String>,
+}
+
+impl FigureReport {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row; must match the column count.
+    pub fn push_row(&mut self, row: Row) {
+        assert_eq!(
+            row.cells.len(),
+            self.columns.len(),
+            "row width mismatch in {}",
+            self.id
+        );
+        self.rows.push(row);
+    }
+
+    /// Appends a commentary note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Plain-text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.cells.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {}: {} ==\n", self.id, self.title));
+        let hr: String = widths
+            .iter()
+            .map(|w| format!("+{}", "-".repeat(w + 2)))
+            .collect::<String>()
+            + "+\n";
+        out.push_str(&hr);
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                line.push_str(&format!("| {:<width$} ", c, width = widths[i]));
+            }
+            line.push_str("|\n");
+            line
+        };
+        out.push_str(&fmt_row(&self.columns));
+        out.push_str(&hr);
+        for row in &self.rows {
+            out.push_str(&fmt_row(&row.cells));
+        }
+        out.push_str(&hr);
+        for n in &self.notes {
+            out.push_str(&format!("  note: {n}\n"));
+        }
+        out
+    }
+
+    /// JSON export (for EXPERIMENTS.md regeneration and archival).
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::to_value(self).expect("serializable")
+    }
+}
+
+/// Formats a throughput value compactly.
+pub fn fmt_rate(v: f64) -> String {
+    if v >= 10_000.0 {
+        format!("{:.1}k", v / 1000.0)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// Formats a core count.
+pub fn fmt_cores(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a ratio like "1.35x".
+pub fn fmt_ratio(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_everything() {
+        let mut r = FigureReport::new("Figure X", "demo", &["backend", "value"]);
+        r.push_row(Row::new(&["DLBooster", "123"]));
+        r.push_row(Row::new(&["CPU-based", "45"]));
+        r.note("expected ~120");
+        let s = r.render();
+        assert!(s.contains("Figure X"));
+        assert!(s.contains("DLBooster"));
+        assert!(s.contains("123"));
+        assert!(s.contains("expected ~120"));
+        // Header separator lines present.
+        assert!(s.matches('+').count() >= 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut r = FigureReport::new("F", "t", &["a", "b"]);
+        r.push_row(Row::new(&["only-one"]));
+    }
+
+    #[test]
+    fn json_roundtrip_fields() {
+        let mut r = FigureReport::new("Fig 1", "t", &["c"]);
+        r.push_row(Row::new(&["v"]));
+        let j = r.to_json();
+        assert_eq!(j["id"], "Fig 1");
+        assert_eq!(j["rows"][0]["cells"][0], "v");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_rate(123_456.0), "123.5k");
+        assert_eq!(fmt_rate(2345.0), "2345");
+        assert_eq!(fmt_cores(1.234), "1.23");
+        assert_eq!(fmt_ratio(2.4), "2.40x");
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests on the experiment layer: determinism, monotonicity and
+//! internal consistency of the DES models across the parameter space.
+
+use dlb_gpu::ModelZoo;
+use dlb_workflows::calibration::{BackendKind, Calibration};
+use dlb_workflows::inference::{DriveMode, InferenceParams, InferenceSim};
+use dlb_workflows::training::{TrainBackend, TrainingParams, TrainingSim};
+use proptest::prelude::*;
+
+fn models() -> Vec<ModelZoo> {
+    vec![ModelZoo::LeNet5, ModelZoo::AlexNet, ModelZoo::ResNet18]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn training_sim_is_deterministic(
+        model_idx in 0usize..3,
+        backend_idx in 0usize..4,
+        n_gpus in 1u32..=2,
+    ) {
+        let model = models()[model_idx];
+        let backend = match backend_idx {
+            0 => TrainBackend::Ideal,
+            1 => TrainBackend::Kind(BackendKind::CpuBased),
+            2 => TrainBackend::Kind(BackendKind::Lmdb),
+            _ => TrainBackend::Kind(BackendKind::DlBooster),
+        };
+        let run = || {
+            let mut p = TrainingParams::paper(model, backend, n_gpus);
+            p.iterations = 20;
+            p.warmup = 5;
+            TrainingSim::run(Calibration::paper(), p)
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
+        prop_assert_eq!(a.cpu_cores.to_bits(), b.cpu_cores.to_bits());
+        prop_assert_eq!(a.sim_time, b.sim_time);
+    }
+
+    #[test]
+    fn no_backend_beats_the_ideal_bound(
+        model_idx in 0usize..3,
+        backend_idx in 0usize..3,
+        n_gpus in 1u32..=2,
+    ) {
+        let model = models()[model_idx];
+        let kind = [BackendKind::CpuBased, BackendKind::Lmdb, BackendKind::DlBooster][backend_idx];
+        let mut ideal_p = TrainingParams::paper(model, TrainBackend::Ideal, n_gpus);
+        ideal_p.iterations = 24;
+        ideal_p.warmup = 6;
+        let mut real_p = TrainingParams::paper(model, TrainBackend::Kind(kind), n_gpus);
+        real_p.iterations = 24;
+        real_p.warmup = 6;
+        let ideal = TrainingSim::run(Calibration::paper(), ideal_p).throughput;
+        let real = TrainingSim::run(Calibration::paper(), real_p).throughput;
+        prop_assert!(
+            real <= ideal * 1.001,
+            "{} on {} exceeded the GPU bound: {real:.0} > {ideal:.0}",
+            kind.label(),
+            model.name()
+        );
+    }
+
+    #[test]
+    fn more_cpu_workers_never_hurt(
+        workers_lo in 1u32..8,
+        extra in 1u32..8,
+    ) {
+        let mut lo = TrainingParams::paper(
+            ModelZoo::AlexNet,
+            TrainBackend::Kind(BackendKind::CpuBased),
+            1,
+        );
+        lo.iterations = 20;
+        lo.warmup = 5;
+        lo.cpu_workers = workers_lo;
+        let mut hi = lo.clone();
+        hi.cpu_workers = workers_lo + extra;
+        let t_lo = TrainingSim::run(Calibration::paper(), lo).throughput;
+        let t_hi = TrainingSim::run(Calibration::paper(), hi).throughput;
+        prop_assert!(t_hi >= t_lo * 0.999, "{t_hi:.0} < {t_lo:.0}");
+    }
+
+    #[test]
+    fn inference_sim_deterministic_and_latency_positive(
+        backend_idx in 0usize..3,
+        bs_exp in 0u32..6,
+        seed in any::<u64>(),
+    ) {
+        let kind = [BackendKind::CpuBased, BackendKind::NvJpeg, BackendKind::DlBooster][backend_idx];
+        let bs = 1u32 << bs_exp;
+        let run = || {
+            let mut p = InferenceParams::paper(ModelZoo::GoogLeNet, kind, bs);
+            p.batches = 60;
+            p.warmup = 10;
+            p.seed = seed;
+            InferenceSim::run(Calibration::paper(), p)
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
+        prop_assert!(a.throughput > 0.0);
+        prop_assert!(a.p50_latency.as_nanos() > 0);
+        prop_assert!(a.p99_latency >= a.p50_latency);
+        prop_assert!(a.cpu_cores >= 0.0);
+    }
+
+    #[test]
+    fn loaded_runs_never_exceed_offered_rate(
+        util_pct in 20u32..80,
+        bs_exp in 0u32..5,
+    ) {
+        let bs = 1u32 << bs_exp;
+        let c = Calibration::paper();
+        let cap = InferenceSim::saturated_throughput(
+            &c, ModelZoo::GoogLeNet, BackendKind::DlBooster, bs,
+        );
+        let rate = cap * util_pct as f64 / 100.0;
+        let mut p = InferenceParams::paper(ModelZoo::GoogLeNet, BackendKind::DlBooster, bs);
+        p.mode = DriveMode::Load { rate };
+        p.batches = 80;
+        p.warmup = 10;
+        let out = InferenceSim::run(c, p);
+        // Completion rate tracks the offered rate, modulo warmup-window noise.
+        prop_assert!(out.throughput <= rate * 1.35, "{:.0} vs offered {rate:.0}", out.throughput);
+        prop_assert!(out.throughput >= rate * 0.5, "{:.0} vs offered {rate:.0}", out.throughput);
+    }
+}

@@ -1,0 +1,165 @@
+//! Pluggable-decoder demo (paper §3.1/§4.1): mirrors are interchangeable
+//! bitstreams with resource footprints; the device checks them against its
+//! fabric budget, and the timing model prices alternative configurations.
+//!
+//! ```text
+//! cargo run --example custom_decoder
+//! ```
+
+use dlbooster::fpga::{
+    DecodeCmd, DecoderEngine, DecoderMirror, DeviceSpec, FpgaDevice, FpgaTimingModel,
+    ImageWorkload, MapResolver, OutputFormat, Submission,
+};
+use dlbooster::membridge::{MemManager, PoolConfig};
+use std::sync::Arc;
+
+/// Runs the audio-spectrogram mirror functionally: PCM in, log-DCT
+/// coefficients out — the paper's "speech models" pluggability case.
+fn run_audio_mirror() {
+    use dlbooster::codec::audio::{pcm_to_le_bytes, synth_pcm, SpectrogramConfig};
+    let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
+    device.load_mirror(DecoderMirror::audio_spectrogram()).unwrap();
+    let resolver = Arc::new(MapResolver::new());
+    let pcm = synth_pcm(16_000, 1); // one second of synthetic speech
+    let src = resolver.put_disk(0, pcm_to_le_bytes(&pcm));
+    let engine = DecoderEngine::start(device, resolver).unwrap();
+    let pool = MemManager::new(PoolConfig {
+        unit_size: 1 << 20,
+        unit_count: 2,
+        phys_base: 0x4_0000_0000,
+    })
+    .unwrap();
+    let config = SpectrogramConfig::speech_16k();
+    let frames = config.frames(16_000);
+    let out_len = frames * config.coefficients * 4;
+    let mut unit = pool.get_item().unwrap();
+    let off = unit
+        .reserve(out_len, 0, config.coefficients as u32, frames as u32, 1)
+        .unwrap();
+    let cmd = DecodeCmd {
+        cmd_id: 0,
+        src,
+        dst_phys: unit.phys_addr() + off as u64,
+        dst_capacity: out_len as u32,
+        target_w: config.coefficients as u16,
+        target_h: 0,
+        format: OutputFormat::Gray8,
+    };
+    engine.submit(Submission { unit, cmds: vec![cmd.pack()] }).unwrap();
+    let done = engine.completions().pop().unwrap();
+    println!(
+        "  audio mirror: 1s of 16kHz PCM -> {} frames x {} log-DCT coefficients ({} ok)",
+        frames,
+        config.coefficients,
+        done.ok_count()
+    );
+    pool.recycle_item(done.unit).unwrap();
+}
+
+/// Runs the text-quantisation mirror functionally: UTF-8 in, token ids out.
+fn run_text_mirror() {
+    use dlbooster::codec::text::synth_text;
+    let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
+    device.load_mirror(DecoderMirror::text_quantize()).unwrap();
+    let resolver = Arc::new(MapResolver::new());
+    let text = synth_text(50, 9);
+    let src = resolver.put_disk(0, text.into_bytes());
+    let engine = DecoderEngine::start(device, resolver).unwrap();
+    let pool = MemManager::new(PoolConfig {
+        unit_size: 64 << 10,
+        unit_count: 2,
+        phys_base: 0x4_0000_0000,
+    })
+    .unwrap();
+    let seq_len = 64usize;
+    let mut unit = pool.get_item().unwrap();
+    let off = unit.reserve(seq_len * 4, 0, seq_len as u32, 1, 1).unwrap();
+    let cmd = DecodeCmd {
+        cmd_id: 0,
+        src,
+        dst_phys: unit.phys_addr() + off as u64,
+        dst_capacity: (seq_len * 4) as u32,
+        target_w: seq_len as u16,
+        target_h: 0,
+        format: OutputFormat::Gray8,
+    };
+    engine.submit(Submission { unit, cmds: vec![cmd.pack()] }).unwrap();
+    let done = engine.completions().pop().unwrap();
+    let first_ids: Vec<u32> = done.unit.item_bytes(0)[..16]
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    println!(
+        "  text mirror: 50 words -> {} token ids, first four = {:?} ({} ok)",
+        seq_len,
+        first_ids,
+        done.ok_count()
+    );
+    pool.recycle_item(done.unit).unwrap();
+}
+
+fn main() {
+    let spec = DeviceSpec::arria10_ax();
+    println!(
+        "device: {} — {} ALMs, {} DSPs, {} kb BRAM",
+        spec.name, spec.budget.alms, spec.budget.dsps, spec.budget.bram_kbits
+    );
+    println!();
+    println!(
+        "{:<18} {:>8} {:>8} {:>10} {:>12} {:>12}",
+        "mirror", "huffman", "resize", "fits?", "imgs/s", "bottleneck"
+    );
+
+    let w = ImageWorkload::ilsvrc_like();
+    for (hw, rw) in [(1u32, 1u32), (2, 1), (2, 2), (4, 2), (6, 3), (8, 4), (16, 8)] {
+        let mirror = DecoderMirror::jpeg_with_ways(hw, rw);
+        let fits = spec.budget.fits(&mirror.resources).is_ok();
+        let model = FpgaTimingModel::from_mirror(&mirror, &spec);
+        println!(
+            "{:<18} {:>8} {:>8} {:>10} {:>12.0} {:>12}",
+            mirror.name,
+            hw,
+            rw,
+            if fits { "yes" } else { "NO" },
+            model.throughput_images_per_sec(&w),
+            model.bottleneck(&w),
+        );
+    }
+
+    println!();
+    println!("running the non-image kernels functionally (paper §7 future work 3):");
+    run_audio_mirror();
+    run_text_mirror();
+
+    println!();
+    println!("switching workloads: mirrors for other DL applications (paper §3.1)");
+    let mut device = FpgaDevice::new(spec);
+    for mirror in [
+        DecoderMirror::jpeg_paper_config(),
+        DecoderMirror::audio_spectrogram(),
+        DecoderMirror::text_quantize(),
+    ] {
+        let name = mirror.name.clone();
+        match device.load_mirror(mirror) {
+            Ok(()) => {
+                let (alm, dsp, bram) = device.utilisation().unwrap();
+                println!(
+                    "  loaded {name}: ALM {:.0}% / DSP {:.0}% / BRAM {:.0}%",
+                    alm * 100.0,
+                    dsp * 100.0,
+                    bram * 100.0
+                );
+                device.unload_mirror();
+            }
+            Err(e) => println!("  {name}: rejected — {e}"),
+        }
+    }
+
+    println!();
+    println!("oversized configuration is rejected by the resource check (§3.3):");
+    let oversized = DecoderMirror::jpeg_with_ways(16, 16);
+    match device.load_mirror(oversized) {
+        Ok(()) => unreachable!("16/16 cannot fit an Arria-10"),
+        Err(e) => println!("  {e}"),
+    }
+}

@@ -1,0 +1,31 @@
+//! The §5.4 economic analysis, as a runnable calculator.
+//!
+//! ```text
+//! cargo run --example economics
+//! ```
+
+use dlbooster::workflows::economics::{analyze, EconomicsInputs};
+use dlbooster::workflows::figures::sec54_economics;
+
+fn main() {
+    println!("{}", sec54_economics().render());
+
+    println!("sensitivity: net provider benefit vs FPGA board price");
+    println!("{:<22} {:>16}", "board price ($)", "net benefit ($/h)");
+    for price in [1_000.0, 3_000.0, 5_000.0, 10_000.0, 25_000.0, 50_000.0] {
+        let mut inputs = EconomicsInputs::paper();
+        inputs.fpga_price_per_hour = price / (3.0 * 365.0 * 24.0);
+        let r = analyze(&inputs);
+        println!("{price:<22.0} {:>16.2}", r.net_benefit_per_hour);
+    }
+
+    println!();
+    println!("sensitivity: net benefit vs decoder quality (core-equivalents)");
+    println!("{:<22} {:>16}", "core-equivalents", "net benefit ($/h)");
+    for cores in [5.0, 10.0, 20.0, 30.0, 60.0] {
+        let mut inputs = EconomicsInputs::paper();
+        inputs.fpga_core_equivalents = cores;
+        let r = analyze(&inputs);
+        println!("{cores:<22.0} {:>16.2}", r.net_benefit_per_hour);
+    }
+}

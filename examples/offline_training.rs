@@ -1,0 +1,110 @@
+//! Offline-training scenario (paper §5.2): train a network with different
+//! preprocessing backends and compare throughput and CPU cost.
+//!
+//! Part 1 runs the *functional* pipeline end to end on a small synthetic
+//! dataset: real JPEG decode, real queues, the Algorithm-3 dispatcher, and
+//! the NVCaffe-like solver loop — DLBooster vs the CPU-based baseline.
+//!
+//! Part 2 runs the *calibrated DES* at paper scale and prints the Fig. 5/6
+//! rows (AlexNet).
+//!
+//! ```text
+//! cargo run --example offline_training
+//! ```
+
+use dlbooster::prelude::*;
+use dlbooster::workflows::figures;
+use std::sync::Arc;
+
+fn functional_run_dlbooster(iterations: u64) {
+    let disk = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));
+    let dataset = Dataset::build(DatasetSpec::ilsvrc_small(24, 11), &disk).unwrap();
+    let collector = Arc::new(DataCollector::load_from_disk(&dataset.records, 3));
+    let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
+    device.load_mirror(DecoderMirror::jpeg_paper_config()).unwrap();
+    let engine = DecoderEngine::start(
+        device,
+        Arc::new(CombinedResolver::disk_only(Arc::clone(&disk))),
+    )
+    .unwrap();
+    let booster: Arc<dyn PreprocessBackend> = Arc::new(
+        DlBooster::start(
+            collector,
+            FpgaChannel::init(engine, 0),
+            DlBoosterConfig::training(2, 4, (64, 64), dataset.records.len(), Some(iterations * 2)),
+        )
+        .unwrap(),
+    );
+    let gpus: Vec<GpuDevice> = (0..2).map(|i| GpuDevice::new(GpuSpec::tesla_p100(), i)).collect();
+    let report = TrainingSession::run(
+        booster,
+        &gpus,
+        &TrainingConfig {
+            model: ModelZoo::ResNet18,
+            batch_size: 4,
+            precision: Precision::Fp32,
+            iterations,
+            time_scale: 0.0, // don't sleep; report modelled time
+            gpu_background_share: 0.0,
+        },
+    );
+    println!(
+        "[functional] DLBooster + ResNet-18 on 2 simulated P100s: {} images in {} iterations; modelled {:.0} img/s; backend busy {:.1} ms CPU",
+        report.images,
+        report.iterations,
+        report.modelled_throughput,
+        report.backend_cpu_nanos as f64 / 1e6,
+    );
+}
+
+fn functional_run_cpu(iterations: u64) {
+    let disk = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));
+    let dataset = Dataset::build(DatasetSpec::ilsvrc_small(24, 11), &disk).unwrap();
+    let collector = Arc::new(DataCollector::load_from_disk(&dataset.records, 3));
+    let backend: Arc<dyn PreprocessBackend> = Arc::new(
+        CpuBackend::start(
+            collector,
+            Arc::new(CombinedResolver::disk_only(Arc::clone(&disk))),
+            CpuBackendConfig {
+                n_engines: 2,
+                batch_size: 4,
+                target_w: 64,
+                target_h: 64,
+                workers: 3,
+                max_batches: Some(iterations * 2),
+            },
+        )
+        .unwrap(),
+    );
+    let gpus: Vec<GpuDevice> = (0..2).map(|i| GpuDevice::new(GpuSpec::tesla_p100(), i)).collect();
+    let report = TrainingSession::run(
+        backend,
+        &gpus,
+        &TrainingConfig {
+            model: ModelZoo::ResNet18,
+            batch_size: 4,
+            precision: Precision::Fp32,
+            iterations,
+            time_scale: 0.0,
+            gpu_background_share: 0.0,
+        },
+    );
+    println!(
+        "[functional] CPU-based + ResNet-18: {} images; modelled {:.0} img/s; backend burned {:.1} ms of real decode CPU",
+        report.images,
+        report.modelled_throughput,
+        report.backend_cpu_nanos as f64 / 1e6,
+    );
+}
+
+fn main() {
+    println!("== Part 1: functional pipeline (real decode, real queues) ==");
+    functional_run_dlbooster(6);
+    functional_run_cpu(6);
+
+    println!();
+    println!("== Part 2: paper-scale DES (Figs. 5 and 6) ==");
+    let cal = Calibration::paper();
+    println!("{}", figures::fig5_training_throughput(&cal).render());
+    println!("{}", figures::fig6_training_cpu_cost(&cal).render());
+}

@@ -1,0 +1,120 @@
+//! End-to-end functional training: dataset → FPGA decode → pool →
+//! dispatcher → NVCaffe-like solvers, with pixel-integrity checks against a
+//! host-side reference decode.
+
+use dlbooster::prelude::*;
+use std::sync::Arc;
+
+fn build_pipeline(
+    n_images: usize,
+    n_engines: usize,
+    batch: usize,
+    max_batches: u64,
+) -> (Arc<NvmeDisk>, Dataset, DlBooster) {
+    let disk = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));
+    let dataset = Dataset::build(DatasetSpec::ilsvrc_small(n_images, 77), &disk).unwrap();
+    let collector = Arc::new(DataCollector::load_from_disk(&dataset.records, 0));
+    let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
+    device.load_mirror(DecoderMirror::jpeg_paper_config()).unwrap();
+    let engine = DecoderEngine::start(
+        device,
+        Arc::new(CombinedResolver::disk_only(Arc::clone(&disk))),
+    )
+    .unwrap();
+    let mut config = DlBoosterConfig::training(n_engines, batch, (48, 48), n_images, Some(max_batches));
+    config.cache_bytes = 0; // force live decode for integrity checks
+    let booster = DlBooster::start(collector, FpgaChannel::init(engine, 0), config).unwrap();
+    (disk, dataset, booster)
+}
+
+#[test]
+fn decoded_batches_match_reference_pixels() {
+    let (disk, dataset, booster) = build_pipeline(8, 1, 4, 2);
+    let decoder = JpegDecoder::new();
+    let mut seen = 0;
+    while let Ok(batch) = booster.next_batch(0) {
+        for (i, item) in batch.unit.items().iter().enumerate() {
+            // The collector is unshuffled, so items arrive in record order.
+            let record = &dataset.records[(batch.sequence as usize * 4 + i) % 8];
+            assert_eq!(item.label, record.label);
+            let bytes = disk.read(record.disk_offset, record.len).unwrap();
+            let reference = dlbooster::codec::resize::resize(
+                &decoder.decode(&bytes).unwrap(),
+                48,
+                48,
+                dlbooster::codec::resize::ResizeFilter::Bilinear,
+            )
+            .unwrap()
+            .to_rgb();
+            assert_eq!(
+                batch.unit.item_bytes(i),
+                reference.data(),
+                "batch {} item {i} pixel mismatch",
+                batch.sequence
+            );
+        }
+        seen += 1;
+        booster.recycle(batch.unit);
+    }
+    assert_eq!(seen, 2);
+}
+
+#[test]
+fn full_training_session_with_dlbooster_backend() {
+    let (_disk, _dataset, booster) = build_pipeline(16, 2, 4, 8);
+    let booster: Arc<dyn PreprocessBackend> = Arc::new(booster);
+    let gpus: Vec<GpuDevice> = (0..2)
+        .map(|i| GpuDevice::new(GpuSpec::tesla_p100(), i))
+        .collect();
+    let report = TrainingSession::run(
+        booster,
+        &gpus,
+        &TrainingConfig {
+            model: ModelZoo::ResNet18,
+            batch_size: 4,
+            precision: Precision::Fp32,
+            iterations: 4,
+            time_scale: 0.0,
+            gpu_background_share: 0.0,
+        },
+    );
+    assert_eq!(report.n_gpus, 2);
+    assert_eq!(report.iterations, 8);
+    assert_eq!(report.images, 32);
+    assert!(report.modelled_throughput > 0.0);
+    assert!(report.modelled_time.as_nanos() > 0);
+}
+
+#[test]
+fn hybrid_cache_serves_later_epochs_in_full_pipeline() {
+    let disk = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));
+    let n_images = 8;
+    let dataset = Dataset::build(DatasetSpec::ilsvrc_small(n_images, 5), &disk).unwrap();
+    let collector = Arc::new(DataCollector::load_from_disk(&dataset.records, 0));
+    let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
+    device.load_mirror(DecoderMirror::jpeg_paper_config()).unwrap();
+    let engine = DecoderEngine::start(
+        device,
+        Arc::new(CombinedResolver::disk_only(Arc::clone(&disk))),
+    )
+    .unwrap();
+    // Cache enabled and sized to hold the dataset; run 3 epochs worth.
+    let booster = DlBooster::start(
+        collector,
+        FpgaChannel::init(engine, 0),
+        DlBoosterConfig::training(1, 4, (32, 32), n_images, Some(6)),
+    )
+    .unwrap();
+    let mut payloads = Vec::new();
+    while let Ok(batch) = booster.next_batch(0) {
+        payloads.push(batch.unit.payload().to_vec());
+        booster.recycle(batch.unit);
+    }
+    assert_eq!(payloads.len(), 6);
+    // Epochs replay identically from the cache (unshuffled collector).
+    assert_eq!(payloads[0], payloads[2]);
+    assert_eq!(payloads[0], payloads[4]);
+    assert_eq!(payloads[1], payloads[3]);
+    let (hits, _, _) = booster.cache().stats();
+    assert!(hits >= 4, "expected cache replay, hits = {hits}");
+}

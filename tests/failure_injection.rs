@@ -1,0 +1,192 @@
+//! Failure injection across the pipeline: corrupt payloads, missing
+//! sources, undersized destinations and mid-run shutdowns must degrade
+//! gracefully — errors surface in FINISH signals and counters, never as
+//! hangs or panics.
+
+use dlbooster::prelude::*;
+use dlbooster::fpga::{MapResolver, Submission};
+use std::sync::Arc;
+
+fn engine_with(resolver: Arc<MapResolver>) -> DecoderEngine {
+    let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
+    device.load_mirror(DecoderMirror::jpeg_paper_config()).unwrap();
+    DecoderEngine::start(device, resolver).unwrap()
+}
+
+fn good_jpeg(seed: u64) -> Vec<u8> {
+    let img = dlbooster::codec::synth::generate(
+        40,
+        30,
+        dlbooster::codec::synth::SynthStyle::Photo,
+        seed,
+    );
+    JpegEncoder::new(85).unwrap().encode(&img).unwrap()
+}
+
+#[test]
+fn corrupt_payloads_fail_item_not_batch() {
+    let resolver = Arc::new(MapResolver::new());
+    let engine = engine_with(Arc::clone(&resolver));
+    let pool = MemManager::new(PoolConfig {
+        unit_size: 1 << 20,
+        unit_count: 2,
+        phys_base: 0x4_0000_0000,
+    })
+    .unwrap();
+
+    // Mix: valid, truncated, bit-flipped, empty-garbage.
+    let mut clean = good_jpeg(1);
+    let valid = resolver.put_disk(0, clean.clone());
+    clean.truncate(clean.len() / 3);
+    let truncated = resolver.put_disk(1 << 20, clean);
+    let mut flipped = good_jpeg(2);
+    for b in flipped.iter_mut().skip(100).step_by(7) {
+        *b ^= 0xA5;
+    }
+    let corrupted = resolver.put_disk(2 << 20, flipped);
+    let garbage = resolver.put_disk(3 << 20, vec![0x55; 4096]);
+
+    let mut unit = pool.get_item().unwrap();
+    let mut cmds = Vec::new();
+    for (i, src) in [valid, truncated, corrupted, garbage].into_iter().enumerate() {
+        let off = unit.reserve(24 * 24 * 3, i as u64, 24, 24, 3).unwrap();
+        cmds.push(
+            DecodeCmd {
+                cmd_id: i as u64,
+                src,
+                dst_phys: unit.phys_addr() + off as u64,
+                dst_capacity: 24 * 24 * 3,
+                target_w: 24,
+                target_h: 24,
+                format: OutputFormat::Rgb8,
+            }
+            .pack(),
+        );
+    }
+    engine.submit(Submission { unit, cmds }).unwrap();
+    let done = engine.completions().pop().unwrap();
+    assert_eq!(done.finishes.len(), 4);
+    assert!(done.finishes[0].status.is_ok(), "valid image must decode");
+    assert!(
+        !done.finishes[1].status.is_ok(),
+        "truncated stream must fail"
+    );
+    // The bit-flipped stream may decode to garbage pixels or fail — both
+    // are acceptable; the batch as a whole must complete.
+    assert!(!done.finishes[3].status.is_ok(), "pure garbage must fail");
+    assert!(done.ok_count() >= 1 && done.ok_count() <= 2);
+    pool.recycle_item(done.unit).unwrap();
+}
+
+#[test]
+fn reader_counts_item_errors_and_keeps_flowing() {
+    // A dataset where half the disk objects are corrupted after manifest
+    // creation: the reader keeps producing batches; errors land in stats.
+    let disk = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));
+    let dataset = Dataset::build(DatasetSpec::ilsvrc_small(8, 9), &disk).unwrap();
+    // Re-register even records as garbage under *new* offsets, then patch
+    // the manifest to point there.
+    let mut records = dataset.records.clone();
+    for r in records.iter_mut().step_by(2) {
+        let (off, len) = disk.append(vec![0xEE; r.len as usize]).unwrap();
+        r.disk_offset = off;
+        r.len = len;
+    }
+    let collector = Arc::new(DataCollector::load_from_disk(&records, 0));
+    let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
+    device.load_mirror(DecoderMirror::jpeg_paper_config()).unwrap();
+    let engine = DecoderEngine::start(
+        device,
+        Arc::new(CombinedResolver::disk_only(Arc::clone(&disk))),
+    )
+    .unwrap();
+    let mut config = DlBoosterConfig::training(1, 4, (32, 32), 8, Some(2));
+    config.cache_bytes = 0;
+    let booster = DlBooster::start(collector, FpgaChannel::init(engine, 0), config).unwrap();
+    let mut delivered = 0;
+    while let Ok(batch) = booster.next_batch(0) {
+        assert_eq!(batch.len(), 4, "failed items still occupy their slots");
+        delivered += 1;
+        booster.recycle(batch.unit);
+    }
+    assert_eq!(delivered, 2, "errors must not stall delivery");
+}
+
+#[test]
+fn mid_run_shutdown_terminates_cleanly() {
+    let disk = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));
+    let dataset = Dataset::build(DatasetSpec::ilsvrc_small(16, 31), &disk).unwrap();
+    let collector = Arc::new(DataCollector::load_from_disk(&dataset.records, 1));
+    let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
+    device.load_mirror(DecoderMirror::jpeg_paper_config()).unwrap();
+    let engine = DecoderEngine::start(
+        device,
+        Arc::new(CombinedResolver::disk_only(Arc::clone(&disk))),
+    )
+    .unwrap();
+    // Unbounded run, killed from outside after two batches.
+    let mut config = DlBoosterConfig::training(1, 4, (32, 32), 16, None);
+    config.cache_bytes = 0;
+    let booster = Arc::new(
+        DlBooster::start(collector, FpgaChannel::init(engine, 0), config).unwrap(),
+    );
+    for _ in 0..2 {
+        let batch = booster.next_batch(0).unwrap();
+        booster.recycle(batch.unit);
+    }
+    booster.shutdown();
+    // Further consumption drains whatever was queued, then errors — no hang.
+    loop {
+        match booster.next_batch(0) {
+            Ok(batch) => booster.recycle(batch.unit),
+            Err(e) => {
+                assert_eq!(e, dlbooster::core::BackendError::Exhausted);
+                break;
+            }
+        }
+    }
+}
+
+#[test]
+fn nic_rejects_malformed_frames_without_poisoning_stream() {
+    let nic = NicRx::new(NicSpec::forty_gbps(), 0x9_0000_0000);
+    // Garbage, then a real frame: the real one must still flow.
+    assert!(nic.deliver(&[0xFF; 64], 0).is_err());
+    let frame = dlbooster::net::Frame {
+        request_id: 5,
+        client_id: 2,
+        send_ts_nanos: 0,
+        payload: good_jpeg(11),
+    };
+    let desc = nic.deliver(&frame.encode(), 10).unwrap();
+    assert_eq!(desc.request_id, 5);
+    let (ok, bad, _) = nic.counters();
+    assert_eq!((ok, bad), (1, 1));
+}
+
+#[test]
+fn pool_exhaustion_applies_backpressure_not_failure() {
+    // One unit, slow consumer: the reader must block (not error, not drop)
+    // and resume when the unit is recycled.
+    let disk = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));
+    let dataset = Dataset::build(DatasetSpec::ilsvrc_small(8, 3), &disk).unwrap();
+    let collector = Arc::new(DataCollector::load_from_disk(&dataset.records, 0));
+    let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
+    device.load_mirror(DecoderMirror::jpeg_paper_config()).unwrap();
+    let engine = DecoderEngine::start(
+        device,
+        Arc::new(CombinedResolver::disk_only(Arc::clone(&disk))),
+    )
+    .unwrap();
+    let mut config = DlBoosterConfig::training(1, 4, (32, 32), 8, Some(4));
+    config.cache_bytes = 0;
+    config.pool_units = 2; // tight pool → real backpressure
+    let booster = DlBooster::start(collector, FpgaChannel::init(engine, 0), config).unwrap();
+    let mut seen = 0;
+    while let Ok(batch) = booster.next_batch(0) {
+        std::thread::sleep(std::time::Duration::from_millis(5)); // slow consumer
+        seen += 1;
+        booster.recycle(batch.unit);
+    }
+    assert_eq!(seen, 4, "backpressure must not lose batches");
+}

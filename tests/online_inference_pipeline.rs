@@ -1,0 +1,97 @@
+//! Functional online-inference pipeline: client frames → NIC → stream-mode
+//! DataCollector → FPGA decode → inference session, with request identity
+//! and latency accounting verified end to end.
+
+use dlbooster::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn requests_flow_from_nic_to_decoded_batches_with_identity() {
+    let pool = ClientPool::small(1_000.0, 4242);
+    let n_requests = 16;
+    let batch_size = 4;
+    let requests = pool.generate_requests(n_requests);
+
+    let nic = Arc::new(NicRx::new(NicSpec::forty_gbps(), 0x8_0000_0000));
+    let collector = Arc::new(DataCollector::load_from_net());
+    for r in &requests {
+        let desc = nic
+            .deliver(&r.wire_bytes, r.send_time.as_nanos() + 50_000)
+            .expect("valid frame");
+        collector.push_from_net(&desc);
+    }
+    collector.close_stream();
+
+    let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
+    device.load_mirror(DecoderMirror::jpeg_paper_config()).unwrap();
+    let engine =
+        DecoderEngine::start(device, Arc::new(CombinedResolver::nic_only(Arc::clone(&nic))))
+            .unwrap();
+    let mut config = DlBoosterConfig::inference(1, batch_size, (56, 56));
+    config.max_batches = Some((n_requests / batch_size) as u64);
+    let booster = DlBooster::start(collector, FpgaChannel::init(engine, 0), config).unwrap();
+
+    let mut served_ids = Vec::new();
+    while let Ok(batch) = booster.next_batch(0) {
+        assert_eq!(batch.len(), batch_size);
+        assert_eq!(batch.arrivals.len(), batch_size);
+        for (i, item) in batch.unit.items().iter().enumerate() {
+            // Request id travels as the label; arrival timestamp travels in
+            // `arrivals`, matching what the NIC stamped.
+            served_ids.push(item.label);
+            assert_eq!(
+                batch.arrivals[i],
+                requests[item.label as usize].send_time.as_nanos() + 50_000
+            );
+            // Decoded geometry is the configured 56×56 RGB.
+            assert_eq!(item.len, 56 * 56 * 3);
+        }
+        booster.recycle(batch.unit);
+    }
+    served_ids.sort_unstable();
+    assert_eq!(served_ids, (0..n_requests as u64).collect::<Vec<_>>());
+}
+
+#[test]
+fn inference_session_over_stream_backend() {
+    let pool = ClientPool::small(1_000.0, 7);
+    let n_requests = 24;
+    let batch_size = 4;
+    let requests = pool.generate_requests(n_requests);
+    let nic = Arc::new(NicRx::new(NicSpec::forty_gbps(), 0x8_0000_0000));
+    let collector = Arc::new(DataCollector::load_from_net());
+    for r in &requests {
+        let desc = nic.deliver(&r.wire_bytes, 0).unwrap();
+        collector.push_from_net(&desc);
+    }
+    collector.close_stream();
+
+    let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
+    device.load_mirror(DecoderMirror::jpeg_paper_config()).unwrap();
+    let engine =
+        DecoderEngine::start(device, Arc::new(CombinedResolver::nic_only(Arc::clone(&nic))))
+            .unwrap();
+    let mut config = DlBoosterConfig::inference(1, batch_size, (224, 224));
+    config.max_batches = Some((n_requests / batch_size) as u64);
+    let booster: Arc<dyn PreprocessBackend> = Arc::new(
+        DlBooster::start(collector, FpgaChannel::init(engine, 0), config).unwrap(),
+    );
+
+    let gpus = vec![GpuDevice::new(GpuSpec::tesla_v100(), 0)];
+    let report = InferenceSession::run(
+        booster,
+        &gpus,
+        &InferenceConfig {
+            model: ModelZoo::GoogLeNet,
+            batch_size: batch_size as u32,
+            precision: Precision::Fp16,
+            batches: (n_requests / batch_size) as u64,
+            time_scale: 0.0,
+            gpu_background_share: 0.0,
+        },
+    );
+    assert_eq!(report.images, n_requests as u64);
+    assert_eq!(report.batches, (n_requests / batch_size) as u64);
+    assert!(report.modelled_throughput > 0.0);
+    assert_eq!(report.latency.len(), n_requests / batch_size);
+}
