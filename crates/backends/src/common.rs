@@ -15,6 +15,8 @@ pub struct SlotRouter {
     /// Serialises sequence assignment + push so slot `seq % n` always holds.
     order: Mutex<u64>,
     delivered: AtomicU64,
+    /// Production tickets handed out via [`SlotRouter::claim`].
+    claimed: AtomicU64,
     max_batches: Option<u64>,
 }
 
@@ -27,7 +29,27 @@ impl SlotRouter {
             queues: (0..n_slots).map(|_| BlockingQueue::bounded(depth)).collect(),
             order: Mutex::new(0),
             delivered: AtomicU64::new(0),
+            claimed: AtomicU64::new(0),
             max_batches,
+        }
+    }
+
+    /// Claims the right to produce one more batch; call *before* pulling
+    /// input. Returns `false` once `max_batches` tickets are taken.
+    ///
+    /// Without the up-front ticket, a fast worker can wrap the collector
+    /// into the next epoch and win the delivery race against a slower
+    /// worker's current-epoch batch, making the delivered record window
+    /// depend on scheduling.
+    pub fn claim(&self) -> bool {
+        match self.max_batches {
+            None => true,
+            Some(max) => self
+                .claimed
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |c| {
+                    (c < max).then_some(c + 1)
+                })
+                .is_ok(),
         }
     }
 

@@ -116,6 +116,9 @@ fn lmdb_reader(
     n_records: u64,
 ) {
     while !scaffold.stop.load(Ordering::SeqCst) {
+        if !scaffold.router.claim() {
+            break;
+        }
         // Claim a contiguous key range (epoch-wrapping cursor scan — the
         // sequential access pattern of Caffe's data layer).
         let start = cursor.fetch_add(config.batch_size as u64, Ordering::SeqCst);

@@ -128,15 +128,22 @@ fn nvjpeg_worker(
     config: NvJpegBackendConfig,
 ) {
     let decoder = JpegDecoder::new();
-    while !scaffold.stop.load(Ordering::SeqCst) {
-        let metas = match collector.next_metas(config.batch_size) {
-            Some(m) => m,
-            None => break,
-        };
-        if metas.is_empty() {
-            std::thread::sleep(std::time::Duration::from_micros(200));
-            continue;
+    'produce: while !scaffold.stop.load(Ordering::SeqCst) {
+        if !scaffold.router.claim() {
+            break;
         }
+        let metas = loop {
+            match collector.next_metas(config.batch_size) {
+                None => break 'produce,
+                Some(m) if m.is_empty() => {
+                    if scaffold.stop.load(Ordering::SeqCst) {
+                        break 'produce;
+                    }
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                Some(m) => break m,
+            }
+        };
         let Ok(mut unit) = scaffold.pool.get_item() else {
             break;
         };

@@ -14,8 +14,8 @@ fn main() {
     eprintln!("regenerating all figures on the paper calibration…");
     let reports = all_figures(&cal);
     if json_only {
-        let bundle = serde_json::Value::Array(reports.iter().map(|r| r.to_json()).collect());
-        println!("{}", serde_json::to_string_pretty(&bundle).expect("serializable"));
+        let bundle = dlb_telemetry::Json::Array(reports.iter().map(|r| r.to_json()).collect());
+        println!("{}", bundle.to_string_pretty());
     } else {
         for r in &reports {
             println!();

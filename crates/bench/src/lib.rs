@@ -38,8 +38,8 @@ pub fn save_reports(name: &str, reports: &[FigureReport]) -> std::io::Result<std
     let dir = std::path::Path::new("target").join("figure-reports");
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
-    let json = serde_json::Value::Array(reports.iter().map(|r| r.to_json()).collect());
-    std::fs::write(&path, serde_json::to_string_pretty(&json)?)?;
+    let json = dlb_telemetry::Json::Array(reports.iter().map(|r| r.to_json()).collect());
+    std::fs::write(&path, json.to_string_pretty())?;
     Ok(path)
 }
 

@@ -23,6 +23,7 @@ use crate::collector::DataCollector;
 use crate::reader::{FpgaReader, ReaderConfig};
 use dlb_fpga::OutputFormat;
 use dlb_membridge::{BatchUnit, BlockingQueue, MemManager, PoolConfig};
+use dlb_telemetry::{names, Counter, PipelineSnapshot, Telemetry};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -107,28 +108,46 @@ pub struct DlBooster {
     cache: Arc<EpochCache>,
     router_cpu_nanos: Arc<AtomicU64>,
     reader_cpu_nanos: Arc<AtomicU64>,
-    delivered: Arc<AtomicU64>,
+    delivered: Arc<Counter>,
+    telemetry: Arc<Telemetry>,
 }
 
 impl DlBooster {
     /// Builds and starts the backend on an already-initialised channel
-    /// (device + mirror + engine) and collector.
+    /// (device + mirror + engine) and collector, with a private telemetry
+    /// registry.
     pub fn start(
         collector: Arc<DataCollector>,
         channel: FpgaChannel,
         config: DlBoosterConfig,
     ) -> Result<Self, String> {
+        Self::start_with_telemetry(collector, channel, config, Telemetry::with_defaults())
+    }
+
+    /// Like [`DlBooster::start`], but recording every stage's metrics into
+    /// the shared pipeline `telemetry`. For a fully-aggregated
+    /// [`PipelineSnapshot`], build the channel with
+    /// [`FpgaChannel::init_with_telemetry`] on the same registry.
+    pub fn start_with_telemetry(
+        collector: Arc<DataCollector>,
+        channel: FpgaChannel,
+        config: DlBoosterConfig,
+        telemetry: Arc<Telemetry>,
+    ) -> Result<Self, String> {
         if config.n_engines == 0 || config.batch_size == 0 {
             return Err("n_engines and batch_size must be positive".into());
         }
-        let pool = MemManager::new(PoolConfig {
-            unit_size: config.unit_size(),
-            unit_count: config.pool_units,
-            phys_base: 0x4_0000_0000,
-        })
+        let pool = MemManager::with_telemetry(
+            PoolConfig {
+                unit_size: config.unit_size(),
+                unit_count: config.pool_units,
+                phys_base: 0x4_0000_0000,
+            },
+            &telemetry,
+        )
         .map_err(|e| e.to_string())?;
 
-        let reader = FpgaReader::start(
+        let reader = FpgaReader::start_with_telemetry(
             collector,
             pool.clone(),
             channel,
@@ -139,15 +158,20 @@ impl DlBooster {
                 format: config.format,
                 max_batches: None, // the router enforces the delivery bound
             },
+            &telemetry,
         );
         let reader_cpu_nanos = Arc::new(AtomicU64::new(0));
         let slot_queues: Vec<BlockingQueue<HostBatch>> = (0..config.n_engines)
-            .map(|_| BlockingQueue::bounded(8))
+            .map(|i| {
+                let q = BlockingQueue::bounded(8);
+                q.instrument(&telemetry, &format!("slot{i}"));
+                q
+            })
             .collect();
         let cache = Arc::new(EpochCache::new(config.cache_bytes));
         let stop = Arc::new(AtomicBool::new(false));
         let router_cpu_nanos = Arc::new(AtomicU64::new(0));
-        let delivered = Arc::new(AtomicU64::new(0));
+        let delivered = telemetry.registry.counter(names::ROUTER_DELIVERED);
 
         let ctx = RouterCtx {
             pool: pool.clone(),
@@ -173,6 +197,7 @@ impl DlBooster {
             router_cpu_nanos,
             reader_cpu_nanos,
             delivered,
+            telemetry,
         })
     }
 
@@ -181,9 +206,20 @@ impl DlBooster {
         &self.cache
     }
 
+    /// The pipeline telemetry registry every stage records into.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// A point-in-time aggregate of every stage's counters, histograms and
+    /// watchdog state.
+    pub fn pipeline_snapshot(&self) -> PipelineSnapshot {
+        self.telemetry.pipeline_snapshot()
+    }
+
     /// Batches delivered so far.
     pub fn delivered(&self) -> u64 {
-        self.delivered.load(Ordering::Relaxed)
+        self.delivered.get()
     }
 
     /// The underlying pool (tests verify conservation).
@@ -246,7 +282,7 @@ struct RouterCtx {
     stop: Arc<AtomicBool>,
     cpu_nanos: Arc<AtomicU64>,
     reader_cpu_nanos: Arc<AtomicU64>,
-    delivered: Arc<AtomicU64>,
+    delivered: Arc<Counter>,
     config: DlBoosterConfig,
 }
 
@@ -260,7 +296,7 @@ fn run_router(reader: FpgaReader, ctx: RouterCtx) -> Option<FpgaReader> {
         batch.sequence = *seq_out;
         batch.unit.seal(*seq_out);
         *seq_out += 1;
-        ctx.delivered.fetch_add(1, Ordering::Relaxed);
+        ctx.delivered.inc();
         ctx.slot_queues[slot].push(batch).is_ok()
     };
 
@@ -300,10 +336,8 @@ fn run_router(reader: FpgaReader, ctx: RouterCtx) -> Option<FpgaReader> {
 
     // Publish reader CPU time and shut the FPGA path down if we are going
     // cache-only (the decoder is no longer needed — §3.1's offline phase).
-    ctx.reader_cpu_nanos.store(
-        reader.stats().cpu_busy_nanos.load(Ordering::Relaxed),
-        Ordering::Relaxed,
-    );
+    ctx.reader_cpu_nanos
+        .store(reader.stats().cpu_busy_nanos.get(), Ordering::Relaxed);
     if !cache_complete {
         // Live phase ended (exhausted / stopped / max reached).
         for q in &ctx.slot_queues {

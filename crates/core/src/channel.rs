@@ -8,25 +8,38 @@
 //! reader loop).
 
 use dlb_fpga::{CompletedBatch, DecoderEngine, FpgaError, Submission};
-use std::sync::atomic::{AtomicU64, Ordering};
+use dlb_telemetry::{names, Counter, Gauge, Telemetry};
+use std::sync::Arc;
 
 /// A host-side handle to one FPGA decoder engine.
 pub struct FpgaChannel {
     engine: DecoderEngine,
     queue_id: u32,
-    submitted: AtomicU64,
-    drained: AtomicU64,
+    submitted: Arc<Counter>,
+    drained: Arc<Counter>,
+    inflight: Arc<Gauge>,
 }
 
 impl FpgaChannel {
     /// Binds a channel to a running decoder engine (`FPGAInit(Queue_ID)` of
-    /// Algorithm 1).
+    /// Algorithm 1) with a private telemetry registry.
     pub fn init(engine: DecoderEngine, queue_id: u32) -> Self {
+        Self::init_with_telemetry(engine, queue_id, &Telemetry::with_defaults())
+    }
+
+    /// Like [`FpgaChannel::init`], but recording `channel.*` metrics into
+    /// the shared pipeline `telemetry`.
+    pub fn init_with_telemetry(
+        engine: DecoderEngine,
+        queue_id: u32,
+        telemetry: &Telemetry,
+    ) -> Self {
         Self {
             engine,
             queue_id,
-            submitted: AtomicU64::new(0),
-            drained: AtomicU64::new(0),
+            submitted: telemetry.registry.counter(names::CHANNEL_CMDS_SUBMITTED),
+            drained: telemetry.registry.counter(names::CHANNEL_CMDS_DRAINED),
+            inflight: telemetry.registry.gauge(names::CHANNEL_INFLIGHT),
         }
     }
 
@@ -40,14 +53,16 @@ impl FpgaChannel {
     /// (Algorithm 1 line 12 returns `mem_carriers`).
     pub fn submit_cmd(&self, submission: Submission) -> Result<Vec<CompletedBatch>, FpgaError> {
         self.engine.submit(submission)?;
-        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.submitted.inc();
+        self.inflight.inc();
         Ok(self.drain_out())
     }
 
     /// Table 1 `drain_out`: non-blocking poll of every finished batch.
     pub fn drain_out(&self) -> Vec<CompletedBatch> {
         let out = self.engine.completions().drain();
-        self.drained.fetch_add(out.len() as u64, Ordering::Relaxed);
+        self.drained.add(out.len() as u64);
+        self.inflight.add(-(out.len() as i64));
         out
     }
 
@@ -55,7 +70,8 @@ impl FpgaChannel {
     pub fn wait_one(&self) -> Option<CompletedBatch> {
         match self.engine.completions().pop() {
             Ok(b) => {
-                self.drained.fetch_add(1, Ordering::Relaxed);
+                self.drained.inc();
+                self.inflight.dec();
                 Some(b)
             }
             Err(_) => None,
@@ -64,7 +80,7 @@ impl FpgaChannel {
 
     /// Batches submitted but not yet drained.
     pub fn in_flight(&self) -> u64 {
-        self.submitted.load(Ordering::Relaxed) - self.drained.load(Ordering::Relaxed)
+        self.inflight.get().max(0) as u64
     }
 
     /// Table 1 `recycle` (Algorithm 1 line 19): shuts the channel down and

@@ -16,7 +16,7 @@ use crate::backend::{BackendError, HostBatch, PreprocessBackend};
 use dlb_gpu::stream::{CompletedOp, GpuOp};
 use dlb_gpu::{DeviceBuffer, StreamSet};
 use dlb_membridge::{BlockingQueue, ItemDesc};
-use std::sync::atomic::{AtomicU64, Ordering};
+use dlb_telemetry::{names, Counter, Histogram, Telemetry};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -55,17 +55,31 @@ impl TransQueues {
     }
 }
 
-/// Dispatcher counters.
-#[derive(Debug, Default)]
+/// Dispatcher counters, registered in the pipeline telemetry registry.
+#[derive(Debug)]
 pub struct DispatcherStats {
     /// Batches dispatched.
-    pub batches: AtomicU64,
+    pub batches: Arc<Counter>,
     /// Bytes copied H2D.
-    pub bytes_copied: AtomicU64,
+    pub bytes_copied: Arc<Counter>,
     /// Copy errors (device buffer too small).
-    pub copy_errors: AtomicU64,
+    pub copy_errors: Arc<Counter>,
     /// Host CPU busy nanos in the dispatch loop.
-    pub cpu_busy_nanos: AtomicU64,
+    pub cpu_busy_nanos: Arc<Counter>,
+    /// Submit-to-synchronized latency of each H2D copy.
+    pub copy_latency: Arc<Histogram>,
+}
+
+impl DispatcherStats {
+    fn register(telemetry: &Telemetry) -> Self {
+        Self {
+            batches: telemetry.registry.counter(names::DISPATCHER_BATCHES),
+            bytes_copied: telemetry.registry.counter(names::DISPATCHER_BYTES_COPIED),
+            copy_errors: telemetry.registry.counter(names::DISPATCHER_COPY_ERRORS),
+            cpu_busy_nanos: telemetry.registry.counter(names::DISPATCHER_CPU_BUSY_NANOS),
+            copy_latency: telemetry.registry.histogram(names::DISPATCHER_COPY_LATENCY),
+        }
+    }
 }
 
 /// The running dispatcher daemon.
@@ -87,12 +101,36 @@ impl Dispatcher {
         queue_depth: usize,
         pcie_bytes_per_sec: f64,
     ) -> Self {
+        Self::start_with_telemetry(
+            backend,
+            streams,
+            n_engines,
+            queue_depth,
+            pcie_bytes_per_sec,
+            &Telemetry::with_defaults(),
+        )
+    }
+
+    /// Like [`Dispatcher::start`], but recording `dispatcher.*` metrics into
+    /// the shared pipeline `telemetry`.
+    pub fn start_with_telemetry(
+        backend: Arc<dyn PreprocessBackend>,
+        streams: Arc<StreamSet>,
+        n_engines: usize,
+        queue_depth: usize,
+        pcie_bytes_per_sec: f64,
+        telemetry: &Telemetry,
+    ) -> Self {
         assert!(n_engines >= 1 && streams.len() >= n_engines);
         assert!(pcie_bytes_per_sec > 0.0);
         let trans: Vec<Arc<TransQueues>> = (0..n_engines)
-            .map(|_| Arc::new(TransQueues::new(queue_depth.max(1))))
+            .map(|slot| {
+                let tq = Arc::new(TransQueues::new(queue_depth.max(1)));
+                tq.full.instrument(telemetry, &format!("trans{slot}.full"));
+                tq
+            })
             .collect();
-        let stats = Arc::new(DispatcherStats::default());
+        let stats = Arc::new(DispatcherStats::register(telemetry));
         let t = trans.clone();
         let st = Arc::clone(&stats);
         let handle = std::thread::Builder::new()
@@ -138,6 +176,7 @@ struct PendingMeta {
     items: Vec<ItemDesc>,
     ready_at: Instant,
     arrivals: Vec<u64>,
+    submitted_at: Instant,
 }
 
 fn run_dispatcher(
@@ -174,16 +213,15 @@ fn run_dispatcher(
                 items: batch.unit.items().to_vec(),
                 ready_at: batch.ready_at,
                 arrivals: batch.arrivals.clone(),
+                submitted_at: t0,
             });
             streams.stream(slot).enqueue(GpuOp::MemcpyH2D {
                 host: batch.unit,
                 dev,
                 duration,
             });
-            stats.bytes_copied.fetch_add(bytes as u64, Ordering::Relaxed);
-            stats
-                .cpu_busy_nanos
-                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            stats.bytes_copied.add(bytes as u64);
+            stats.cpu_busy_nanos.add(t0.elapsed().as_nanos() as u64);
             submitted_any = true;
         }
 
@@ -193,12 +231,13 @@ fn run_dispatcher(
                 continue;
             };
             let completed = streams.stream(slot).synchronize();
+            stats.copy_latency.record_duration(meta.submitted_at.elapsed());
             let t0 = Instant::now();
             for op in completed {
                 if let CompletedOp::MemcpyH2D { host, dev, error } = op {
                     backend.recycle(host);
                     if error.is_some() {
-                        stats.copy_errors.fetch_add(1, Ordering::Relaxed);
+                        stats.copy_errors.inc();
                         // Buffer goes back to the engine's free queue unused.
                         let _ = trans[slot].free.push(dev);
                         continue;
@@ -210,15 +249,13 @@ fn run_dispatcher(
                         ready_at: meta.ready_at,
                         arrivals: meta.arrivals.clone(),
                     };
-                    stats.batches.fetch_add(1, Ordering::Relaxed);
+                    stats.batches.inc();
                     if trans[slot].full.push(dispatched).is_err() {
                         break 'outer;
                     }
                 }
             }
-            stats
-                .cpu_busy_nanos
-                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            stats.cpu_busy_nanos.add(t0.elapsed().as_nanos() as u64);
         }
         if !submitted_any {
             break;
@@ -241,7 +278,7 @@ fn run_dispatcher(
                             ready_at: m.ready_at,
                             arrivals: m.arrivals.clone(),
                         });
-                        stats.batches.fetch_add(1, Ordering::Relaxed);
+                        stats.batches.inc();
                     }
                     _ => {
                         let _ = trans[slot].free.push(dev);
@@ -262,6 +299,7 @@ mod tests {
     use dlb_gpu::{GpuDevice, GpuSpec};
     use dlb_membridge::{BatchUnit, MemManager, PoolConfig};
     use parking_lot::Mutex;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     /// A deterministic in-memory backend producing `total` batches of
     /// `items_per_batch` tagged items.

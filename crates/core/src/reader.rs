@@ -15,8 +15,9 @@ use crate::channel::FpgaChannel;
 use crate::collector::DataCollector;
 use dlb_fpga::{CompletedBatch, DecodeCmd, OutputFormat, Submission};
 use dlb_membridge::{BlockingQueue, MemManager};
+use dlb_telemetry::{names, Counter, Gauge, Histogram, Telemetry};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -45,19 +46,40 @@ impl ReaderConfig {
     }
 }
 
-/// Counters exposed by the reader.
-#[derive(Debug, Default)]
+/// Counters exposed by the reader — `reader.*` telemetry handles.
+#[derive(Debug)]
 pub struct ReaderStats {
     /// Batches submitted to the decoder.
-    pub batches_submitted: AtomicU64,
+    pub batches_submitted: Arc<Counter>,
     /// Batches pushed to the full queue.
-    pub batches_completed: AtomicU64,
+    pub batches_completed: Arc<Counter>,
+    /// Batches submitted but never completed (pipeline torn down with
+    /// work in flight).
+    pub batch_errors: Arc<Counter>,
     /// Items whose decode failed.
-    pub item_errors: AtomicU64,
+    pub item_errors: Arc<Counter>,
     /// Nanoseconds of host CPU busy time in the reader loop (cmd
     /// generation + queue work — the tiny "preprocessing" CPU cost of
     /// Fig. 6(d)).
-    pub cpu_busy_nanos: AtomicU64,
+    pub cpu_busy_nanos: Arc<Counter>,
+    /// Submit→completion latency per batch (ns).
+    pub submit_latency: Arc<Histogram>,
+    /// Batches currently in flight on the device.
+    pub inflight: Arc<Gauge>,
+}
+
+impl ReaderStats {
+    fn register(telemetry: &Telemetry) -> Self {
+        Self {
+            batches_submitted: telemetry.registry.counter(names::READER_BATCHES_SUBMITTED),
+            batches_completed: telemetry.registry.counter(names::READER_BATCHES_COMPLETED),
+            batch_errors: telemetry.registry.counter(names::READER_BATCH_ERRORS),
+            item_errors: telemetry.registry.counter(names::READER_ITEM_ERRORS),
+            cpu_busy_nanos: telemetry.registry.counter(names::READER_CPU_BUSY_NANOS),
+            submit_latency: telemetry.registry.histogram(names::READER_SUBMIT_LATENCY),
+            inflight: telemetry.registry.gauge(names::READER_INFLIGHT),
+        }
+    }
 }
 
 /// The running reader daemon.
@@ -70,12 +92,25 @@ pub struct FpgaReader {
 
 impl FpgaReader {
     /// Spawns the daemon. Completed batches appear on the returned
-    /// [`FpgaReader::full_queue`].
+    /// [`FpgaReader::full_queue`]. Metrics land in a private registry; use
+    /// [`FpgaReader::start_with_telemetry`] to share the pipeline's.
     pub fn start(
         collector: Arc<DataCollector>,
         pool: MemManager,
         channel: FpgaChannel,
         config: ReaderConfig,
+    ) -> Self {
+        Self::start_with_telemetry(collector, pool, channel, config, &Telemetry::with_defaults())
+    }
+
+    /// Like [`FpgaReader::start`], but recording `reader.*` metrics and the
+    /// full-queue occupancy into the shared pipeline `telemetry`.
+    pub fn start_with_telemetry(
+        collector: Arc<DataCollector>,
+        pool: MemManager,
+        channel: FpgaChannel,
+        config: ReaderConfig,
+        telemetry: &Telemetry,
     ) -> Self {
         assert!(config.batch_size >= 1, "batch size must be >= 1");
         assert!(
@@ -86,7 +121,8 @@ impl FpgaReader {
             config.item_bytes()
         );
         let full_queue: BlockingQueue<HostBatch> = BlockingQueue::bounded(64);
-        let stats = Arc::new(ReaderStats::default());
+        full_queue.instrument(telemetry, "reader_full");
+        let stats = Arc::new(ReaderStats::register(telemetry));
         let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let fq = full_queue.clone();
         let st = Arc::clone(&stats);
@@ -157,18 +193,26 @@ fn run_reader(
     let mut next_sequence: u64 = 0;
     // Arrival timestamps of in-flight submissions, FIFO with completions.
     let mut pending_arrivals: VecDeque<Vec<u64>> = VecDeque::new();
+    // Submission instants, FIFO with completions (the single orchestrator
+    // thread retires batches in order, so front always matches).
+    let mut pending_submits: VecDeque<Instant> = VecDeque::new();
 
     let push_completed = |done: CompletedBatch,
                           pending_arrivals: &mut VecDeque<Vec<u64>>,
+                          pending_submits: &mut VecDeque<Instant>,
                           next_sequence: &mut u64|
      -> bool {
         let arrivals = pending_arrivals.pop_front().unwrap_or_default();
+        if let Some(submitted_at) = pending_submits.pop_front() {
+            stats.submit_latency.record_duration(submitted_at.elapsed());
+        }
+        stats.inflight.dec();
         let errors = done
             .finishes
             .iter()
             .filter(|f| !f.status.is_ok())
             .count() as u64;
-        stats.item_errors.fetch_add(errors, Ordering::Relaxed);
+        stats.item_errors.add(errors);
         let mut unit = done.unit;
         unit.seal(*next_sequence);
         let batch = HostBatch {
@@ -178,13 +222,13 @@ fn run_reader(
             arrivals,
         };
         *next_sequence += 1;
-        stats.batches_completed.fetch_add(1, Ordering::Relaxed);
+        stats.batches_completed.inc();
         full_queue.push(batch).is_ok()
     };
 
     'main: while !stop.load(Ordering::SeqCst) {
         if let Some(max) = config.max_batches {
-            if stats.batches_submitted.load(Ordering::Relaxed) >= max {
+            if stats.batches_submitted.get() >= max {
                 break;
             }
         }
@@ -196,7 +240,12 @@ fn run_reader(
         if metas.is_empty() {
             // Stream idle: surface any completions, then wait briefly.
             for done in channel.drain_out() {
-                if !push_completed(done, &mut pending_arrivals, &mut next_sequence) {
+                if !push_completed(
+                    done,
+                    &mut pending_arrivals,
+                    &mut pending_submits,
+                    &mut next_sequence,
+                ) {
                     break 'main;
                 }
             }
@@ -215,7 +264,12 @@ fn run_reader(
                 // recycle, so block on the pool itself.
                 None if channel.in_flight() > 0 => match channel.wait_one() {
                     Some(done) => {
-                        if !push_completed(done, &mut pending_arrivals, &mut next_sequence) {
+                        if !push_completed(
+                            done,
+                            &mut pending_arrivals,
+                            &mut pending_submits,
+                            &mut next_sequence,
+                        ) {
                             break 'main;
                         }
                     }
@@ -257,17 +311,22 @@ fn run_reader(
             cmds.push(cmd.pack());
             arrivals.push(meta.arrival_nanos.unwrap_or(0));
         }
-        stats
-            .cpu_busy_nanos
-            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        stats.cpu_busy_nanos.add(t0.elapsed().as_nanos() as u64);
 
         pending_arrivals.push_back(arrivals);
-        stats.batches_submitted.fetch_add(1, Ordering::Relaxed);
+        pending_submits.push_back(Instant::now());
+        stats.batches_submitted.inc();
+        stats.inflight.inc();
         // Async submit; push anything already finished (Alg. 1 lines 13–15).
         match channel.submit_cmd(Submission { unit, cmds }) {
             Ok(done_batches) => {
                 for done in done_batches {
-                    if !push_completed(done, &mut pending_arrivals, &mut next_sequence) {
+                    if !push_completed(
+                        done,
+                        &mut pending_arrivals,
+                        &mut pending_submits,
+                        &mut next_sequence,
+                    ) {
                         break 'main;
                     }
                 }
@@ -280,13 +339,26 @@ fn run_reader(
     while channel.in_flight() > 0 {
         match channel.wait_one() {
             Some(done) => {
-                if !push_completed(done, &mut pending_arrivals, &mut next_sequence) {
+                if !push_completed(
+                    done,
+                    &mut pending_arrivals,
+                    &mut pending_submits,
+                    &mut next_sequence,
+                ) {
                     break;
                 }
             }
             None => break,
         }
     }
+    // Whatever was submitted but never made it back is a batch error — this
+    // keeps the submitted == completed + errors conservation law exact.
+    let lost = stats
+        .batches_submitted
+        .get()
+        .saturating_sub(stats.batches_completed.get());
+    stats.batch_errors.add(lost);
+    stats.inflight.set(0);
     full_queue.close();
     channel
 }

@@ -10,6 +10,7 @@ use dlb_gpu::stream::GpuOp;
 use dlb_gpu::{GpuDevice, GpuTimingModel, ModelZoo, Precision, StreamSet};
 use dlb_simcore::stats::LatencyStats;
 use dlb_simcore::SimTime;
+use dlb_telemetry::{names, Telemetry};
 use dlbooster_core::{Dispatcher, PreprocessBackend};
 use parking_lot::Mutex;
 use std::sync::atomic::Ordering;
@@ -72,6 +73,17 @@ impl InferenceSession {
         gpus: &[GpuDevice],
         config: &InferenceConfig,
     ) -> InferenceReport {
+        Self::run_with_telemetry(backend, gpus, config, &Telemetry::with_defaults())
+    }
+
+    /// Like [`InferenceSession::run`], but recording `engine.*` and
+    /// `dispatcher.*` metrics into the shared pipeline `telemetry`.
+    pub fn run_with_telemetry(
+        backend: Arc<dyn PreprocessBackend>,
+        gpus: &[GpuDevice],
+        config: &InferenceConfig,
+        telemetry: &Telemetry,
+    ) -> InferenceReport {
         assert!(!gpus.is_empty() && config.batches > 0 && config.batch_size > 0);
         let n = gpus.len();
         let model = config.model.model();
@@ -80,13 +92,17 @@ impl InferenceSession {
 
         let copy_streams = Arc::new(StreamSet::new("icopy", n, config.time_scale));
         let compute_streams = Arc::new(StreamSet::new("icompute", n, config.time_scale));
-        let dispatcher = Dispatcher::start(
+        let dispatcher = Dispatcher::start_with_telemetry(
             Arc::clone(&backend),
             Arc::clone(&copy_streams),
             n,
             4,
             gpus[0].spec().pcie_bytes_per_sec,
+            telemetry,
         );
+        let engine_batches = telemetry.registry.counter(names::ENGINE_BATCHES);
+        let batch_wait = telemetry.registry.histogram(names::ENGINE_BATCH_WAIT);
+        let compute = telemetry.registry.histogram(names::ENGINE_COMPUTE);
 
         let clock = Arc::new(EngineClock::new());
         let engine_cpu = Arc::new(CpuCostBreakdown::new());
@@ -106,6 +122,9 @@ impl InferenceSession {
                 timing.set_background_share(config.gpu_background_share);
                 let config = config.clone();
                 let pcie = gpu.spec().pcie_bytes_per_sec;
+                let engine_batches = Arc::clone(&engine_batches);
+                let batch_wait = Arc::clone(&batch_wait);
+                let compute = Arc::clone(&compute);
                 handles.push(scope.spawn(move || {
                     for _ in 0..2 {
                         tq.free
@@ -114,7 +133,10 @@ impl InferenceSession {
                     }
                     let mut modelled = SimTime::ZERO;
                     for _ in 0..config.batches {
+                        let waited = Instant::now();
                         let Ok(db) = tq.full.pop() else { break };
+                        batch_wait.record_duration(waited.elapsed());
+                        engine_batches.inc();
                         let images = db.items.len() as u64;
                         let fwd = timing.forward_time(images as u32);
                         let stream = compute_streams.stream(slot);
@@ -134,6 +156,7 @@ impl InferenceSession {
                         let copy =
                             SimTime::from_secs_f64(unit_bytes as f64 / pcie);
                         latency.lock().record(copy + fwd);
+                        compute.record(fwd.as_nanos());
                         modelled += fwd;
                         clock.record_batch(images, fwd);
                         if tq.free.push(db.dev).is_err() {

@@ -11,6 +11,7 @@ use crate::metrics::{CpuCostBreakdown, EngineClock};
 use dlb_gpu::stream::GpuOp;
 use dlb_gpu::{GpuDevice, GpuTimingModel, ModelZoo, Precision, StreamSet};
 use dlb_simcore::SimTime;
+use dlb_telemetry::{names, Telemetry};
 use dlbooster_core::{Dispatcher, PreprocessBackend};
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Barrier};
@@ -80,6 +81,17 @@ impl TrainingSession {
         gpus: &[GpuDevice],
         config: &TrainingConfig,
     ) -> TrainingReport {
+        Self::run_with_telemetry(backend, gpus, config, &Telemetry::with_defaults())
+    }
+
+    /// Like [`TrainingSession::run`], but recording `engine.*` and
+    /// `dispatcher.*` metrics into the shared pipeline `telemetry`.
+    pub fn run_with_telemetry(
+        backend: Arc<dyn PreprocessBackend>,
+        gpus: &[GpuDevice],
+        config: &TrainingConfig,
+        telemetry: &Telemetry,
+    ) -> TrainingReport {
         assert!(!gpus.is_empty(), "need at least one GPU");
         assert!(config.iterations > 0 && config.batch_size > 0);
         let n = gpus.len();
@@ -93,13 +105,17 @@ impl TrainingSession {
         let copy_streams = Arc::new(StreamSet::new("copy", n, config.time_scale));
         let compute_streams = Arc::new(StreamSet::new("compute", n, config.time_scale));
         let pcie = gpus[0].spec().pcie_bytes_per_sec;
-        let dispatcher = Dispatcher::start(
+        let dispatcher = Dispatcher::start_with_telemetry(
             Arc::clone(&backend),
             Arc::clone(&copy_streams),
             n,
             4,
             pcie,
+            telemetry,
         );
+        let engine_batches = telemetry.registry.counter(names::ENGINE_BATCHES);
+        let batch_wait = telemetry.registry.histogram(names::ENGINE_BATCH_WAIT);
+        let compute = telemetry.registry.histogram(names::ENGINE_COMPUTE);
 
         let clock = Arc::new(EngineClock::new());
         let engine_cpu = Arc::new(CpuCostBreakdown::new());
@@ -119,6 +135,9 @@ impl TrainingSession {
                     GpuTimingModel::new(gpu.spec(), &model, config.precision);
                 timing.set_background_share(config.gpu_background_share);
                 let config = config.clone();
+                let engine_batches = Arc::clone(&engine_batches);
+                let batch_wait = Arc::clone(&batch_wait);
+                let compute = Arc::clone(&compute);
                 handles.push(scope.spawn(move || {
                     gpu.bind(&format!("solver-{slot}")).expect("free device");
                     // Seed the free trans queue with double buffers.
@@ -129,7 +148,10 @@ impl TrainingSession {
                     }
                     let mut modelled = SimTime::ZERO;
                     for _iter in 0..config.iterations {
+                        let waited = Instant::now();
                         let Ok(db) = tq.full.pop() else { break };
+                        batch_wait.record_duration(waited.elapsed());
+                        engine_batches.inc();
                         let images = db.items.len() as u64;
                         // Host-side input transform charge.
                         engine_cpu.transform_nanos.fetch_add(
@@ -167,6 +189,7 @@ impl TrainingSession {
                             Ordering::Relaxed,
                         );
                         let iter_time = fwd + bwd + allreduce + upd;
+                        compute.record(iter_time.as_nanos());
                         modelled += iter_time;
                         clock.record_batch(images, iter_time);
                         // Return the device buffer for the next copy.

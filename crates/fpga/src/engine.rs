@@ -26,11 +26,12 @@ use dlb_codec::pixel::ColorSpace;
 use dlb_codec::resize::{resize, ResizeFilter};
 use dlb_codec::JpegDecoder;
 use dlb_membridge::{BatchUnit, BlockingQueue};
+use dlb_telemetry::{names, Counter, Histogram, Telemetry};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Resolves a cmd's [`DataRef`] to the raw compressed bytes — the functional
 /// stand-in for the DataReader's "DMA from Disk" / "DMA from DRAM" ports.
@@ -113,17 +114,36 @@ impl CompletedBatch {
     }
 }
 
-/// Lifetime counters exposed by the engine.
-#[derive(Debug, Default)]
+/// Lifetime counters exposed by the engine — `decoder.*` telemetry
+/// handles, registered on the pipeline registry when the engine is built
+/// with [`DecoderEngine::start_with_telemetry`].
+#[derive(Debug)]
 pub struct EngineStats {
     /// Batches completed.
-    pub batches: AtomicU64,
+    pub batches: Arc<Counter>,
+    /// Items entering the lanes (cmds parsed, ok or not).
+    pub items_in: Arc<Counter>,
     /// Items decoded successfully.
-    pub items_ok: AtomicU64,
+    pub items_ok: Arc<Counter>,
     /// Items failed (fetch or decode).
-    pub items_err: AtomicU64,
+    pub items_err: Arc<Counter>,
     /// Total pixel bytes written back.
-    pub bytes_written: AtomicU64,
+    pub bytes_written: Arc<Counter>,
+    /// Per-item lane service time (ns).
+    pub lane_service: Arc<Histogram>,
+}
+
+impl EngineStats {
+    fn register(telemetry: &Telemetry) -> Self {
+        Self {
+            batches: telemetry.registry.counter(names::DECODER_BATCHES),
+            items_in: telemetry.registry.counter(names::DECODER_ITEMS_IN),
+            items_ok: telemetry.registry.counter(names::DECODER_ITEMS_OK),
+            items_err: telemetry.registry.counter(names::DECODER_ITEMS_ERR),
+            bytes_written: telemetry.registry.counter(names::DECODER_BYTES_WRITTEN),
+            lane_service: telemetry.registry.histogram(names::DECODER_LANE_SERVICE),
+        }
+    }
 }
 
 enum LaneJob {
@@ -153,10 +173,22 @@ pub struct DecoderEngine {
 impl DecoderEngine {
     /// Starts the engine on `device` (which must have a mirror loaded —
     /// the kernel dispatched per cmd follows the mirror's
-    /// [`MirrorKind`]) using `resolver` for data fetches.
+    /// [`MirrorKind`]) using `resolver` for data fetches. Metrics land in
+    /// a private registry; use [`DecoderEngine::start_with_telemetry`] to
+    /// share the pipeline's.
     pub fn start(
         device: FpgaDevice,
         resolver: Arc<dyn DataSourceResolver>,
+    ) -> Result<Self, FpgaError> {
+        Self::start_with_telemetry(device, resolver, &Telemetry::with_defaults())
+    }
+
+    /// Like [`DecoderEngine::start`], but recording `decoder.*` metrics
+    /// into the shared pipeline `telemetry`.
+    pub fn start_with_telemetry(
+        device: FpgaDevice,
+        resolver: Arc<dyn DataSourceResolver>,
+        telemetry: &Telemetry,
     ) -> Result<Self, FpgaError> {
         let mirror = device.mirror().ok_or(FpgaError::NoMirrorLoaded)?;
         let kind = mirror.kind;
@@ -165,7 +197,7 @@ impl DecoderEngine {
 
         let submit_q: BlockingQueue<Submission> = BlockingQueue::bounded(fifo_depth.max(1));
         let done_q: BlockingQueue<CompletedBatch> = BlockingQueue::unbounded();
-        let stats = Arc::new(EngineStats::default());
+        let stats = Arc::new(EngineStats::register(telemetry));
 
         let sq = submit_q.clone();
         let dq = done_q.clone();
@@ -250,10 +282,11 @@ fn run_orchestrator(
         let rx = job_rx.clone();
         let tx = res_tx.clone();
         let resolver = Arc::clone(&resolver);
+        let service = Arc::clone(&stats.lane_service);
         lanes.push(
             std::thread::Builder::new()
                 .name(format!("fpga-lane-{lane}"))
-                .spawn(move || lane_worker(rx, tx, resolver, kind))
+                .spawn(move || lane_worker(rx, tx, resolver, kind, service))
                 .expect("spawn lane"),
         );
     }
@@ -261,6 +294,7 @@ fn run_orchestrator(
 
     while let Ok(mut submission) = submit_q.pop() {
         let n = submission.cmds.len();
+        stats.items_in.add(n as u64);
         // Parser stage: unpack and validate every cmd up front.
         let mut parsed: Vec<Result<DecodeCmd, ItemStatus>> = Vec::with_capacity(n);
         for wire in &submission.cmds {
@@ -317,10 +351,8 @@ fn run_orchestrator(
                             let off = off as usize;
                             submission.unit.storage_mut()[off..off + pixels.len()]
                                 .copy_from_slice(&pixels);
-                            stats.items_ok.fetch_add(1, Ordering::Relaxed);
-                            stats
-                                .bytes_written
-                                .fetch_add(pixels.len() as u64, Ordering::Relaxed);
+                            stats.items_ok.inc();
+                            stats.bytes_written.add(pixels.len() as u64);
                             ItemStatus::Ok {
                                 bytes_written: pixels.len() as u32,
                                 width: w,
@@ -328,7 +360,7 @@ fn run_orchestrator(
                             }
                         }
                         _ => {
-                            stats.items_err.fetch_add(1, Ordering::Relaxed);
+                            stats.items_err.inc();
                             ItemStatus::DecodeError {
                                 detail: format!(
                                     "dst_phys {:#x} (+{}) outside unit [{:#x}, +{}]",
@@ -342,13 +374,13 @@ fn run_orchestrator(
                     }
                 }
                 Err(status) => {
-                    stats.items_err.fetch_add(1, Ordering::Relaxed);
+                    stats.items_err.inc();
                     status
                 }
             };
             finishes.push(FinishSignal { cmd_id, status });
         }
-        stats.batches.fetch_add(1, Ordering::Relaxed);
+        stats.batches.inc();
         if done_q
             .push(CompletedBatch {
                 unit: submission.unit,
@@ -376,17 +408,20 @@ fn lane_worker(
     tx: crossbeam::channel::Sender<LaneResult>,
     resolver: Arc<dyn DataSourceResolver>,
     kind: MirrorKind,
+    service: Arc<Histogram>,
 ) {
     let decoder = JpegDecoder::new();
     while let Ok(job) = rx.recv() {
         let LaneJob::Decode { idx, cmd } = job else {
             break;
         };
+        let started = Instant::now();
         let outcome = match kind {
             MirrorKind::JpegImage => decode_one(&decoder, &resolver, &cmd),
             MirrorKind::AudioSpectrogram => spectrogram_one(&resolver, &cmd),
             MirrorKind::TextQuantize => quantize_one(&resolver, &cmd),
         };
+        service.record_duration(started.elapsed());
         if tx.send(LaneResult { idx, outcome }).is_err() {
             break;
         }
@@ -567,7 +602,7 @@ mod tests {
         // Decoded pixels actually landed in the unit (not all zeros).
         let nz = done.unit.payload().iter().filter(|&&b| b != 0).count();
         assert!(nz > 1000, "only {nz} nonzero bytes written");
-        assert_eq!(engine.stats().items_ok.load(Ordering::Relaxed), n as u64);
+        assert_eq!(engine.stats().items_ok.get(), n as u64);
         pool.recycle_item(done.unit).unwrap();
         let device = engine.shutdown();
         assert_eq!(device.mirror().unwrap().huffman_ways, 4);
@@ -853,12 +888,15 @@ mod tests {
             assert_eq!(done.ok_count(), per_batch);
             pool.recycle_item(done.unit).unwrap();
         }
+        assert_eq!(engine.stats().batches.get(), n_batches as u64);
+        assert_eq!(engine.stats().items_ok.get(), (n_batches * per_batch) as u64);
+        // Lane service time was recorded for every item.
         assert_eq!(
-            engine.stats().batches.load(Ordering::Relaxed),
-            n_batches as u64
+            engine.stats().lane_service.count(),
+            (n_batches * per_batch) as u64
         );
         assert_eq!(
-            engine.stats().items_ok.load(Ordering::Relaxed),
+            engine.stats().items_in.get(),
             (n_batches * per_batch) as u64
         );
     }

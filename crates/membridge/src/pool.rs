@@ -2,8 +2,10 @@
 //! API from Table 1 (`get_item`, `recycle_item`, `phy2virt`, `virt2phy`).
 
 use crate::queue::{BlockingQueue, QueueClosed};
+use dlb_telemetry::{names, Counter, Gauge, Telemetry};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Errors from pool operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -278,6 +280,27 @@ pub struct PoolStats {
     pub recycle_ops: u64,
 }
 
+/// Telemetry handles for the pool stage (`pool.*` metrics).
+struct PoolHandles {
+    leases: Arc<Counter>,
+    recycles: Arc<Counter>,
+    starvations: Arc<Counter>,
+    blocked_nanos: Arc<Counter>,
+    free_units: Arc<Gauge>,
+}
+
+impl PoolHandles {
+    fn register(telemetry: &Telemetry) -> Self {
+        Self {
+            leases: telemetry.registry.counter(names::POOL_LEASES),
+            recycles: telemetry.registry.counter(names::POOL_RECYCLES),
+            starvations: telemetry.registry.counter(names::POOL_STARVATIONS),
+            blocked_nanos: telemetry.registry.counter(names::POOL_BLOCKED_NANOS),
+            free_units: telemetry.registry.gauge(names::POOL_FREE_UNITS),
+        }
+    }
+}
+
 struct PoolInner {
     free: BlockingQueue<BatchUnit>,
     unit_size: usize,
@@ -287,6 +310,7 @@ struct PoolInner {
     leased: AtomicUsize,
     lease_ops: AtomicU64,
     recycle_ops: AtomicU64,
+    handles: Option<PoolHandles>,
     /// `virt_addr` of each unit by id — the translation table.
     virt_table: Vec<u64>,
 }
@@ -306,6 +330,16 @@ impl MemManager {
     /// Pre-allocates `config.unit_count` units of `config.unit_size` bytes
     /// (Algorithm 2 lines 1–5).
     pub fn new(config: PoolConfig) -> Result<Self, PoolError> {
+        Self::build(config, None)
+    }
+
+    /// Like [`MemManager::new`], but reporting lease/recycle/starvation
+    /// counts and free-unit occupancy through `telemetry`.
+    pub fn with_telemetry(config: PoolConfig, telemetry: &Telemetry) -> Result<Self, PoolError> {
+        Self::build(config, Some(PoolHandles::register(telemetry)))
+    }
+
+    fn build(config: PoolConfig, handles: Option<PoolHandles>) -> Result<Self, PoolError> {
         if config.unit_size == 0 || config.unit_count == 0 {
             return Err(PoolError::BadConfig {
                 detail: format!(
@@ -331,6 +365,9 @@ impl MemManager {
             virt_table.push(unit.virt_addr());
             free.push(unit).expect("fresh queue is open");
         }
+        if let Some(h) = &handles {
+            h.free_units.set(config.unit_count as i64);
+        }
         Ok(Self {
             inner: Arc::new(PoolInner {
                 free,
@@ -341,25 +378,48 @@ impl MemManager {
                 leased: AtomicUsize::new(0),
                 lease_ops: AtomicU64::new(0),
                 recycle_ops: AtomicU64::new(0),
+                handles,
                 virt_table,
             }),
         })
     }
 
+    fn note_lease(&self) {
+        self.inner.leased.fetch_add(1, Ordering::Relaxed);
+        self.inner.lease_ops.fetch_add(1, Ordering::Relaxed);
+        if let Some(h) = &self.inner.handles {
+            h.leases.inc();
+            h.free_units.dec();
+        }
+    }
+
     /// Table 1 `get_item`: leases a free unit, blocking while none is
     /// available (the back-pressure of Algorithm 1 lines 5–9).
     pub fn get_item(&self) -> Result<BatchUnit, PoolError> {
-        let unit = self.inner.free.pop()?;
-        self.inner.leased.fetch_add(1, Ordering::Relaxed);
-        self.inner.lease_ops.fetch_add(1, Ordering::Relaxed);
+        let unit = match self.inner.free.try_pop() {
+            Some(unit) => unit,
+            None => {
+                // Starvation: the reader outran recycling and must wait.
+                if let Some(h) = &self.inner.handles {
+                    h.starvations.inc();
+                }
+                let blocked = Instant::now();
+                let unit = self.inner.free.pop()?;
+                if let Some(h) = &self.inner.handles {
+                    h.blocked_nanos
+                        .add(blocked.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+                }
+                unit
+            }
+        };
+        self.note_lease();
         Ok(unit)
     }
 
     /// Non-blocking variant of [`MemManager::get_item`].
     pub fn try_get_item(&self) -> Option<BatchUnit> {
         let unit = self.inner.free.try_pop()?;
-        self.inner.leased.fetch_add(1, Ordering::Relaxed);
-        self.inner.lease_ops.fetch_add(1, Ordering::Relaxed);
+        self.note_lease();
         Some(unit)
     }
 
@@ -373,6 +433,10 @@ impl MemManager {
         self.inner.leased.fetch_sub(1, Ordering::Relaxed);
         self.inner.recycle_ops.fetch_add(1, Ordering::Relaxed);
         self.inner.free.push(unit)?;
+        if let Some(h) = &self.inner.handles {
+            h.recycles.inc();
+            h.free_units.inc();
+        }
         Ok(())
     }
 
@@ -635,6 +699,36 @@ mod tests {
             phys_base: 0
         })
         .is_err());
+    }
+
+    #[test]
+    fn telemetry_pool_reports_occupancy_and_starvation() {
+        let t = dlb_telemetry::Telemetry::with_defaults();
+        let pool = MemManager::with_telemetry(
+            PoolConfig {
+                unit_size: 64,
+                unit_count: 1,
+                phys_base: 0,
+            },
+            &t,
+        )
+        .unwrap();
+        let unit = pool.get_item().unwrap();
+        assert_eq!(t.pipeline_snapshot().pool.free_units, 0);
+        let pool2 = pool.clone();
+        let waiter = thread::spawn(move || {
+            let u = pool2.get_item().unwrap();
+            pool2.recycle_item(u).unwrap();
+        });
+        thread::sleep(Duration::from_millis(20));
+        pool.recycle_item(unit).unwrap();
+        waiter.join().unwrap();
+        let snap = t.pipeline_snapshot().pool;
+        assert_eq!(snap.leases, 2);
+        assert_eq!(snap.recycles, 2);
+        assert_eq!(snap.free_units, 1);
+        assert!(snap.starvations >= 1, "starvations {}", snap.starvations);
+        assert!(snap.blocked_nanos > 0);
     }
 
     #[test]

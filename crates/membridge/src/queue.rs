@@ -6,10 +6,11 @@
 //! block when it is empty ("full_batch_queue.blocking_wait()"), and a close
 //! signal lets every pipeline daemon drain and exit cleanly at shutdown.
 
+use dlb_telemetry::{names, Counter, Gauge, Heartbeat, Telemetry};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 /// Error returned when an operation cannot complete because the queue was
 /// closed (pipeline shutdown).
@@ -24,11 +25,62 @@ impl std::fmt::Display for QueueClosed {
 
 impl std::error::Error for QueueClosed {}
 
+/// Telemetry handles attached to one queue by [`BlockingQueue::instrument`]:
+/// `queue.<name>.{depth,pushed,popped,blocked_push_nanos,blocked_pop_nanos}`
+/// plus a watchdog heartbeat tied to the depth gauge.
+#[derive(Debug, Clone)]
+pub struct QueueHooks {
+    depth: Arc<Gauge>,
+    pushed: Arc<Counter>,
+    popped: Arc<Counter>,
+    blocked_push_nanos: Arc<Counter>,
+    blocked_pop_nanos: Arc<Counter>,
+    heartbeat: Arc<Heartbeat>,
+}
+
+impl QueueHooks {
+    /// Registers the per-queue metric set under `queue.<name>.*` and a
+    /// watchdog entry keyed by the queue name.
+    pub fn register(telemetry: &Telemetry, name: &str) -> Self {
+        let key = |field: &str| format!("{}{name}.{field}", names::QUEUE_PREFIX);
+        let depth = telemetry.registry.gauge(&key("depth"));
+        Self {
+            pushed: telemetry.registry.counter(&key("pushed")),
+            popped: telemetry.registry.counter(&key("popped")),
+            blocked_push_nanos: telemetry.registry.counter(&key("blocked_push_nanos")),
+            blocked_pop_nanos: telemetry.registry.counter(&key("blocked_pop_nanos")),
+            heartbeat: telemetry.watchdog.watch_queue(name, Arc::clone(&depth)),
+            depth,
+        }
+    }
+}
+
 struct Inner<T> {
     queue: Mutex<State<T>>,
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
+    hooks: OnceLock<QueueHooks>,
+}
+
+impl<T> Inner<T> {
+    /// Records one push while the state lock is held.
+    fn note_push(&self, st: &State<T>) {
+        if let Some(h) = self.hooks.get() {
+            h.pushed.inc();
+            h.depth.set(st.items.len() as i64);
+            h.heartbeat.beat();
+        }
+    }
+
+    /// Records `n` pops while the state lock is held.
+    fn note_pop(&self, st: &State<T>, n: u64) {
+        if let Some(h) = self.hooks.get() {
+            h.popped.add(n);
+            h.depth.set(st.items.len() as i64);
+            h.heartbeat.beat();
+        }
+    }
 }
 
 struct State<T> {
@@ -78,6 +130,7 @@ impl<T> BlockingQueue<T> {
                 not_empty: Condvar::new(),
                 not_full: Condvar::new(),
                 capacity,
+                hooks: OnceLock::new(),
             }),
         }
     }
@@ -87,17 +140,39 @@ impl<T> BlockingQueue<T> {
         Self::bounded(usize::MAX)
     }
 
+    /// Attaches telemetry: registers `queue.<name>.*` metrics on
+    /// `telemetry` and starts watching this queue for stalls. The first
+    /// call wins; later calls are ignored. Items already queued are
+    /// credited to the pushed counter so conservation holds.
+    pub fn instrument(&self, telemetry: &Telemetry, name: &str) {
+        let hooks = QueueHooks::register(telemetry, name);
+        let st = self.inner.queue.lock();
+        if self.inner.hooks.set(hooks).is_ok() {
+            let h = self.inner.hooks.get().expect("just set");
+            h.pushed.add(st.items.len() as u64);
+            h.depth.set(st.items.len() as i64);
+        }
+    }
+
     /// Pushes, blocking while the queue is full. Errors if closed.
     pub fn push(&self, item: T) -> Result<(), QueueClosed> {
         let mut st = self.inner.queue.lock();
-        while st.items.len() >= self.inner.capacity && !st.closed {
-            self.inner.not_full.wait(&mut st);
+        if st.items.len() >= self.inner.capacity && !st.closed {
+            let blocked = Instant::now();
+            while st.items.len() >= self.inner.capacity && !st.closed {
+                self.inner.not_full.wait(&mut st);
+            }
+            if let Some(h) = self.inner.hooks.get() {
+                h.blocked_push_nanos
+                    .add(blocked.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+            }
         }
         if st.closed {
             return Err(QueueClosed);
         }
         st.items.push_back(item);
         st.pushed += 1;
+        self.inner.note_push(&st);
         drop(st);
         self.inner.not_empty.notify_one();
         Ok(())
@@ -114,6 +189,7 @@ impl<T> BlockingQueue<T> {
         }
         st.items.push_back(item);
         st.pushed += 1;
+        self.inner.note_push(&st);
         drop(st);
         self.inner.not_empty.notify_one();
         Ok(true)
@@ -123,9 +199,15 @@ impl<T> BlockingQueue<T> {
     /// drained (items pushed before close are still delivered).
     pub fn pop(&self) -> Result<T, QueueClosed> {
         let mut st = self.inner.queue.lock();
+        let mut blocked: Option<Instant> = None;
         loop {
             if let Some(item) = st.items.pop_front() {
                 st.popped += 1;
+                self.inner.note_pop(&st, 1);
+                if let (Some(start), Some(h)) = (blocked, self.inner.hooks.get()) {
+                    h.blocked_pop_nanos
+                        .add(start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+                }
                 drop(st);
                 self.inner.not_full.notify_one();
                 return Ok(item);
@@ -133,6 +215,7 @@ impl<T> BlockingQueue<T> {
             if st.closed {
                 return Err(QueueClosed);
             }
+            blocked.get_or_insert_with(Instant::now);
             self.inner.not_empty.wait(&mut st);
         }
     }
@@ -143,6 +226,7 @@ impl<T> BlockingQueue<T> {
         let item = st.items.pop_front();
         if item.is_some() {
             st.popped += 1;
+            self.inner.note_pop(&st, 1);
             drop(st);
             self.inner.not_full.notify_one();
         }
@@ -151,11 +235,12 @@ impl<T> BlockingQueue<T> {
 
     /// Pops with a timeout; `Ok(None)` on timeout.
     pub fn pop_timeout(&self, timeout: Duration) -> Result<Option<T>, QueueClosed> {
-        let deadline = std::time::Instant::now() + timeout;
+        let deadline = Instant::now() + timeout;
         let mut st = self.inner.queue.lock();
         loop {
             if let Some(item) = st.items.pop_front() {
                 st.popped += 1;
+                self.inner.note_pop(&st, 1);
                 drop(st);
                 self.inner.not_full.notify_one();
                 return Ok(Some(item));
@@ -167,6 +252,7 @@ impl<T> BlockingQueue<T> {
                 return Ok(match st.items.pop_front() {
                     Some(item) => {
                         st.popped += 1;
+                        self.inner.note_pop(&st, 1);
                         Some(item)
                     }
                     None => None,
@@ -181,6 +267,9 @@ impl<T> BlockingQueue<T> {
         let n = st.items.len();
         st.popped += n as u64;
         let items: Vec<T> = st.items.drain(..).collect();
+        if n > 0 {
+            self.inner.note_pop(&st, n as u64);
+        }
         drop(st);
         for _ in 0..n {
             self.inner.not_full.notify_one();
@@ -380,5 +469,43 @@ mod tests {
     #[should_panic(expected = "capacity must be at least 1")]
     fn zero_capacity_panics() {
         let _ = BlockingQueue::<u8>::bounded(0);
+    }
+
+    #[test]
+    fn instrumented_queue_reports_depth_and_conservation() {
+        let t = dlb_telemetry::Telemetry::with_defaults();
+        let q = BlockingQueue::bounded(4);
+        // One item queued before instrumentation: must be credited so the
+        // pushed == popped + depth invariant holds from the start.
+        q.push(1u32).unwrap();
+        q.instrument(&t, "unit");
+        q.push(2).unwrap();
+        assert_eq!(q.pop().unwrap(), 1);
+        let snap = t.pipeline_snapshot();
+        let qm = snap.queues.iter().find(|m| m.name == "unit").unwrap();
+        assert_eq!(qm.pushed, 2);
+        assert_eq!(qm.popped, 1);
+        assert_eq!(qm.depth, 1);
+        assert_eq!(qm.high_water, 2);
+        assert!(snap.invariant_violations().is_empty());
+    }
+
+    #[test]
+    fn instrumented_queue_accounts_blocked_time() {
+        let t = dlb_telemetry::Telemetry::with_defaults();
+        let q: BlockingQueue<u32> = BlockingQueue::bounded(1);
+        q.instrument(&t, "blocked");
+        let q2 = q.clone();
+        let consumer = thread::spawn(move || q2.pop().unwrap());
+        thread::sleep(Duration::from_millis(20));
+        q.push(9).unwrap();
+        assert_eq!(consumer.join().unwrap(), 9);
+        let snap = t.pipeline_snapshot();
+        let qm = snap.queues.iter().find(|m| m.name == "blocked").unwrap();
+        assert!(
+            qm.blocked_pop_nanos >= 10_000_000,
+            "blocked {} ns",
+            qm.blocked_pop_nanos
+        );
     }
 }

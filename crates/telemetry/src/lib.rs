@@ -1,0 +1,37 @@
+//! # dlb-telemetry
+//!
+//! Pipeline-wide observability for the DLBooster reproduction, with zero
+//! external dependencies:
+//!
+//! * [`Counter`] / [`Gauge`] / [`Histogram`] — lock-free recording
+//!   primitives with mergeable snapshots ([`HistogramSnapshot`],
+//!   [`RegistrySnapshot`]);
+//! * [`Registry`] — get-or-create named metrics behind one handle;
+//! * [`Watchdog`] — flags stage queues that hold work but stop moving;
+//! * [`PipelineSnapshot`] — the typed six-stage view (reader, channel,
+//!   decoder, pool, dispatcher, engines) with conservation invariants and
+//!   text/JSON rendering;
+//! * [`Json`] — a dependency-free JSON value used for every structured
+//!   report in the workspace.
+//!
+//! Stage crates record through `Arc` handles obtained once at
+//! construction; the hot path is a relaxed atomic op. The [`Telemetry`]
+//! bundle (registry + watchdog) is created by the Booster and threaded
+//! through the stages it builds.
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod pipeline;
+pub mod registry;
+pub mod watchdog;
+
+pub use json::Json;
+pub use metrics::{default_latency_bounds, Counter, Gauge, Histogram, HistogramSnapshot};
+pub use pipeline::{
+    names, ChannelMetrics, DecoderMetrics, DispatcherMetrics, EngineMetrics, PipelineSnapshot,
+    PoolMetrics, QueueMetrics, ReaderMetrics, Telemetry,
+};
+pub use registry::{MetricValue, Registry, RegistrySnapshot};
+pub use watchdog::{Heartbeat, StallReport, Watchdog};

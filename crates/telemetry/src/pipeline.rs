@@ -1,0 +1,650 @@
+//! Pipeline-level aggregation: canonical metric names for the six stages,
+//! the [`PipelineSnapshot`] view over a registry snapshot, and the
+//! [`Telemetry`] bundle (registry + watchdog) threaded through the
+//! pipeline.
+
+use crate::json::Json;
+use crate::metrics::HistogramSnapshot;
+use crate::registry::{Registry, RegistrySnapshot};
+use crate::watchdog::{StallReport, Watchdog};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Canonical metric names, shared by stage wiring and aggregation.
+pub mod names {
+    /// Reader: batches handed to the FPGA.
+    pub const READER_BATCHES_SUBMITTED: &str = "reader.batches_submitted";
+    /// Reader: batches fully drained back.
+    pub const READER_BATCHES_COMPLETED: &str = "reader.batches_completed";
+    /// Reader: batches aborted before completion.
+    pub const READER_BATCH_ERRORS: &str = "reader.batch_errors";
+    /// Reader: per-item FINISH errors observed while draining.
+    pub const READER_ITEM_ERRORS: &str = "reader.item_errors";
+    /// Reader: CPU busy nanoseconds (Algorithm 1 loop).
+    pub const READER_CPU_BUSY_NANOS: &str = "reader.cpu_busy_nanos";
+    /// Reader: cmd submit→completion latency histogram (ns).
+    pub const READER_SUBMIT_LATENCY: &str = "reader.submit_latency_nanos";
+    /// Reader: cmds currently in flight on the device.
+    pub const READER_INFLIGHT: &str = "reader.inflight_cmds";
+
+    /// Channel: cmds submitted to the device.
+    pub const CHANNEL_CMDS_SUBMITTED: &str = "channel.cmds_submitted";
+    /// Channel: completions drained from the device.
+    pub const CHANNEL_CMDS_DRAINED: &str = "channel.cmds_drained";
+    /// Channel: submitted minus drained.
+    pub const CHANNEL_INFLIGHT: &str = "channel.inflight";
+
+    /// Decoder: batches retired by the lanes.
+    pub const DECODER_BATCHES: &str = "decoder.batches";
+    /// Decoder: items entering the lanes.
+    pub const DECODER_ITEMS_IN: &str = "decoder.items_in";
+    /// Decoder: items decoded successfully.
+    pub const DECODER_ITEMS_OK: &str = "decoder.items_ok";
+    /// Decoder: items failed (FINISH error).
+    pub const DECODER_ITEMS_ERR: &str = "decoder.items_err";
+    /// Decoder: DMA bytes written back to host memory.
+    pub const DECODER_BYTES_WRITTEN: &str = "decoder.bytes_written";
+    /// Decoder: per-item lane service time histogram (ns).
+    pub const DECODER_LANE_SERVICE: &str = "decoder.lane_service_nanos";
+
+    /// Pool: successful leases.
+    pub const POOL_LEASES: &str = "pool.leases";
+    /// Pool: units recycled.
+    pub const POOL_RECYCLES: &str = "pool.recycles";
+    /// Pool: lease attempts that had to wait (starvation events).
+    pub const POOL_STARVATIONS: &str = "pool.starvations";
+    /// Pool: nanoseconds spent blocked waiting for a unit.
+    pub const POOL_BLOCKED_NANOS: &str = "pool.blocked_nanos";
+    /// Pool: free units right now.
+    pub const POOL_FREE_UNITS: &str = "pool.free_units";
+
+    /// Dispatcher: batches copied host→device.
+    pub const DISPATCHER_BATCHES: &str = "dispatcher.batches";
+    /// Dispatcher: H2D bytes copied.
+    pub const DISPATCHER_BYTES_COPIED: &str = "dispatcher.bytes_copied";
+    /// Dispatcher: failed copies.
+    pub const DISPATCHER_COPY_ERRORS: &str = "dispatcher.copy_errors";
+    /// Dispatcher: CPU busy nanoseconds (Algorithm 3 loop).
+    pub const DISPATCHER_CPU_BUSY_NANOS: &str = "dispatcher.cpu_busy_nanos";
+    /// Dispatcher: per-batch copy latency histogram (ns).
+    pub const DISPATCHER_COPY_LATENCY: &str = "dispatcher.copy_latency_nanos";
+
+    /// Engines: batches consumed (training iterations / inference calls).
+    pub const ENGINE_BATCHES: &str = "engine.batches";
+    /// Engines: time spent waiting for a ready batch (ns histogram).
+    pub const ENGINE_BATCH_WAIT: &str = "engine.batch_wait_nanos";
+    /// Engines: time spent in compute per batch (ns histogram).
+    pub const ENGINE_COMPUTE: &str = "engine.compute_nanos";
+
+    /// Router: batches delivered to slot queues.
+    pub const ROUTER_DELIVERED: &str = "router.delivered";
+
+    /// Prefix for per-queue metrics (`queue.<name>.depth` etc.).
+    pub const QUEUE_PREFIX: &str = "queue.";
+}
+
+/// Registry + watchdog bundle threaded through pipeline construction.
+#[derive(Debug)]
+pub struct Telemetry {
+    /// The single metric registry.
+    pub registry: Arc<Registry>,
+    /// Stall watchdog over stage queues.
+    pub watchdog: Arc<Watchdog>,
+}
+
+impl Telemetry {
+    /// Bundle with the given stall threshold.
+    pub fn new(stall_threshold: Duration) -> Arc<Self> {
+        Arc::new(Self {
+            registry: Arc::new(Registry::new()),
+            watchdog: Arc::new(Watchdog::new(stall_threshold)),
+        })
+    }
+
+    /// Bundle with a threshold long enough that healthy test runs never
+    /// trip it (2 s).
+    pub fn with_defaults() -> Arc<Self> {
+        Self::new(Duration::from_secs(2))
+    }
+
+    /// Captures a [`PipelineSnapshot`] right now.
+    pub fn pipeline_snapshot(&self) -> PipelineSnapshot {
+        PipelineSnapshot::capture(&self.registry.snapshot(), &self.watchdog)
+    }
+}
+
+/// Reader-stage view.
+#[derive(Debug, Clone, Default)]
+pub struct ReaderMetrics {
+    /// Batches handed to the FPGA.
+    pub batches_submitted: u64,
+    /// Batches fully drained back.
+    pub batches_completed: u64,
+    /// Batches aborted before completion.
+    pub batch_errors: u64,
+    /// Per-item FINISH errors observed while draining.
+    pub item_errors: u64,
+    /// CPU busy nanoseconds.
+    pub cpu_busy_nanos: u64,
+    /// Cmd submit→completion latency (ns).
+    pub submit_latency: Option<HistogramSnapshot>,
+    /// Cmds in flight at snapshot time.
+    pub inflight: i64,
+}
+
+/// Channel-stage view.
+#[derive(Debug, Clone, Default)]
+pub struct ChannelMetrics {
+    /// Cmds submitted to the device.
+    pub cmds_submitted: u64,
+    /// Completions drained.
+    pub cmds_drained: u64,
+    /// Submitted minus drained at snapshot time.
+    pub inflight: i64,
+}
+
+/// Decoder-stage view.
+#[derive(Debug, Clone, Default)]
+pub struct DecoderMetrics {
+    /// Batches retired by the lanes.
+    pub batches: u64,
+    /// Items entering the lanes.
+    pub items_in: u64,
+    /// Items decoded successfully.
+    pub items_ok: u64,
+    /// Items failed (FINISH error).
+    pub items_err: u64,
+    /// DMA bytes written back.
+    pub bytes_written: u64,
+    /// Per-item lane service time (ns).
+    pub lane_service: Option<HistogramSnapshot>,
+}
+
+/// Pool-stage view.
+#[derive(Debug, Clone, Default)]
+pub struct PoolMetrics {
+    /// Successful leases.
+    pub leases: u64,
+    /// Units recycled.
+    pub recycles: u64,
+    /// Lease attempts that had to wait.
+    pub starvations: u64,
+    /// Nanoseconds spent blocked waiting for a unit.
+    pub blocked_nanos: u64,
+    /// Free units at snapshot time.
+    pub free_units: i64,
+}
+
+/// Dispatcher-stage view.
+#[derive(Debug, Clone, Default)]
+pub struct DispatcherMetrics {
+    /// Batches copied host→device.
+    pub batches: u64,
+    /// H2D bytes copied.
+    pub bytes_copied: u64,
+    /// Failed copies.
+    pub copy_errors: u64,
+    /// CPU busy nanoseconds.
+    pub cpu_busy_nanos: u64,
+    /// Per-batch copy latency (ns).
+    pub copy_latency: Option<HistogramSnapshot>,
+}
+
+/// Trainer/inference-engine view.
+#[derive(Debug, Clone, Default)]
+pub struct EngineMetrics {
+    /// Batches consumed.
+    pub batches: u64,
+    /// Waiting-for-batch time (ns).
+    pub batch_wait: Option<HistogramSnapshot>,
+    /// Compute time per batch (ns).
+    pub compute: Option<HistogramSnapshot>,
+}
+
+/// One instrumented queue's view.
+#[derive(Debug, Clone, Default)]
+pub struct QueueMetrics {
+    /// Queue name as registered.
+    pub name: String,
+    /// Depth at snapshot time.
+    pub depth: i64,
+    /// Highest depth observed.
+    pub high_water: i64,
+    /// Items pushed.
+    pub pushed: u64,
+    /// Items popped.
+    pub popped: u64,
+    /// Producer blocked time (ns).
+    pub blocked_push_nanos: u64,
+    /// Consumer blocked time (ns).
+    pub blocked_pop_nanos: u64,
+}
+
+/// A structured view over one pipeline's telemetry: per-stage metrics,
+/// instrumented queues, current stalls, and the raw registry snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineSnapshot {
+    /// FpgaReader stage.
+    pub reader: ReaderMetrics,
+    /// FpgaChannel stage.
+    pub channel: ChannelMetrics,
+    /// DecoderEngine stage.
+    pub decoder: DecoderMetrics,
+    /// MemManager stage.
+    pub pool: PoolMetrics,
+    /// Dispatcher stage.
+    pub dispatcher: DispatcherMetrics,
+    /// Trainer/inference engines.
+    pub engines: EngineMetrics,
+    /// Batches the router delivered to slot queues.
+    pub router_delivered: u64,
+    /// Instrumented queues (slot queues, trans queues, ...).
+    pub queues: Vec<QueueMetrics>,
+    /// Stages flagged as stalled at capture time.
+    pub stalls: Vec<StallReport>,
+    /// The underlying raw snapshot (all metrics, mergeable).
+    pub raw: RegistrySnapshot,
+}
+
+impl PipelineSnapshot {
+    /// Builds the typed view from a raw snapshot plus the watchdog's
+    /// current verdicts.
+    pub fn capture(raw: &RegistrySnapshot, watchdog: &Watchdog) -> Self {
+        Self::from_parts(raw.clone(), watchdog.stalled())
+    }
+
+    /// Builds the typed view from already-collected parts.
+    pub fn from_parts(raw: RegistrySnapshot, stalls: Vec<StallReport>) -> Self {
+        use names::*;
+        let queues = collect_queues(&raw);
+        Self {
+            reader: ReaderMetrics {
+                batches_submitted: raw.counter(READER_BATCHES_SUBMITTED),
+                batches_completed: raw.counter(READER_BATCHES_COMPLETED),
+                batch_errors: raw.counter(READER_BATCH_ERRORS),
+                item_errors: raw.counter(READER_ITEM_ERRORS),
+                cpu_busy_nanos: raw.counter(READER_CPU_BUSY_NANOS),
+                submit_latency: raw.histogram(READER_SUBMIT_LATENCY).cloned(),
+                inflight: raw.gauge(READER_INFLIGHT),
+            },
+            channel: ChannelMetrics {
+                cmds_submitted: raw.counter(CHANNEL_CMDS_SUBMITTED),
+                cmds_drained: raw.counter(CHANNEL_CMDS_DRAINED),
+                inflight: raw.gauge(CHANNEL_INFLIGHT),
+            },
+            decoder: DecoderMetrics {
+                batches: raw.counter(DECODER_BATCHES),
+                items_in: raw.counter(DECODER_ITEMS_IN),
+                items_ok: raw.counter(DECODER_ITEMS_OK),
+                items_err: raw.counter(DECODER_ITEMS_ERR),
+                bytes_written: raw.counter(DECODER_BYTES_WRITTEN),
+                lane_service: raw.histogram(DECODER_LANE_SERVICE).cloned(),
+            },
+            pool: PoolMetrics {
+                leases: raw.counter(POOL_LEASES),
+                recycles: raw.counter(POOL_RECYCLES),
+                starvations: raw.counter(POOL_STARVATIONS),
+                blocked_nanos: raw.counter(POOL_BLOCKED_NANOS),
+                free_units: raw.gauge(POOL_FREE_UNITS),
+            },
+            dispatcher: DispatcherMetrics {
+                batches: raw.counter(DISPATCHER_BATCHES),
+                bytes_copied: raw.counter(DISPATCHER_BYTES_COPIED),
+                copy_errors: raw.counter(DISPATCHER_COPY_ERRORS),
+                cpu_busy_nanos: raw.counter(DISPATCHER_CPU_BUSY_NANOS),
+                copy_latency: raw.histogram(DISPATCHER_COPY_LATENCY).cloned(),
+            },
+            engines: EngineMetrics {
+                batches: raw.counter(ENGINE_BATCHES),
+                batch_wait: raw.histogram(ENGINE_BATCH_WAIT).cloned(),
+                compute: raw.histogram(ENGINE_COMPUTE).cloned(),
+            },
+            router_delivered: raw.counter(ROUTER_DELIVERED),
+            queues,
+            stalls,
+            raw,
+        }
+    }
+
+    /// Batches that entered the pipeline (reader submissions).
+    pub fn batches_in(&self) -> u64 {
+        self.reader.batches_submitted
+    }
+
+    /// Batches that left the reader stage intact.
+    pub fn batches_out(&self) -> u64 {
+        self.reader.batches_completed
+    }
+
+    /// Batch-level errors.
+    pub fn batch_errors(&self) -> u64 {
+        self.reader.batch_errors
+    }
+
+    /// Conservation checks that must hold once the pipeline is quiescent.
+    /// Returns human-readable violations (empty = healthy).
+    pub fn invariant_violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        if self.batches_in() != self.batches_out() + self.batch_errors() {
+            v.push(format!(
+                "batch conservation: submitted {} != completed {} + errors {}",
+                self.batches_in(),
+                self.batches_out(),
+                self.batch_errors()
+            ));
+        }
+        if self.decoder.items_in != self.decoder.items_ok + self.decoder.items_err {
+            v.push(format!(
+                "item conservation: in {} != ok {} + err {}",
+                self.decoder.items_in, self.decoder.items_ok, self.decoder.items_err
+            ));
+        }
+        if self.channel.cmds_submitted
+            != self.channel.cmds_drained + self.channel.inflight.max(0) as u64
+        {
+            v.push(format!(
+                "channel conservation: submitted {} != drained {} + inflight {}",
+                self.channel.cmds_submitted, self.channel.cmds_drained, self.channel.inflight
+            ));
+        }
+        for q in &self.queues {
+            if q.pushed != q.popped + q.depth.max(0) as u64 {
+                v.push(format!(
+                    "queue {} conservation: pushed {} != popped {} + depth {}",
+                    q.name, q.pushed, q.popped, q.depth
+                ));
+            }
+        }
+        v
+    }
+
+    /// Structured JSON form (stage sections + stalls + raw metrics).
+    pub fn to_json(&self) -> Json {
+        fn hist(h: &Option<HistogramSnapshot>) -> Json {
+            match h {
+                None => Json::Null,
+                Some(h) => Json::object(vec![
+                    ("count", Json::from(h.count)),
+                    ("mean_ns", Json::from(h.mean())),
+                    ("p50_ns", Json::from(h.quantile(0.5))),
+                    ("p99_ns", Json::from(h.quantile(0.99))),
+                    ("max_ns", Json::from(h.max)),
+                ]),
+            }
+        }
+        Json::object(vec![
+            (
+                "reader",
+                Json::object(vec![
+                    ("batches_submitted", self.reader.batches_submitted.into()),
+                    ("batches_completed", self.reader.batches_completed.into()),
+                    ("batch_errors", self.reader.batch_errors.into()),
+                    ("item_errors", self.reader.item_errors.into()),
+                    ("cpu_busy_nanos", self.reader.cpu_busy_nanos.into()),
+                    ("submit_latency", hist(&self.reader.submit_latency)),
+                    ("inflight", self.reader.inflight.into()),
+                ]),
+            ),
+            (
+                "channel",
+                Json::object(vec![
+                    ("cmds_submitted", self.channel.cmds_submitted.into()),
+                    ("cmds_drained", self.channel.cmds_drained.into()),
+                    ("inflight", self.channel.inflight.into()),
+                ]),
+            ),
+            (
+                "decoder",
+                Json::object(vec![
+                    ("batches", self.decoder.batches.into()),
+                    ("items_in", self.decoder.items_in.into()),
+                    ("items_ok", self.decoder.items_ok.into()),
+                    ("items_err", self.decoder.items_err.into()),
+                    ("bytes_written", self.decoder.bytes_written.into()),
+                    ("lane_service", hist(&self.decoder.lane_service)),
+                ]),
+            ),
+            (
+                "pool",
+                Json::object(vec![
+                    ("leases", self.pool.leases.into()),
+                    ("recycles", self.pool.recycles.into()),
+                    ("starvations", self.pool.starvations.into()),
+                    ("blocked_nanos", self.pool.blocked_nanos.into()),
+                    ("free_units", self.pool.free_units.into()),
+                ]),
+            ),
+            (
+                "dispatcher",
+                Json::object(vec![
+                    ("batches", self.dispatcher.batches.into()),
+                    ("bytes_copied", self.dispatcher.bytes_copied.into()),
+                    ("copy_errors", self.dispatcher.copy_errors.into()),
+                    ("cpu_busy_nanos", self.dispatcher.cpu_busy_nanos.into()),
+                    ("copy_latency", hist(&self.dispatcher.copy_latency)),
+                ]),
+            ),
+            (
+                "engines",
+                Json::object(vec![
+                    ("batches", self.engines.batches.into()),
+                    ("batch_wait", hist(&self.engines.batch_wait)),
+                    ("compute", hist(&self.engines.compute)),
+                ]),
+            ),
+            ("router_delivered", self.router_delivered.into()),
+            (
+                "queues",
+                Json::Array(
+                    self.queues
+                        .iter()
+                        .map(|q| {
+                            Json::object(vec![
+                                ("name", q.name.as_str().into()),
+                                ("depth", q.depth.into()),
+                                ("high_water", q.high_water.into()),
+                                ("pushed", q.pushed.into()),
+                                ("popped", q.popped.into()),
+                                ("blocked_push_nanos", q.blocked_push_nanos.into()),
+                                ("blocked_pop_nanos", q.blocked_pop_nanos.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "stalls",
+                Json::Array(
+                    self.stalls
+                        .iter()
+                        .map(|s| {
+                            Json::object(vec![
+                                ("stage", s.stage.as_str().into()),
+                                ("idle_ms", Json::from(s.idle.as_millis() as u64)),
+                                ("depth", s.depth.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("metrics", self.raw.to_json()),
+        ])
+    }
+
+    /// Human-readable multi-line report.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write;
+        fn hist_line(h: &Option<HistogramSnapshot>) -> String {
+            match h {
+                None => "n=0".to_string(),
+                Some(h) if h.count == 0 => "n=0".to_string(),
+                Some(h) => format!(
+                    "n={} mean={:.1}µs p50={:.1}µs p99={:.1}µs max={:.1}µs",
+                    h.count,
+                    h.mean() / 1e3,
+                    h.quantile(0.5) as f64 / 1e3,
+                    h.quantile(0.99) as f64 / 1e3,
+                    h.max as f64 / 1e3
+                ),
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "pipeline telemetry");
+        let _ = writeln!(
+            out,
+            "  reader     submitted={} completed={} batch_errs={} item_errs={} inflight={} submit[{}]",
+            self.reader.batches_submitted,
+            self.reader.batches_completed,
+            self.reader.batch_errors,
+            self.reader.item_errors,
+            self.reader.inflight,
+            hist_line(&self.reader.submit_latency)
+        );
+        let _ = writeln!(
+            out,
+            "  channel    submitted={} drained={} inflight={}",
+            self.channel.cmds_submitted, self.channel.cmds_drained, self.channel.inflight
+        );
+        let _ = writeln!(
+            out,
+            "  decoder    batches={} items in={} ok={} err={} bytes={} lane[{}]",
+            self.decoder.batches,
+            self.decoder.items_in,
+            self.decoder.items_ok,
+            self.decoder.items_err,
+            self.decoder.bytes_written,
+            hist_line(&self.decoder.lane_service)
+        );
+        let _ = writeln!(
+            out,
+            "  pool       leases={} recycles={} starvations={} blocked={:.1}ms free={}",
+            self.pool.leases,
+            self.pool.recycles,
+            self.pool.starvations,
+            self.pool.blocked_nanos as f64 / 1e6,
+            self.pool.free_units
+        );
+        let _ = writeln!(
+            out,
+            "  dispatcher batches={} bytes={} errors={} copy[{}]",
+            self.dispatcher.batches,
+            self.dispatcher.bytes_copied,
+            self.dispatcher.copy_errors,
+            hist_line(&self.dispatcher.copy_latency)
+        );
+        let _ = writeln!(
+            out,
+            "  engines    batches={} wait[{}] compute[{}]",
+            self.engines.batches,
+            hist_line(&self.engines.batch_wait),
+            hist_line(&self.engines.compute)
+        );
+        let _ = writeln!(out, "  router     delivered={}", self.router_delivered);
+        for q in &self.queues {
+            let _ = writeln!(
+                out,
+                "  queue {:<12} depth={} (hw {}) pushed={} popped={} blocked push={:.1}ms pop={:.1}ms",
+                q.name,
+                q.depth,
+                q.high_water,
+                q.pushed,
+                q.popped,
+                q.blocked_push_nanos as f64 / 1e6,
+                q.blocked_pop_nanos as f64 / 1e6
+            );
+        }
+        if self.stalls.is_empty() {
+            let _ = writeln!(out, "  watchdog   quiet");
+        } else {
+            for s in &self.stalls {
+                let _ = writeln!(
+                    out,
+                    "  watchdog   STALL {} idle={:?} depth={}",
+                    s.stage, s.idle, s.depth
+                );
+            }
+        }
+        out
+    }
+}
+
+fn collect_queues(raw: &RegistrySnapshot) -> Vec<QueueMetrics> {
+    let mut names: Vec<String> = raw
+        .metrics
+        .keys()
+        .filter_map(|k| {
+            let rest = k.strip_prefix(names::QUEUE_PREFIX)?;
+            let (name, field) = rest.rsplit_once('.')?;
+            (field == "depth").then(|| name.to_string())
+        })
+        .collect();
+    names.dedup();
+    names
+        .into_iter()
+        .map(|name| {
+            let key = |field: &str| format!("{}{}.{}", names::QUEUE_PREFIX, name, field);
+            QueueMetrics {
+                depth: raw.gauge(&key("depth")),
+                high_water: raw.gauge_high_water(&key("depth")),
+                pushed: raw.counter(&key("pushed")),
+                popped: raw.counter(&key("popped")),
+                blocked_push_nanos: raw.counter(&key("blocked_push_nanos")),
+                blocked_pop_nanos: raw.counter(&key("blocked_pop_nanos")),
+                name,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_extracts_stage_views() {
+        let t = Telemetry::with_defaults();
+        t.registry.counter(names::READER_BATCHES_SUBMITTED).add(4);
+        t.registry.counter(names::READER_BATCHES_COMPLETED).add(4);
+        t.registry.counter(names::DECODER_ITEMS_IN).add(10);
+        t.registry.counter(names::DECODER_ITEMS_OK).add(9);
+        t.registry.counter(names::DECODER_ITEMS_ERR).add(1);
+        t.registry.histogram(names::DECODER_LANE_SERVICE).record(1500);
+        t.registry.gauge("queue.slot0.depth").set(1);
+        t.registry.counter("queue.slot0.pushed").add(3);
+        t.registry.counter("queue.slot0.popped").add(2);
+        let snap = t.pipeline_snapshot();
+        assert_eq!(snap.batches_in(), 4);
+        assert_eq!(snap.batches_out(), 4);
+        assert_eq!(snap.decoder.items_ok, 9);
+        assert_eq!(snap.decoder.lane_service.as_ref().unwrap().count, 1);
+        assert_eq!(snap.queues.len(), 1);
+        assert_eq!(snap.queues[0].name, "slot0");
+        assert_eq!(snap.queues[0].pushed, 3);
+        assert!(snap.invariant_violations().is_empty());
+        assert!(snap.stalls.is_empty());
+    }
+
+    #[test]
+    fn violations_detected() {
+        let t = Telemetry::with_defaults();
+        t.registry.counter(names::READER_BATCHES_SUBMITTED).add(5);
+        t.registry.counter(names::READER_BATCHES_COMPLETED).add(3);
+        let snap = t.pipeline_snapshot();
+        let v = snap.invariant_violations();
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("batch conservation"));
+    }
+
+    #[test]
+    fn json_and_text_render() {
+        let t = Telemetry::with_defaults();
+        t.registry.counter(names::DISPATCHER_BYTES_COPIED).add(1024);
+        let snap = t.pipeline_snapshot();
+        let j = snap.to_json();
+        assert_eq!(j["dispatcher"]["bytes_copied"], 1024u64);
+        assert_eq!(j["stalls"], Json::Array(vec![]));
+        let text = snap.to_text();
+        assert!(text.contains("dispatcher batches=0 bytes=1024"));
+        assert!(text.contains("watchdog   quiet"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Stall watchdog: stages register a heartbeat tied to a queue-depth
+//! gauge; a stage whose queue holds work but whose heartbeat has not
+//! advanced within the threshold is flagged as stalled.
+
+use crate::metrics::Gauge;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Progress pulse for one stage. Cheap to beat from hot paths.
+#[derive(Debug)]
+pub struct Heartbeat {
+    epoch: Instant,
+    last_nanos: AtomicU64,
+}
+
+impl Heartbeat {
+    fn new(epoch: Instant) -> Self {
+        Self {
+            epoch,
+            last_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Records progress now.
+    pub fn beat(&self) {
+        let nanos = self.epoch.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.last_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Time since the last beat (or since registration when never beaten).
+    pub fn idle(&self) -> Duration {
+        let last = Duration::from_nanos(self.last_nanos.load(Ordering::Relaxed));
+        self.epoch.elapsed().saturating_sub(last)
+    }
+}
+
+struct Watched {
+    stage: String,
+    heartbeat: Arc<Heartbeat>,
+    depth: Option<Arc<Gauge>>,
+}
+
+/// One stalled stage, as reported by [`Watchdog::stalled`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallReport {
+    /// Stage name as registered.
+    pub stage: String,
+    /// Time since the stage last made progress.
+    pub idle: Duration,
+    /// Queue depth at detection time (0 for stages watched without a
+    /// depth gauge).
+    pub depth: i64,
+}
+
+/// Flags stage queues that hold work but have stopped moving.
+pub struct Watchdog {
+    threshold: Duration,
+    epoch: Instant,
+    watched: Mutex<Vec<Watched>>,
+}
+
+impl Watchdog {
+    /// Watchdog flagging stages idle longer than `threshold` while their
+    /// queue is non-empty.
+    pub fn new(threshold: Duration) -> Self {
+        Self {
+            threshold,
+            epoch: Instant::now(),
+            watched: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Configured stall threshold.
+    pub fn threshold(&self) -> Duration {
+        self.threshold
+    }
+
+    /// Registers a stage whose stall condition is "queue non-empty and no
+    /// beat for threshold". Returns the heartbeat to pulse on progress.
+    pub fn watch_queue(&self, stage: &str, depth: Arc<Gauge>) -> Arc<Heartbeat> {
+        self.register(stage, Some(depth))
+    }
+
+    /// Registers a stage watched on heartbeat alone (stalled whenever the
+    /// beat goes quiet past the threshold).
+    pub fn watch(&self, stage: &str) -> Arc<Heartbeat> {
+        self.register(stage, None)
+    }
+
+    fn register(&self, stage: &str, depth: Option<Arc<Gauge>>) -> Arc<Heartbeat> {
+        let hb = Arc::new(Heartbeat::new(self.epoch));
+        hb.beat(); // registration counts as progress
+        self.watched
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(Watched {
+                stage: stage.to_string(),
+                heartbeat: Arc::clone(&hb),
+                depth,
+            });
+        hb
+    }
+
+    /// Stages currently stalled, worst (longest idle) first.
+    pub fn stalled(&self) -> Vec<StallReport> {
+        let watched = self.watched.lock().unwrap_or_else(|p| p.into_inner());
+        let mut reports: Vec<StallReport> = watched
+            .iter()
+            .filter_map(|w| {
+                let idle = w.heartbeat.idle();
+                if idle <= self.threshold {
+                    return None;
+                }
+                let depth = w.depth.as_ref().map_or(0, |g| g.get());
+                // With a depth gauge, an empty queue is idle, not stalled.
+                if w.depth.is_some() && depth <= 0 {
+                    return None;
+                }
+                Some(StallReport {
+                    stage: w.stage.clone(),
+                    idle,
+                    depth,
+                })
+            })
+            .collect();
+        reports.sort_by_key(|r| std::cmp::Reverse(r.idle));
+        reports
+    }
+}
+
+impl std::fmt::Debug for Watchdog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Watchdog")
+            .field("threshold", &self.threshold)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_empty_queue_is_not_stalled() {
+        let wd = Watchdog::new(Duration::from_millis(5));
+        let depth = Arc::new(Gauge::new());
+        let _hb = wd.watch_queue("q", Arc::clone(&depth));
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(wd.stalled().is_empty());
+    }
+
+    #[test]
+    fn loaded_quiet_queue_trips() {
+        let wd = Watchdog::new(Duration::from_millis(5));
+        let depth = Arc::new(Gauge::new());
+        let _hb = wd.watch_queue("q", Arc::clone(&depth));
+        depth.set(3);
+        std::thread::sleep(Duration::from_millis(15));
+        let stalls = wd.stalled();
+        assert_eq!(stalls.len(), 1);
+        assert_eq!(stalls[0].stage, "q");
+        assert_eq!(stalls[0].depth, 3);
+        assert!(stalls[0].idle >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn beating_keeps_stage_healthy() {
+        let wd = Watchdog::new(Duration::from_millis(20));
+        let depth = Arc::new(Gauge::new());
+        let hb = wd.watch_queue("q", Arc::clone(&depth));
+        depth.set(1);
+        for _ in 0..5 {
+            std::thread::sleep(Duration::from_millis(4));
+            hb.beat();
+        }
+        assert!(wd.stalled().is_empty());
+    }
+
+    #[test]
+    fn heartbeat_only_watch_trips_on_silence() {
+        let wd = Watchdog::new(Duration::from_millis(5));
+        let _hb = wd.watch("stage");
+        std::thread::sleep(Duration::from_millis(15));
+        assert_eq!(wd.stalled().len(), 1);
+    }
+}

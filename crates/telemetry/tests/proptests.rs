@@ -1,0 +1,171 @@
+//! Property-based tests for the telemetry primitives: snapshot merging
+//! must be associative and commutative (so per-thread or per-stage
+//! snapshots can be folded in any grouping), and quantile estimates must
+//! respect the bucket layout.
+
+use dlb_telemetry::{Histogram, HistogramSnapshot, Registry};
+use proptest::prelude::*;
+
+/// Ascending bucket bounds derived from positive deltas.
+fn bounds_from_deltas(deltas: &[u64]) -> Vec<u64> {
+    let mut bounds = Vec::with_capacity(deltas.len());
+    let mut b = 0u64;
+    for &d in deltas {
+        b += d.max(1);
+        bounds.push(b);
+    }
+    bounds
+}
+
+fn snapshot_of(bounds: &[u64], values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new(bounds.to_vec());
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn histogram_merge_is_associative_and_commutative(
+        deltas in prop::collection::vec(1u64..1000, 1..8),
+        a in prop::collection::vec(0u64..10_000, 0..40),
+        b in prop::collection::vec(0u64..10_000, 0..40),
+        c in prop::collection::vec(0u64..10_000, 0..40),
+    ) {
+        let bounds = bounds_from_deltas(&deltas);
+        let (sa, sb, sc) = (
+            snapshot_of(&bounds, &a),
+            snapshot_of(&bounds, &b),
+            snapshot_of(&bounds, &c),
+        );
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+
+        // a ⊕ b == b ⊕ a
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+
+        // The merged snapshot equals one histogram fed everything.
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(&left, &snapshot_of(&bounds, &all));
+    }
+
+    #[test]
+    fn empty_is_merge_identity(
+        deltas in prop::collection::vec(1u64..1000, 1..8),
+        values in prop::collection::vec(0u64..10_000, 0..40),
+    ) {
+        let bounds = bounds_from_deltas(&deltas);
+        let s = snapshot_of(&bounds, &values);
+        let mut merged = HistogramSnapshot::empty(bounds);
+        merged.merge(&s);
+        prop_assert_eq!(&merged, &s);
+    }
+
+    #[test]
+    fn quantile_is_a_valid_bucket_bound(
+        deltas in prop::collection::vec(1u64..1000, 1..8),
+        values in prop::collection::vec(0u64..10_000, 1..60),
+        q in 0.0f64..=1.0,
+    ) {
+        let bounds = bounds_from_deltas(&deltas);
+        let s = snapshot_of(&bounds, &values);
+        let est = s.quantile(q);
+        // The estimate is either a configured bound or the exact max (for
+        // the overflow bucket).
+        prop_assert!(
+            bounds.contains(&est) || est == s.max,
+            "quantile {} not a bound or max: {}", q, est
+        );
+        // It never understates the true minimum's bucket: the estimate is
+        // at least the bound covering the smallest observation.
+        let min_bound = bounds
+            .iter()
+            .copied()
+            .find(|&b| b >= s.min)
+            .unwrap_or(s.max);
+        prop_assert!(est >= min_bound.min(s.max));
+        // Quantiles are monotone in q.
+        prop_assert!(s.quantile(1.0) >= est && est >= s.quantile(0.0));
+    }
+
+    #[test]
+    fn quantile_brackets_exact_rank_statistic(
+        values in prop::collection::vec(0u64..50_000, 1..60),
+        q in 0.0f64..=1.0,
+    ) {
+        // With the default latency layout, the estimated quantile must be
+        // an upper bound for the exact order statistic at the same rank.
+        let h = Histogram::latency();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+        let exact = sorted[rank - 1];
+        prop_assert!(
+            s.quantile(q) >= exact,
+            "estimate {} below exact order statistic {}", s.quantile(q), exact
+        );
+    }
+
+    #[test]
+    fn registry_snapshot_merge_matches_combined_recording(
+        counts_a in prop::collection::vec(0u64..100, 3usize),
+        counts_b in prop::collection::vec(0u64..100, 3usize),
+        lat_a in prop::collection::vec(1u64..1_000_000, 0..30),
+        lat_b in prop::collection::vec(1u64..1_000_000, 0..30),
+        gauge_moves in prop::collection::vec(-20i64..20, 0..20),
+    ) {
+        let names = ["stage.one", "stage.two", "stage.three"];
+        let ra = Registry::new();
+        let rb = Registry::new();
+        let combined = Registry::new();
+        for (name, (&ca, &cb)) in names.iter().zip(counts_a.iter().zip(&counts_b)) {
+            ra.counter(name).add(ca);
+            rb.counter(name).add(cb);
+            combined.counter(name).add(ca + cb);
+        }
+        for &v in &lat_a {
+            ra.histogram("lat").record(v);
+            combined.histogram("lat").record(v);
+        }
+        for &v in &lat_b {
+            rb.histogram("lat").record(v);
+            combined.histogram("lat").record(v);
+        }
+        for &d in &gauge_moves {
+            ra.gauge("depth").add(d);
+            combined.gauge("depth").add(d);
+        }
+
+        let mut merged = ra.snapshot();
+        merged.merge(&rb.snapshot());
+        let expect = combined.snapshot();
+        for name in names {
+            prop_assert_eq!(merged.counter(name), expect.counter(name));
+        }
+        prop_assert_eq!(merged.histogram("lat"), expect.histogram("lat"));
+        prop_assert_eq!(merged.gauge("depth"), expect.gauge("depth"));
+        prop_assert_eq!(
+            merged.gauge_high_water("depth"),
+            expect.gauge_high_water("depth")
+        );
+    }
+}

@@ -1,0 +1,234 @@
+//! Offline mini benchmark harness with the `criterion` API surface this
+//! workspace uses: `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`, `Throughput`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Timing is a plain wall-clock mean over a handful of iterations —
+//! adequate for the figure benches here, with no statistics machinery.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of the std hint (criterion's `black_box`).
+pub use std::hint::black_box;
+
+/// Declared work-per-iteration, used to print a throughput line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier (`function/parameter`).
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            full: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { full: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(full: String) -> Self {
+        Self { full }
+    }
+}
+
+/// Runs the closure under timing.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warm-up pass.
+        black_box(f());
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = t0.elapsed();
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let sample_size = self.sample_size;
+        run_one("", &id.into().full, sample_size, None, f);
+    }
+}
+
+/// A group of related benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.into().full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.full, self.sample_size, self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (printing already happened per-bench).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: &str,
+    id: &str,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        iters: sample_size,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let per_iter = bencher.elapsed.as_secs_f64() / bencher.iters.max(1) as f64;
+    match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => println!(
+            "bench {label}: {:.3} ms/iter, {:.0} elem/s",
+            per_iter * 1e3,
+            n as f64 / per_iter
+        ),
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => println!(
+            "bench {label}: {:.3} ms/iter, {:.1} MiB/s",
+            per_iter * 1e3,
+            n as f64 / per_iter / (1024.0 * 1024.0)
+        ),
+        _ => println!("bench {label}: {:.3} ms/iter", per_iter * 1e3),
+    }
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(4));
+        let mut runs = 0u64;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        // 3 timed + 1 warm-up.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let data = vec![1u8, 2, 3];
+        group.bench_with_input(BenchmarkId::new("sum", 3), &data, |b, d| {
+            b.iter(|| d.iter().map(|&x| x as u64).sum::<u64>())
+        });
+        group.finish();
+    }
+}

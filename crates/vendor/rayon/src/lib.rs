@@ -1,0 +1,105 @@
+//! Minimal offline drop-in for the `rayon` API surface used by this
+//! workspace: `prelude::{into_par_iter, par_iter}` plus
+//! [`current_num_threads`]. Execution is sequential — call sites stay
+//! deterministic and the dependency resolves without a network.
+
+/// Reported worker count (the host's available parallelism; execution in
+/// this shim is sequential regardless).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A "parallel" iterator: a thin wrapper over a sequential iterator that
+/// supports the adapter subset call sites use (`map`, `collect`).
+pub struct ParIter<I> {
+    inner: I,
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Maps each item through `f`.
+    pub fn map<R, F: FnMut(I::Item) -> R>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter {
+            inner: self.inner.map(f),
+        }
+    }
+
+    /// Collects into any `FromIterator` target (covers `Vec` and
+    /// `Result<_, _>` short-circuit collection).
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.inner.collect()
+    }
+
+    /// Runs `f` on each item.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.inner.for_each(f)
+    }
+}
+
+/// `into_par_iter()` for any owned iterable (ranges, vectors, ...).
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    /// Converts into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+        ParIter {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+/// `par_iter()` for any collection iterable by shared reference.
+pub trait IntoParallelRefIterator<'data> {
+    /// The underlying sequential iterator.
+    type Iter: Iterator;
+    /// Borrows the collection as a [`ParIter`].
+    fn par_iter(&'data self) -> ParIter<Self::Iter>;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+{
+    type Iter = <&'data C as IntoIterator>::IntoIter;
+
+    fn par_iter(&'data self) -> ParIter<Self::Iter> {
+        ParIter {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+/// The rayon prelude: the traits that make `.par_iter()` /
+/// `.into_par_iter()` resolve.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_into_par_iter_collects_in_order() {
+        let v: Vec<u64> = (0..10u64).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, vec![0, 2, 4, 6, 8, 10, 12, 14, 16, 18]);
+    }
+
+    #[test]
+    fn par_iter_collects_results() {
+        let data = vec![1, 2, 3];
+        let ok: Result<Vec<i32>, String> = data.par_iter().map(|&x| Ok(x + 1)).collect();
+        assert_eq!(ok.unwrap(), vec![2, 3, 4]);
+        let err: Result<Vec<i32>, String> = data
+            .par_iter()
+            .map(|&x| if x == 2 { Err("two".to_string()) } else { Ok(x) })
+            .collect();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn thread_count_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}

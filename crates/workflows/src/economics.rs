@@ -9,10 +9,8 @@
 //!   $1.5/h";
 //! * power: FPGA ≈25 W vs CPU ≈130 W vs GPU ≈250 W.
 
-use serde::Serialize;
-
 /// Price/power assumptions.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct EconomicsInputs {
     /// Cloud price of one physical core, $/hour.
     pub core_price_per_hour: f64,
@@ -57,7 +55,7 @@ impl EconomicsInputs {
 }
 
 /// Derived economics per deployed FPGA decoder.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct EconomicsReport {
     /// Hourly revenue of the cores one FPGA frees (the ">$1.5/h" claim).
     pub freed_core_revenue_per_hour: f64,

@@ -1,9 +1,10 @@
-//! Table rendering and JSON export for figure reproductions.
+//! Table rendering and JSON export for figure reproductions, plus a
+//! captioned wrapper emitting pipeline telemetry alongside the figures.
 
-use serde::Serialize;
+use dlb_telemetry::{Json, PipelineSnapshot};
 
 /// One table row (pre-formatted cells).
-#[derive(Debug, Clone, Serialize, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Row {
     /// Cell strings, aligned with the report's columns.
     pub cells: Vec<String>,
@@ -19,7 +20,7 @@ impl Row {
 }
 
 /// A reproduced table/figure: id, caption, columns, rows, commentary.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FigureReport {
     /// Paper identifier, e.g. "Figure 5(b)".
     pub id: String,
@@ -98,8 +99,79 @@ impl FigureReport {
     }
 
     /// JSON export (for EXPERIMENTS.md regeneration and archival).
-    pub fn to_json(&self) -> serde_json::Value {
-        serde_json::to_value(self).expect("serializable")
+    pub fn to_json(&self) -> Json {
+        let str_array = |items: &[String]| {
+            Json::Array(items.iter().map(|s| Json::from(s.as_str())).collect())
+        };
+        Json::object(vec![
+            ("id", Json::from(self.id.as_str())),
+            ("title", Json::from(self.title.as_str())),
+            ("columns", str_array(&self.columns)),
+            (
+                "rows",
+                Json::Array(
+                    self.rows
+                        .iter()
+                        .map(|r| Json::object(vec![("cells", str_array(&r.cells))]))
+                        .collect(),
+                ),
+            ),
+            ("notes", str_array(&self.notes)),
+        ])
+    }
+}
+
+/// A captioned telemetry section for experiment reports: wraps the
+/// [`PipelineSnapshot`] captured at the end of a run and renders the same
+/// text/JSON shapes as [`FigureReport`], including any conservation
+/// violations so a broken run is visible in the archived output.
+#[derive(Debug, Clone)]
+pub struct TelemetryReport {
+    /// Which run this telemetry belongs to, e.g. "Figure 6(a) / DLBooster".
+    pub id: String,
+    /// What the run did.
+    pub title: String,
+    /// The end-of-run pipeline snapshot.
+    pub snapshot: PipelineSnapshot,
+}
+
+impl TelemetryReport {
+    /// Wraps a snapshot with its caption.
+    pub fn new(id: &str, title: &str, snapshot: PipelineSnapshot) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            snapshot,
+        }
+    }
+
+    /// Plain-text section: caption, per-stage lines, violations (if any).
+    pub fn render(&self) -> String {
+        let mut out = format!("== {}: {} ==\n", self.id, self.title);
+        out.push_str(&self.snapshot.to_text());
+        for v in self.snapshot.invariant_violations() {
+            out.push_str(&format!("  VIOLATION: {v}\n"));
+        }
+        out
+    }
+
+    /// JSON export, with the violation list made explicit.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("id", Json::from(self.id.as_str())),
+            ("title", Json::from(self.title.as_str())),
+            (
+                "violations",
+                Json::Array(
+                    self.snapshot
+                        .invariant_violations()
+                        .iter()
+                        .map(|v| Json::from(v.as_str()))
+                        .collect(),
+                ),
+            ),
+            ("pipeline", self.snapshot.to_json()),
+        ])
     }
 }
 
@@ -155,6 +227,23 @@ mod tests {
         let j = r.to_json();
         assert_eq!(j["id"], "Fig 1");
         assert_eq!(j["rows"][0]["cells"][0], "v");
+    }
+
+    #[test]
+    fn telemetry_report_renders_snapshot_and_violations() {
+        use dlb_telemetry::{names, Telemetry};
+        let t = Telemetry::with_defaults();
+        t.registry.counter(names::READER_BATCHES_SUBMITTED).add(3);
+        t.registry.counter(names::READER_BATCHES_COMPLETED).add(2);
+        let r = TelemetryReport::new("Run 1", "training", t.pipeline_snapshot());
+        let s = r.render();
+        assert!(s.contains("Run 1"));
+        assert!(s.contains("submitted=3 completed=2"));
+        assert!(s.contains("VIOLATION: batch conservation"));
+        let j = r.to_json();
+        assert_eq!(j["id"], "Run 1");
+        assert_eq!(j["pipeline"]["reader"]["batches_submitted"], 3u64);
+        assert!(matches!(&j["violations"], Json::Array(v) if v.len() == 1));
     }
 
     #[test]

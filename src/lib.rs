@@ -57,6 +57,7 @@
 //! | [`gpu`] | `dlb-gpu` | GPU substrate: model zoo, kernels, streams, nvJPEG |
 //! | [`storage`] | `dlb-storage` | NVMe model, synthetic datasets, LMDB store |
 //! | [`net`] | `dlb-net` | 40 Gbps NIC, framing, client generators |
+//! | [`telemetry`] | `dlb-telemetry` | pipeline metrics, snapshots, stall watchdog |
 //! | [`core`] | `dlbooster-core` | the paper's host bridger (Algorithms 1–3) |
 //! | [`backends`] | `dlb-backends` | CPU-based / LMDB / nvJPEG baselines |
 //! | [`engines`] | `dlb-engines` | NVCaffe-like trainer, TensorRT-like server |
@@ -71,6 +72,7 @@ pub use dlb_membridge as membridge;
 pub use dlb_net as net;
 pub use dlb_simcore as simcore;
 pub use dlb_storage as storage;
+pub use dlb_telemetry as telemetry;
 pub use dlb_workflows as workflows;
 pub use dlbooster_core as core;
 
@@ -87,6 +89,7 @@ pub mod prelude {
     pub use dlb_membridge::{BatchUnit, BlockingQueue, MemManager, PoolConfig};
     pub use dlb_net::{ClientPool, NicRx, NicSpec};
     pub use dlb_storage::{Dataset, DatasetSpec, LmdbStore, NvmeDisk, NvmeSpec};
+    pub use dlb_telemetry::{PipelineSnapshot, Telemetry};
     pub use dlb_workflows::calibration::{BackendKind, Calibration, Workload};
     pub use dlbooster_core::{
         CombinedResolver, DataCollector, Dispatcher, DlBooster, DlBoosterConfig, FpgaChannel,

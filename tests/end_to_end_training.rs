@@ -86,6 +86,75 @@ fn full_training_session_with_dlbooster_backend() {
 }
 
 #[test]
+fn pipeline_snapshot_accounts_for_every_stage() {
+    // One shared telemetry registry across decoder, channel, booster,
+    // dispatcher and solvers; after all threads join, the aggregate
+    // snapshot must balance and report every stage.
+    let telemetry = Telemetry::with_defaults();
+    let disk = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));
+    let dataset = Dataset::build(DatasetSpec::ilsvrc_small(16, 21), &disk).unwrap();
+    let collector = Arc::new(DataCollector::load_from_disk(&dataset.records, 0));
+    let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
+    device.load_mirror(DecoderMirror::jpeg_paper_config()).unwrap();
+    let engine = DecoderEngine::start_with_telemetry(
+        device,
+        Arc::new(CombinedResolver::disk_only(Arc::clone(&disk))),
+        &telemetry,
+    )
+    .unwrap();
+    let channel = FpgaChannel::init_with_telemetry(engine, 0, &telemetry);
+    let mut config = DlBoosterConfig::training(2, 4, (32, 32), 16, Some(8));
+    config.cache_bytes = 0;
+    let booster =
+        DlBooster::start_with_telemetry(collector, channel, config, Arc::clone(&telemetry))
+            .unwrap();
+    let booster: Arc<dyn PreprocessBackend> = Arc::new(booster);
+    let gpus: Vec<GpuDevice> = (0..2)
+        .map(|i| GpuDevice::new(GpuSpec::tesla_p100(), i))
+        .collect();
+    let report = TrainingSession::run_with_telemetry(
+        Arc::clone(&booster),
+        &gpus,
+        &TrainingConfig {
+            model: ModelZoo::LeNet5,
+            batch_size: 4,
+            precision: Precision::Fp32,
+            iterations: 4,
+            time_scale: 0.0,
+            gpu_background_share: 0.0,
+        },
+        &telemetry,
+    );
+    assert_eq!(report.iterations, 8);
+    drop(booster); // join router + reader + decoder → quiescent counters
+
+    let snap = telemetry.pipeline_snapshot();
+    // Batch conservation at the reader boundary.
+    assert!(snap.batches_in() > 0);
+    assert_eq!(snap.batches_in(), snap.batches_out() + snap.batch_errors());
+    // Every stage reported in.
+    assert!(snap.channel.cmds_submitted > 0);
+    assert!(snap.decoder.items_ok > 0);
+    let lane = snap.decoder.lane_service.as_ref().expect("lane histogram");
+    assert!(lane.count > 0, "decode latency histogram must be populated");
+    assert!(snap.pool.leases > 0 && snap.pool.recycles > 0);
+    assert_eq!(snap.engines.batches, report.iterations);
+    assert!(snap.dispatcher.batches >= snap.engines.batches);
+    assert!(snap.router_delivered >= report.iterations);
+    // Submit latency recorded once per completed reader batch.
+    let submit = snap.reader.submit_latency.as_ref().expect("submit histogram");
+    assert_eq!(submit.count, snap.batches_out());
+    // Healthy, quiescent run: no conservation violation, no stall.
+    assert!(
+        snap.invariant_violations().is_empty(),
+        "violations: {:?}",
+        snap.invariant_violations()
+    );
+    assert!(snap.stalls.is_empty(), "healthy run must not trip the watchdog");
+    assert!(snap.to_text().contains("watchdog   quiet"));
+}
+
+#[test]
 fn hybrid_cache_serves_later_epochs_in_full_pipeline() {
     let disk = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));
     let n_images = 8;

@@ -113,6 +113,85 @@ fn reader_counts_item_errors_and_keeps_flowing() {
 }
 
 #[test]
+fn corrupt_payloads_surface_in_telemetry_counters() {
+    // Same corruption scheme as above, but through the full booster with a
+    // shared registry: failed items must land in the decoder and reader
+    // error counters without breaking conservation.
+    let telemetry = Telemetry::with_defaults();
+    let disk = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));
+    let dataset = Dataset::build(DatasetSpec::ilsvrc_small(8, 9), &disk).unwrap();
+    let mut records = dataset.records.clone();
+    for r in records.iter_mut().step_by(2) {
+        let (off, len) = disk.append(vec![0xEE; r.len as usize]).unwrap();
+        r.disk_offset = off;
+        r.len = len;
+    }
+    let collector = Arc::new(DataCollector::load_from_disk(&records, 0));
+    let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
+    device.load_mirror(DecoderMirror::jpeg_paper_config()).unwrap();
+    let engine = DecoderEngine::start_with_telemetry(
+        device,
+        Arc::new(CombinedResolver::disk_only(Arc::clone(&disk))),
+        &telemetry,
+    )
+    .unwrap();
+    let channel = FpgaChannel::init_with_telemetry(engine, 0, &telemetry);
+    let mut config = DlBoosterConfig::training(1, 4, (32, 32), 8, Some(2));
+    config.cache_bytes = 0;
+    let booster =
+        DlBooster::start_with_telemetry(collector, channel, config, Arc::clone(&telemetry))
+            .unwrap();
+    let mut delivered = 0;
+    while let Ok(batch) = booster.next_batch(0) {
+        delivered += 1;
+        booster.recycle(batch.unit);
+    }
+    assert_eq!(delivered, 2);
+    drop(booster); // quiesce
+
+    let snap = telemetry.pipeline_snapshot();
+    assert!(
+        snap.decoder.items_err >= 4,
+        "half the items are garbage: items_err = {}",
+        snap.decoder.items_err
+    );
+    assert_eq!(snap.reader.item_errors, snap.decoder.items_err);
+    assert_eq!(
+        snap.decoder.items_in,
+        snap.decoder.items_ok + snap.decoder.items_err
+    );
+    assert!(
+        snap.invariant_violations().is_empty(),
+        "violations: {:?}",
+        snap.invariant_violations()
+    );
+}
+
+#[test]
+fn stalled_queue_trips_the_watchdog() {
+    // A queue that receives work but is never consumed must be flagged
+    // once its heartbeat goes quiet past the (tiny) threshold.
+    let telemetry = Telemetry::new(std::time::Duration::from_millis(5));
+    let q: BlockingQueue<u32> = BlockingQueue::bounded(4);
+    q.instrument(&telemetry, "stuck_stage");
+    q.push(7).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(40));
+    let snap = telemetry.pipeline_snapshot();
+    assert!(
+        snap.stalls.iter().any(|s| s.stage == "stuck_stage"),
+        "expected a stall report, got {:?}",
+        snap.stalls
+    );
+    assert!(snap.to_text().contains("STALL"));
+    // Draining the queue and beating again clears the verdict.
+    assert_eq!(q.pop().unwrap(), 7);
+    assert!(
+        telemetry.watchdog.stalled().iter().all(|s| s.stage != "stuck_stage"),
+        "drained queue must not be reported stalled"
+    );
+}
+
+#[test]
 fn mid_run_shutdown_terminates_cleanly() {
     let disk = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));
     let dataset = Dataset::build(DatasetSpec::ilsvrc_small(16, 31), &disk).unwrap();
@@ -125,10 +204,17 @@ fn mid_run_shutdown_terminates_cleanly() {
     )
     .unwrap();
     // Unbounded run, killed from outside after two batches.
+    let telemetry = Telemetry::with_defaults();
     let mut config = DlBoosterConfig::training(1, 4, (32, 32), 16, None);
     config.cache_bytes = 0;
     let booster = Arc::new(
-        DlBooster::start(collector, FpgaChannel::init(engine, 0), config).unwrap(),
+        DlBooster::start_with_telemetry(
+            collector,
+            FpgaChannel::init(engine, 0),
+            config,
+            Arc::clone(&telemetry),
+        )
+        .unwrap(),
     );
     for _ in 0..2 {
         let batch = booster.next_batch(0).unwrap();
@@ -145,6 +231,18 @@ fn mid_run_shutdown_terminates_cleanly() {
             }
         }
     }
+    drop(booster); // join reader/router so exit-time accounting lands
+    // Batches in flight at kill time are charged to batch_errors, so
+    // conservation still balances after a forced shutdown.
+    let snap = telemetry.pipeline_snapshot();
+    assert!(snap.batches_in() >= 2);
+    assert_eq!(snap.batches_in(), snap.batches_out() + snap.batch_errors());
+    assert_eq!(snap.reader.inflight, 0);
+    assert!(
+        snap.invariant_violations().is_empty(),
+        "violations: {:?}",
+        snap.invariant_violations()
+    );
 }
 
 #[test]

@@ -53,6 +53,75 @@ fn requests_flow_from_nic_to_decoded_batches_with_identity() {
 }
 
 #[test]
+fn inference_pipeline_snapshot_covers_nic_path() {
+    // Stream-mode pipeline with one shared registry: NIC requests decode
+    // through the FPGA and serve an inference session; the aggregated
+    // snapshot must balance and carry per-stage histograms.
+    let telemetry = Telemetry::with_defaults();
+    let pool = ClientPool::small(1_000.0, 99);
+    let n_requests = 16;
+    let batch_size = 4;
+    let requests = pool.generate_requests(n_requests);
+    let nic = Arc::new(NicRx::new(NicSpec::forty_gbps(), 0x8_0000_0000));
+    let collector = Arc::new(DataCollector::load_from_net());
+    for r in &requests {
+        let desc = nic.deliver(&r.wire_bytes, 0).unwrap();
+        collector.push_from_net(&desc);
+    }
+    collector.close_stream();
+
+    let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
+    device.load_mirror(DecoderMirror::jpeg_paper_config()).unwrap();
+    let engine = DecoderEngine::start_with_telemetry(
+        device,
+        Arc::new(CombinedResolver::nic_only(Arc::clone(&nic))),
+        &telemetry,
+    )
+    .unwrap();
+    let channel = FpgaChannel::init_with_telemetry(engine, 0, &telemetry);
+    let mut config = DlBoosterConfig::inference(1, batch_size, (64, 64));
+    let n_batches = (n_requests / batch_size) as u64;
+    config.max_batches = Some(n_batches);
+    let booster: Arc<dyn PreprocessBackend> = Arc::new(
+        DlBooster::start_with_telemetry(collector, channel, config, Arc::clone(&telemetry))
+            .unwrap(),
+    );
+
+    let gpus = vec![GpuDevice::new(GpuSpec::tesla_v100(), 0)];
+    let report = InferenceSession::run_with_telemetry(
+        Arc::clone(&booster),
+        &gpus,
+        &InferenceConfig {
+            model: ModelZoo::GoogLeNet,
+            batch_size: batch_size as u32,
+            precision: Precision::Fp16,
+            batches: n_batches,
+            time_scale: 0.0,
+            gpu_background_share: 0.0,
+        },
+        &telemetry,
+    );
+    assert_eq!(report.batches, n_batches);
+    drop(booster); // quiesce before snapshotting
+
+    let snap = telemetry.pipeline_snapshot();
+    assert_eq!(snap.batches_in(), snap.batches_out() + snap.batch_errors());
+    assert_eq!(snap.decoder.items_ok, n_requests as u64);
+    assert_eq!(snap.decoder.items_err, 0);
+    assert!(snap.decoder.lane_service.as_ref().unwrap().count > 0);
+    assert_eq!(snap.engines.batches, n_batches);
+    assert_eq!(snap.engines.batch_wait.as_ref().unwrap().count, n_batches);
+    assert_eq!(snap.engines.compute.as_ref().unwrap().count, n_batches);
+    assert!(snap.dispatcher.bytes_copied > 0);
+    assert!(
+        snap.invariant_violations().is_empty(),
+        "violations: {:?}",
+        snap.invariant_violations()
+    );
+    assert!(snap.stalls.is_empty());
+}
+
+#[test]
 fn inference_session_over_stream_backend() {
     let pool = ClientPool::small(1_000.0, 7);
     let n_requests = 24;
