@@ -26,7 +26,9 @@ impl SlotRouter {
     pub fn new(n_slots: usize, depth: usize, max_batches: Option<u64>) -> Self {
         assert!(n_slots >= 1);
         Self {
-            queues: (0..n_slots).map(|_| BlockingQueue::bounded(depth)).collect(),
+            queues: (0..n_slots)
+                .map(|_| BlockingQueue::bounded(depth))
+                .collect(),
             order: Mutex::new(0),
             delivered: AtomicU64::new(0),
             claimed: AtomicU64::new(0),

@@ -126,7 +126,13 @@ fn cpu_worker(
                 .ok()
                 .and_then(|bytes| decoder.decode(&bytes).ok())
                 .and_then(|img| {
-                    resize(&img, config.target_w, config.target_h, ResizeFilter::Bilinear).ok()
+                    resize(
+                        &img,
+                        config.target_w,
+                        config.target_h,
+                        ResizeFilter::Bilinear,
+                    )
+                    .ok()
                 })
                 .map(|img| img.to_rgb());
             match decoded {
@@ -134,13 +140,7 @@ fn cpu_worker(
                     // The per-datum small copy of §5.2 — inherent to the
                     // CPU path: every image is decoded elsewhere and copied
                     // into the transfer buffer.
-                    unit.append(
-                        img.data(),
-                        meta.label,
-                        config.target_w,
-                        config.target_h,
-                        3,
-                    );
+                    unit.append(img.data(), meta.label, config.target_w, config.target_h, 3);
                 }
                 None => {
                     // Failed decode: reserve a zeroed slot so the batch
@@ -208,8 +208,8 @@ impl Drop for CpuBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dlbooster_core::CombinedResolver;
     use dlb_storage::{Dataset, DatasetSpec, NvmeDisk, NvmeSpec};
+    use dlbooster_core::CombinedResolver;
 
     fn backend(workers: usize, max: Option<u64>) -> CpuBackend {
         let disk = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));

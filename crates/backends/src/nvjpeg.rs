@@ -157,7 +157,13 @@ fn nvjpeg_worker(
                 .ok()
                 .and_then(|bytes| decoder.decode(&bytes).ok())
                 .and_then(|img| {
-                    resize(&img, config.target_w, config.target_h, ResizeFilter::Bilinear).ok()
+                    resize(
+                        &img,
+                        config.target_w,
+                        config.target_h,
+                        ResizeFilter::Bilinear,
+                    )
+                    .ok()
                 })
                 .map(|img| img.to_rgb());
             match decoded {
@@ -230,8 +236,8 @@ impl Drop for NvJpegBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dlbooster_core::CombinedResolver;
     use dlb_storage::{Dataset, DatasetSpec, NvmeDisk, NvmeSpec};
+    use dlbooster_core::CombinedResolver;
 
     fn backend(max: Option<u64>) -> NvJpegBackend {
         let disk = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));

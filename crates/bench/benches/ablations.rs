@@ -29,11 +29,19 @@ fn ablation_batch_memory(cal: &Calibration) -> FigureReport {
     // against CPU-based on the cached MNIST workload.
     let batched = TrainingSim::run(
         cal.clone(),
-        TrainingParams::paper(ModelZoo::LeNet5, TrainBackend::Kind(BackendKind::DlBooster), 1),
+        TrainingParams::paper(
+            ModelZoo::LeNet5,
+            TrainBackend::Kind(BackendKind::DlBooster),
+            1,
+        ),
     );
     let per_datum = TrainingSim::run(
         cal.clone(),
-        TrainingParams::paper(ModelZoo::LeNet5, TrainBackend::Kind(BackendKind::CpuBased), 1),
+        TrainingParams::paper(
+            ModelZoo::LeNet5,
+            TrainBackend::Kind(BackendKind::CpuBased),
+            1,
+        ),
     );
     rep.push_row(Row::new(&[
         "batched unit (DLBooster)".to_string(),
@@ -44,8 +52,14 @@ fn ablation_batch_memory(cal: &Calibration) -> FigureReport {
         format!("{:.0}", per_datum.throughput),
     ]));
     let loss = 1.0 - per_datum.throughput / batched.throughput;
-    rep.note(format!("measured small-copy loss: {:.0}% (paper: ~20%)", loss * 100.0));
-    assert!(loss > 0.05, "per-datum copies must cost something: {loss:.3}");
+    rep.note(format!(
+        "measured small-copy loss: {:.0}% (paper: ~20%)",
+        loss * 100.0
+    ));
+    assert!(
+        loss > 0.05,
+        "per-datum copies must cost something: {loss:.3}"
+    );
     rep
 }
 
@@ -53,7 +67,13 @@ fn ablation_pipeline_width() -> FigureReport {
     let mut rep = FigureReport::new(
         "Ablation A2",
         "FPGA decoder width sweep (ILSVRC-like images)",
-        &["huffman ways", "resize ways", "throughput (img/s)", "bottleneck", "fits Arria-10"],
+        &[
+            "huffman ways",
+            "resize ways",
+            "throughput (img/s)",
+            "bottleneck",
+            "fits Arria-10",
+        ],
     );
     let spec = DeviceSpec::arria10_ax();
     let w = ImageWorkload::ilsvrc_like();
@@ -124,7 +144,11 @@ fn ablation_async_reader(cal: &Calibration) -> FigureReport {
     // ideal-backend iteration time plus the FPGA batch service.
     let asynchronous = TrainingSim::run(
         cal.clone(),
-        TrainingParams::paper(ModelZoo::AlexNet, TrainBackend::Kind(BackendKind::DlBooster), 1),
+        TrainingParams::paper(
+            ModelZoo::AlexNet,
+            TrainBackend::Kind(BackendKind::DlBooster),
+            1,
+        ),
     );
     let ideal = TrainingSim::run(
         cal.clone(),

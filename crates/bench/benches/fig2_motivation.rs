@@ -12,9 +12,7 @@ fn bench(c: &mut Criterion) {
     let _ = save_reports("fig2", &[report]);
     let mut group = c.benchmark_group("fig2");
     group.sample_size(10);
-    group.bench_function("motivation_sweep", |b| {
-        b.iter(|| fig2_motivation(&cal))
-    });
+    group.bench_function("motivation_sweep", |b| b.iter(|| fig2_motivation(&cal)));
     group.finish();
 }
 

@@ -2,10 +2,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dlb_bench::{print_report, save_reports};
+use dlb_gpu::ModelZoo;
 use dlb_workflows::calibration::{BackendKind, Calibration};
 use dlb_workflows::figures::fig7_inference_throughput;
 use dlb_workflows::inference::InferenceSim;
-use dlb_gpu::ModelZoo;
 
 fn bench(c: &mut Criterion) {
     let cal = Calibration::paper();
@@ -16,7 +16,12 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("googlenet_dlbooster_bs32", |b| {
         b.iter(|| {
-            InferenceSim::saturated_throughput(&cal, ModelZoo::GoogLeNet, BackendKind::DlBooster, 32)
+            InferenceSim::saturated_throughput(
+                &cal,
+                ModelZoo::GoogLeNet,
+                BackendKind::DlBooster,
+                32,
+            )
         })
     });
     group.finish();

@@ -2,10 +2,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dlb_bench::{print_report, save_reports};
+use dlb_gpu::ModelZoo;
 use dlb_workflows::calibration::{BackendKind, Calibration};
 use dlb_workflows::figures::fig9_inference_cpu_cost;
 use dlb_workflows::inference::{InferenceParams, InferenceSim};
-use dlb_gpu::ModelZoo;
 
 fn bench(c: &mut Criterion) {
     let cal = Calibration::paper();

@@ -40,7 +40,9 @@ fn bench(c: &mut Criterion) {
 
     // Functional FPGA engine: images/s through the 4-lane decoder.
     let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
-    device.load_mirror(DecoderMirror::jpeg_paper_config()).unwrap();
+    device
+        .load_mirror(DecoderMirror::jpeg_paper_config())
+        .unwrap();
     let resolver = Arc::new(MapResolver::new());
     let n = 16usize;
     let srcs: Vec<_> = (0..n)

@@ -10,9 +10,7 @@ fn bench(c: &mut Criterion) {
     print_report(&report);
     let _ = save_reports("sec54", &[report]);
     let mut group = c.benchmark_group("sec54");
-    group.bench_function("ledger", |b| {
-        b.iter(|| analyze(&EconomicsInputs::paper()))
-    });
+    group.bench_function("ledger", |b| b.iter(|| analyze(&EconomicsInputs::paper())));
     group.finish();
 }
 

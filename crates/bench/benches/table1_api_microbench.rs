@@ -43,7 +43,10 @@ fn bench(c: &mut Criterion) {
     // FPGAChannel cmd path: pack + parse (the FIFO wire format).
     let cmd = DecodeCmd {
         cmd_id: 1,
-        src: DataRef::Disk { offset: 4096, len: 100_000 },
+        src: DataRef::Disk {
+            offset: 4096,
+            len: 100_000,
+        },
         dst_phys: 0x4_0000_0000,
         dst_capacity: 224 * 224 * 3,
         target_w: 224,

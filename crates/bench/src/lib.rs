@@ -19,6 +19,7 @@
 //! | `codec_microbench` | raw decode/resize rates (the functional layer) |
 //! | `pipeline_microbench` | queue/pool/dispatcher primitive costs |
 //! | `ablations` | §3.3/§3.4 design-choice ablations |
+//! | `serving_batcher` | serving-layer batch former + WFQ hot paths |
 //!
 //! Run everything with `cargo bench --workspace`; regenerate just the
 //! figure tables with `cargo run -p dlb-bench --bin figures`.

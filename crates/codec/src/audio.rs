@@ -97,9 +97,7 @@ pub fn spectrogram(samples: &[i16], config: &SpectrogramConfig) -> CodecResult<V
     let mut out = Vec::with_capacity(n_frames * config.coefficients);
     // Hann window, precomputed.
     let window: Vec<f32> = (0..n)
-        .map(|i| {
-            0.5 - 0.5 * (2.0 * std::f32::consts::PI * i as f32 / (n as f32 - 1.0)).cos()
-        })
+        .map(|i| 0.5 - 0.5 * (2.0 * std::f32::consts::PI * i as f32 / (n as f32 - 1.0)).cos())
         .collect();
     // DCT-II basis rows for the kept coefficients.
     let mut windowed = vec![0f32; n];
@@ -111,11 +109,7 @@ pub fn spectrogram(samples: &[i16], config: &SpectrogramConfig) -> CodecResult<V
         for k in 0..config.coefficients {
             let mut acc = 0f32;
             for (i, &x) in windowed.iter().enumerate() {
-                acc += x
-                    * ((std::f32::consts::PI / n as f32)
-                        * (i as f32 + 0.5)
-                        * k as f32)
-                        .cos();
+                acc += x * ((std::f32::consts::PI / n as f32) * (i as f32 + 0.5) * k as f32).cos();
             }
             // Log-magnitude with a floor, as speech front-ends do.
             out.push((acc.abs() + 1e-6).ln());
@@ -135,9 +129,7 @@ pub fn synth_pcm(n_samples: usize, seed: u64) -> Vec<i16> {
         state
     };
     let f0 = 80.0 + (rng() % 200) as f32; // fundamental 80–280 Hz
-    let harmonics: Vec<(f32, f32)> = (1..=4)
-        .map(|h| (f0 * h as f32, 1.0 / h as f32))
-        .collect();
+    let harmonics: Vec<(f32, f32)> = (1..=4).map(|h| (f0 * h as f32, 1.0 / h as f32)).collect();
     (0..n_samples)
         .map(|i| {
             let t = i as f32 / 16_000.0;
@@ -195,8 +187,7 @@ mod tests {
         };
         let tone: Vec<i16> = (0..4096)
             .map(|i| {
-                ((2.0 * std::f32::consts::PI * 200.0 * i as f32 / 16_000.0).sin() * 16_000.0)
-                    as i16
+                ((2.0 * std::f32::consts::PI * 200.0 * i as f32 / 16_000.0).sin() * 16_000.0) as i16
             })
             .collect();
         let spec = spectrogram(&tone, &c).unwrap();

@@ -130,8 +130,16 @@ pub fn seeded_crop_rect(seed: u64, src_w: u32, src_h: u32, w: u32, h: u32) -> Cr
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     let r = z ^ (z >> 31);
     CropRect {
-        x: if max_x == 0 { 0 } else { (r as u32) % (max_x + 1) },
-        y: if max_y == 0 { 0 } else { ((r >> 32) as u32) % (max_y + 1) },
+        x: if max_x == 0 {
+            0
+        } else {
+            (r as u32) % (max_x + 1)
+        },
+        y: if max_y == 0 {
+            0
+        } else {
+            ((r >> 32) as u32) % (max_y + 1)
+        },
         width: w.min(src_w),
         height: h.min(src_h),
     }
@@ -175,10 +183,30 @@ mod tests {
     fn crop_rejects_out_of_bounds() {
         let img = numbered(10, 10);
         for rect in [
-            CropRect { x: 8, y: 0, width: 4, height: 4 },
-            CropRect { x: 0, y: 8, width: 4, height: 4 },
-            CropRect { x: 0, y: 0, width: 0, height: 4 },
-            CropRect { x: 0, y: 0, width: 11, height: 1 },
+            CropRect {
+                x: 8,
+                y: 0,
+                width: 4,
+                height: 4,
+            },
+            CropRect {
+                x: 0,
+                y: 8,
+                width: 4,
+                height: 4,
+            },
+            CropRect {
+                x: 0,
+                y: 0,
+                width: 0,
+                height: 4,
+            },
+            CropRect {
+                x: 0,
+                y: 0,
+                width: 11,
+                height: 1,
+            },
         ] {
             assert!(crop(&img, rect).is_err(), "{rect:?}");
         }
@@ -240,6 +268,10 @@ mod tests {
                 (r.x, r.y)
             })
             .collect();
-        assert!(positions.len() > 10, "only {} unique positions", positions.len());
+        assert!(
+            positions.len() > 10,
+            "only {} unique positions",
+            positions.len()
+        );
     }
 }

@@ -17,14 +17,8 @@ fn basis() -> [[f32; BLOCK_DIM]; BLOCK_DIM] {
     let mut t = [[0f32; BLOCK_DIM]; BLOCK_DIM];
     for (x, row) in t.iter_mut().enumerate() {
         for (u, v) in row.iter_mut().enumerate() {
-            let cu = if u == 0 {
-                (0.5f32).sqrt()
-            } else {
-                1.0
-            };
-            *v = 0.5
-                * cu
-                * ((2.0 * x as f32 + 1.0) * u as f32 * std::f32::consts::PI / 16.0).cos();
+            let cu = if u == 0 { (0.5f32).sqrt() } else { 1.0 };
+            *v = 0.5 * cu * ((2.0 * x as f32 + 1.0) * u as f32 * std::f32::consts::PI / 16.0).cos();
         }
     }
     t
@@ -93,9 +87,9 @@ pub fn idct_8x8(coeffs: &[f32; BLOCK_LEN], samples: &mut [f32; BLOCK_LEN]) {
 /// Zigzag scan order mapping: `ZIGZAG[i]` is the raster index of the `i`-th
 /// coefficient in zigzag order (T.81 Figure A.6).
 pub const ZIGZAG: [usize; BLOCK_LEN] = [
-    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
-    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
-    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27, 20,
+    13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59,
+    52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
 ];
 
 /// Inverse of [`ZIGZAG`]: raster index → zigzag position.

@@ -101,7 +101,10 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(CodecError::InvalidHuffmanCode, CodecError::InvalidHuffmanCode);
+        assert_eq!(
+            CodecError::InvalidHuffmanCode,
+            CodecError::InvalidHuffmanCode
+        );
         assert_ne!(
             CodecError::UnexpectedEof { context: "a" },
             CodecError::UnexpectedEof { context: "b" }

@@ -488,7 +488,12 @@ mod tests {
 
     #[test]
     fn std_tables_build() {
-        for t in [std_dc_luma(), std_dc_chroma(), std_ac_luma(), std_ac_chroma()] {
+        for t in [
+            std_dc_luma(),
+            std_dc_chroma(),
+            std_ac_luma(),
+            std_ac_chroma(),
+        ] {
             let total: usize = t.counts().iter().map(|&c| c as usize).sum();
             assert_eq!(total, t.symbols().len());
         }

@@ -127,9 +127,11 @@ fn parse_headers(data: &[u8]) -> CodecResult<Headers> {
             }
             marker::SOS => {
                 let len = read_u16(data, pos, "SOS length")? as usize;
-                let seg = data.get(pos + 2..pos + len).ok_or(CodecError::UnexpectedEof {
-                    context: "SOS payload",
-                })?;
+                let seg = data
+                    .get(pos + 2..pos + len)
+                    .ok_or(CodecError::UnexpectedEof {
+                        context: "SOS payload",
+                    })?;
                 let mut frame = frame.ok_or_else(|| CodecError::MalformedSegment {
                     detail: "SOS before SOF0".into(),
                 })?;
@@ -145,9 +147,11 @@ fn parse_headers(data: &[u8]) -> CodecResult<Headers> {
             }
             marker::SOF0 => {
                 let len = read_u16(data, pos, "SOF0 length")? as usize;
-                let seg = data.get(pos + 2..pos + len).ok_or(CodecError::UnexpectedEof {
-                    context: "SOF0 payload",
-                })?;
+                let seg = data
+                    .get(pos + 2..pos + len)
+                    .ok_or(CodecError::UnexpectedEof {
+                        context: "SOF0 payload",
+                    })?;
                 frame = Some(parse_sof0(seg)?);
                 pos += len;
             }
@@ -158,17 +162,21 @@ fn parse_headers(data: &[u8]) -> CodecResult<Headers> {
             }
             marker::DQT => {
                 let len = read_u16(data, pos, "DQT length")? as usize;
-                let seg = data.get(pos + 2..pos + len).ok_or(CodecError::UnexpectedEof {
-                    context: "DQT payload",
-                })?;
+                let seg = data
+                    .get(pos + 2..pos + len)
+                    .ok_or(CodecError::UnexpectedEof {
+                        context: "DQT payload",
+                    })?;
                 parse_dqt(seg, &mut qtables)?;
                 pos += len;
             }
             marker::DHT => {
                 let len = read_u16(data, pos, "DHT length")? as usize;
-                let seg = data.get(pos + 2..pos + len).ok_or(CodecError::UnexpectedEof {
-                    context: "DHT payload",
-                })?;
+                let seg = data
+                    .get(pos + 2..pos + len)
+                    .ok_or(CodecError::UnexpectedEof {
+                        context: "DHT payload",
+                    })?;
                 parse_dht(seg, &mut dc_tables, &mut ac_tables)?;
                 pos += len;
             }
@@ -389,11 +397,11 @@ fn decode_scan(data: &[u8], headers: &Headers) -> CodecResult<(Image, DecodeStat
     }
     let mut ctx = Vec::with_capacity(frame.components.len());
     for c in &frame.components {
-        let q = headers.qtables[c.qtable as usize]
-            .as_ref()
-            .ok_or_else(|| CodecError::MalformedSegment {
+        let q = headers.qtables[c.qtable as usize].as_ref().ok_or_else(|| {
+            CodecError::MalformedSegment {
                 detail: format!("missing DQT slot {}", c.qtable),
-            })?;
+            }
+        })?;
         let dc = headers.dc_tables[c.dc_table as usize]
             .as_ref()
             .ok_or_else(|| CodecError::MalformedSegment {
@@ -404,7 +412,12 @@ fn decode_scan(data: &[u8], headers: &Headers) -> CodecResult<(Image, DecodeStat
             .ok_or_else(|| CodecError::MalformedSegment {
                 detail: format!("missing AC DHT slot {}", c.ac_table),
             })?;
-        ctx.push(CompCtx { spec: *c, q, dc, ac });
+        ctx.push(CompCtx {
+            spec: *c,
+            q,
+            dc,
+            ac,
+        });
     }
 
     // Output planes padded to MCU coverage.
@@ -478,7 +491,14 @@ fn decode_scan(data: &[u8], headers: &Headers) -> CodecResult<(Image, DecodeStat
         for (ci, c) in ctx.iter().enumerate() {
             for vy in 0..c.spec.v {
                 for hx in 0..c.spec.h {
-                    decode_block(&mut reader, c.dc, c.ac, &mut dc_pred[ci], &mut quantized, &mut stats)?;
+                    decode_block(
+                        &mut reader,
+                        c.dc,
+                        c.ac,
+                        &mut dc_pred[ci],
+                        &mut quantized,
+                        &mut stats,
+                    )?;
                     c.q.dequantize(&quantized, &mut coeffs);
                     idct_8x8(&coeffs, &mut samples);
                     // Write the level-shifted samples into the plane.
@@ -499,7 +519,11 @@ fn decode_scan(data: &[u8], headers: &Headers) -> CodecResult<(Image, DecodeStat
     }
     stats.entropy_bits += reader.byte_pos() as u64 * 8;
 
-    let image = assemble_image(frame, &ctx.iter().map(|c| c.spec).collect::<Vec<_>>(), &planes)?;
+    let image = assemble_image(
+        frame,
+        &ctx.iter().map(|c| c.spec).collect::<Vec<_>>(),
+        &planes,
+    )?;
     Ok((image, stats))
 }
 
@@ -572,7 +596,8 @@ fn assemble_image(
         let plane = &planes[0];
         let mut data = vec![0u8; w * h];
         for y in 0..h {
-            data[y * w..(y + 1) * w].copy_from_slice(&plane.data[y * plane.width..y * plane.width + w]);
+            data[y * w..(y + 1) * w]
+                .copy_from_slice(&plane.data[y * plane.width..y * plane.width + w]);
         }
         return Image::from_vec(frame.width, frame.height, ColorSpace::Gray, data);
     }
@@ -741,7 +766,9 @@ mod tests {
     #[test]
     fn rejects_progressive() {
         // Fake a SOF2 (progressive) frame.
-        let mut bytes = vec![0xFF, 0xD8, 0xFF, 0xC2, 0x00, 0x0B, 8, 0, 8, 0, 8, 1, 1, 0x11, 0];
+        let mut bytes = vec![
+            0xFF, 0xD8, 0xFF, 0xC2, 0x00, 0x0B, 8, 0, 8, 0, 8, 1, 1, 0x11, 0,
+        ];
         bytes.extend_from_slice(&[0xFF, 0xD9]);
         let err = JpegDecoder::new().decode(&bytes).unwrap_err();
         assert!(matches!(err, CodecError::Unsupported { .. }), "{err}");

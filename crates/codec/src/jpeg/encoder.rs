@@ -8,8 +8,8 @@ use super::{component_layout, marker, ChromaMode, ComponentSpec};
 use crate::dct::{fdct_8x8, BLOCK_LEN, ZIGZAG};
 use crate::error::{CodecError, CodecResult};
 use crate::huffman::{
-    encode_magnitude, magnitude_category, std_ac_chroma, std_ac_luma, std_dc_chroma,
-    std_dc_luma, BitWriter, HuffTable,
+    encode_magnitude, magnitude_category, std_ac_chroma, std_ac_luma, std_dc_chroma, std_dc_luma,
+    BitWriter, HuffTable,
 };
 use crate::pixel::{rgb_to_ycbcr, ColorSpace, Image};
 use crate::quant::QuantTable;
@@ -76,7 +76,10 @@ impl JpegEncoder {
             },
         };
         let components = component_layout(mode);
-        let qtables = [QuantTable::luma(self.quality)?, QuantTable::chroma(self.quality)?];
+        let qtables = [
+            QuantTable::luma(self.quality)?,
+            QuantTable::chroma(self.quality)?,
+        ];
         let planes = build_planes(img, mode, &components);
 
         let mut out = Vec::with_capacity(img.byte_len() / 4 + 1024);
@@ -142,9 +145,7 @@ impl JpegEncoder {
             }
             mcus_in_segment += 1;
             let last = mcu_index + 1 == total_mcus;
-            if self.restart_interval > 0
-                && mcus_in_segment == self.restart_interval as u64
-                && !last
+            if self.restart_interval > 0 && mcus_in_segment == self.restart_interval as u64 && !last
             {
                 // Close the segment: byte-align with 1-padding, then emit the
                 // restart marker unstuffed and reset the DC predictors.
@@ -352,7 +353,11 @@ fn write_headers(
     push_segment(out, marker::APP0, &app0);
 
     // DQT per used slot, 8-bit precision, zigzag order.
-    let slots: &[u8] = if mode == ChromaMode::Grayscale { &[0] } else { &[0, 1] };
+    let slots: &[u8] = if mode == ChromaMode::Grayscale {
+        &[0]
+    } else {
+        &[0, 1]
+    };
     for &slot in slots {
         let mut dqt = Vec::with_capacity(65);
         dqt.push(slot); // precision 0 (8-bit) in high nibble

@@ -100,10 +100,14 @@ fn resize_area(src: &Image, dst_w: u32, dst_h: u32) -> Image {
     for dy in 0..dst_h as usize {
         // Source row span covered by this destination row.
         let y_lo = dy * sh / dst_h as usize;
-        let y_hi = (((dy + 1) * sh).div_ceil(dst_h as usize)).min(sh).max(y_lo + 1);
+        let y_hi = (((dy + 1) * sh).div_ceil(dst_h as usize))
+            .min(sh)
+            .max(y_lo + 1);
         for dx in 0..dst_w as usize {
             let x_lo = dx * sw / dst_w as usize;
-            let x_hi = (((dx + 1) * sw).div_ceil(dst_w as usize)).min(sw).max(x_lo + 1);
+            let x_hi = (((dx + 1) * sw).div_ceil(dst_w as usize))
+                .min(sw)
+                .max(x_lo + 1);
             let d = (dy * dst_w as usize + dx) * c;
             for ch in 0..c {
                 let mut acc = 0u32;
@@ -133,7 +137,11 @@ mod tests {
     #[test]
     fn identity_resize_is_noop() {
         let img = solid(10, 10, 42);
-        for f in [ResizeFilter::Nearest, ResizeFilter::Bilinear, ResizeFilter::Area] {
+        for f in [
+            ResizeFilter::Nearest,
+            ResizeFilter::Bilinear,
+            ResizeFilter::Area,
+        ] {
             let out = resize(&img, 10, 10, f).unwrap();
             assert_eq!(out.data(), img.data());
         }
@@ -142,7 +150,11 @@ mod tests {
     #[test]
     fn constant_images_stay_constant() {
         let img = solid(37, 23, 99);
-        for f in [ResizeFilter::Nearest, ResizeFilter::Bilinear, ResizeFilter::Area] {
+        for f in [
+            ResizeFilter::Nearest,
+            ResizeFilter::Bilinear,
+            ResizeFilter::Area,
+        ] {
             for (w, h) in [(10, 10), (64, 64), (5, 40)] {
                 let out = resize(&img, w, h, f).unwrap();
                 assert!(

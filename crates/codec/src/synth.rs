@@ -31,7 +31,11 @@ pub struct SynthRng(u64);
 impl SynthRng {
     /// Creates a generator; a zero seed is remapped to a fixed constant.
     pub fn new(seed: u64) -> Self {
-        Self(if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed })
+        Self(if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        })
     }
 
     /// Next raw 64-bit value.
@@ -77,8 +81,16 @@ fn generate_color(width: u32, height: u32, style: SynthStyle, seed: u64) -> Imag
         rng.next_below(200) as f32 + 20.0,
         rng.next_below(200) as f32 + 20.0,
     ];
-    let gx = [rng.next_f32() - 0.5, rng.next_f32() - 0.5, rng.next_f32() - 0.5];
-    let gy = [rng.next_f32() - 0.5, rng.next_f32() - 0.5, rng.next_f32() - 0.5];
+    let gx = [
+        rng.next_f32() - 0.5,
+        rng.next_f32() - 0.5,
+        rng.next_f32() - 0.5,
+    ];
+    let gy = [
+        rng.next_f32() - 0.5,
+        rng.next_f32() - 0.5,
+        rng.next_f32() - 0.5,
+    ];
     let freq = 0.02 + rng.next_f32() * 0.08;
     let noise_amp: f32 = match style {
         SynthStyle::Smooth => 0.0,
@@ -88,7 +100,11 @@ fn generate_color(width: u32, height: u32, style: SynthStyle, seed: u64) -> Imag
     };
 
     // A few random rectangles ("objects") for Photo style.
-    let nrects = if style == SynthStyle::Photo { 6 + rng.next_below(6) } else { 0 };
+    let nrects = if style == SynthStyle::Photo {
+        6 + rng.next_below(6)
+    } else {
+        0
+    };
     let rects: Vec<(u32, u32, u32, u32, [f32; 3])> = (0..nrects)
         .map(|_| {
             let x = rng.next_below(width);
@@ -214,9 +230,15 @@ mod tests {
         // Smooth < Photo < Noisy after JPEG encoding — the property that makes
         // the synthetic dataset a fair stand-in for real photographs.
         let enc = JpegEncoder::new(85).unwrap();
-        let smooth = enc.encode(&generate(128, 96, SynthStyle::Smooth, 5)).unwrap();
-        let photo = enc.encode(&generate(128, 96, SynthStyle::Photo, 5)).unwrap();
-        let noisy = enc.encode(&generate(128, 96, SynthStyle::Noisy, 5)).unwrap();
+        let smooth = enc
+            .encode(&generate(128, 96, SynthStyle::Smooth, 5))
+            .unwrap();
+        let photo = enc
+            .encode(&generate(128, 96, SynthStyle::Photo, 5))
+            .unwrap();
+        let noisy = enc
+            .encode(&generate(128, 96, SynthStyle::Noisy, 5))
+            .unwrap();
         assert!(
             smooth.len() < photo.len() && photo.len() < noisy.len(),
             "sizes: smooth={} photo={} noisy={}",
@@ -243,8 +265,7 @@ mod tests {
     fn photo_images_have_structure() {
         let img = generate(96, 96, SynthStyle::Photo, 11);
         // Variance should be non-trivial (not a constant image).
-        let mean: f64 =
-            img.data().iter().map(|&v| v as f64).sum::<f64>() / img.byte_len() as f64;
+        let mean: f64 = img.data().iter().map(|&v| v as f64).sum::<f64>() / img.byte_len() as f64;
         let var: f64 = img
             .data()
             .iter()

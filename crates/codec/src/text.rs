@@ -151,8 +151,22 @@ mod tests {
 
     #[test]
     fn validation() {
-        assert!(quantize("x", &QuantizeConfig { vocab_size: 2, seq_len: 4 }).is_err());
-        assert!(quantize("x", &QuantizeConfig { vocab_size: 10, seq_len: 0 }).is_err());
+        assert!(quantize(
+            "x",
+            &QuantizeConfig {
+                vocab_size: 2,
+                seq_len: 4
+            }
+        )
+        .is_err());
+        assert!(quantize(
+            "x",
+            &QuantizeConfig {
+                vocab_size: 10,
+                seq_len: 0
+            }
+        )
+        .is_err());
     }
 
     #[test]

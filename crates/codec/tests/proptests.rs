@@ -247,5 +247,10 @@ fn image_equality_across_decode_calls() {
     let a = dec.decode(&bytes).unwrap();
     let b = dec.decode(&bytes).unwrap();
     assert_eq!(a, b);
-    assert_eq!(a.data(), Image::from_vec(100, 75, ColorSpace::Rgb, b.clone().into_vec()).unwrap().data());
+    assert_eq!(
+        a.data(),
+        Image::from_vec(100, 75, ColorSpace::Rgb, b.clone().into_vec())
+            .unwrap()
+            .data()
+    );
 }

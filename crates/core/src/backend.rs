@@ -116,10 +116,8 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(BackendError::Exhausted.to_string().contains("exhausted"));
-        assert!(BackendError::Failed {
-            detail: "x".into()
-        }
-        .to_string()
-        .contains("x"));
+        assert!(BackendError::Failed { detail: "x".into() }
+            .to_string()
+            .contains("x"));
     }
 }

@@ -289,7 +289,10 @@ struct RouterCtx {
 fn run_router(reader: FpgaReader, ctx: RouterCtx) -> Option<FpgaReader> {
     let n = ctx.slot_queues.len();
     let mut seq_out: u64 = 0;
-    let bpe = ctx.config.batches_per_epoch.filter(|_| ctx.config.cache_bytes > 0);
+    let bpe = ctx
+        .config
+        .batches_per_epoch
+        .filter(|_| ctx.config.cache_bytes > 0);
 
     let deliver = |mut batch: HostBatch, seq_out: &mut u64| -> bool {
         let slot = (*seq_out % n as u64) as usize;
@@ -411,13 +414,8 @@ mod tests {
         let engine =
             DecoderEngine::start(dev, Arc::new(CombinedResolver::disk_only(disk))).unwrap();
         let channel = FpgaChannel::init(engine, 0);
-        let mut config = DlBoosterConfig::training(
-            n_engines,
-            batch,
-            (32, 32),
-            n_images,
-            max_batches,
-        );
+        let mut config =
+            DlBoosterConfig::training(n_engines, batch, (32, 32), n_images, max_batches);
         config.cache_bytes = cache_bytes;
         DlBooster::start(collector, channel, config).unwrap()
     }
@@ -496,6 +494,11 @@ mod tests {
         });
         assert!(consumer.join().unwrap() >= 2);
         b.shutdown();
+        // Closing the slot queues still drains batches the router had
+        // already prefetched; after the residue, every pop is Exhausted.
+        while let Ok(batch) = b.next_batch(0) {
+            b.recycle(batch.unit);
+        }
         assert!(matches!(b.next_batch(0), Err(BackendError::Exhausted)));
     }
 

@@ -104,9 +104,7 @@ mod tests {
     use super::*;
     use dlb_codec::synth::{generate, SynthStyle};
     use dlb_codec::JpegEncoder;
-    use dlb_fpga::{
-        DecodeCmd, DecoderMirror, DeviceSpec, FpgaDevice, MapResolver, OutputFormat,
-    };
+    use dlb_fpga::{DecodeCmd, DecoderMirror, DeviceSpec, FpgaDevice, MapResolver, OutputFormat};
     use dlb_membridge::{MemManager, PoolConfig};
     use std::sync::Arc;
 
@@ -170,8 +168,14 @@ mod tests {
         // submit_cmd opportunistically drains: completions may come back
         // from either call and must be counted, or a fast engine makes
         // wait_one block forever.
-        let mut seen = chan.submit_cmd(submission(&resolver, &pool, 2)).unwrap().len();
-        seen += chan.submit_cmd(submission(&resolver, &pool, 3)).unwrap().len();
+        let mut seen = chan
+            .submit_cmd(submission(&resolver, &pool, 2))
+            .unwrap()
+            .len();
+        seen += chan
+            .submit_cmd(submission(&resolver, &pool, 3))
+            .unwrap()
+            .len();
         while seen < 2 {
             match chan.wait_one() {
                 Some(_) => seen += 1,

@@ -28,6 +28,9 @@ pub struct FileMeta {
     pub channels: u8,
     /// For network items: arrival timestamp in nanos (latency accounting).
     pub arrival_nanos: Option<u64>,
+    /// For served items: absolute SLO deadline in nanos (set by the
+    /// serving layer's admission controller; `None` outside serving mode).
+    pub deadline_nanos: Option<u64>,
 }
 
 impl FileMeta {
@@ -43,6 +46,7 @@ impl FileMeta {
             height: r.height,
             channels: r.channels,
             arrival_nanos: None,
+            deadline_nanos: None,
         }
     }
 
@@ -59,6 +63,7 @@ impl FileMeta {
             height: 0,
             channels: 3,
             arrival_nanos: Some(d.arrival_nanos),
+            deadline_nanos: None,
         }
     }
 }
@@ -136,6 +141,15 @@ impl DataCollector {
         let mut inner = self.inner.lock();
         assert!(!inner.stream_closed, "stream closed");
         inner.stream.push_back(FileMeta::from_rx(d));
+    }
+
+    /// Feeds one pre-built metadata item into the stream — the serving
+    /// layer's entry point, where items arrive already batched and carry
+    /// an SLO deadline.
+    pub fn push_meta(&self, meta: FileMeta) {
+        let mut inner = self.inner.lock();
+        assert!(!inner.stream_closed, "stream closed");
+        inner.stream.push_back(meta);
     }
 
     /// Marks the network stream finished (pipeline drain).

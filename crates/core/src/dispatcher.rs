@@ -206,8 +206,7 @@ fn run_dispatcher(
                 }
             };
             let bytes = batch.unit.used();
-            let duration =
-                Duration::from_secs_f64(bytes as f64 / pcie_bytes_per_sec);
+            let duration = Duration::from_secs_f64(bytes as f64 / pcie_bytes_per_sec);
             pending[slot] = Some(PendingMeta {
                 sequence: batch.sequence,
                 items: batch.unit.items().to_vec(),
@@ -231,7 +230,9 @@ fn run_dispatcher(
                 continue;
             };
             let completed = streams.stream(slot).synchronize();
-            stats.copy_latency.record_duration(meta.submitted_at.elapsed());
+            stats
+                .copy_latency
+                .record_duration(meta.submitted_at.elapsed());
             let t0 = Instant::now();
             for op in completed {
                 if let CompletedOp::MemcpyH2D { host, dev, error } = op {

@@ -40,9 +40,7 @@ pub struct ReaderConfig {
 impl ReaderConfig {
     /// Bytes one decoded item occupies.
     pub fn item_bytes(&self) -> usize {
-        self.target_w as usize
-            * self.target_h as usize
-            * self.format.bytes_per_pixel() as usize
+        self.target_w as usize * self.target_h as usize * self.format.bytes_per_pixel() as usize
     }
 }
 
@@ -100,7 +98,13 @@ impl FpgaReader {
         channel: FpgaChannel,
         config: ReaderConfig,
     ) -> Self {
-        Self::start_with_telemetry(collector, pool, channel, config, &Telemetry::with_defaults())
+        Self::start_with_telemetry(
+            collector,
+            pool,
+            channel,
+            config,
+            &Telemetry::with_defaults(),
+        )
     }
 
     /// Like [`FpgaReader::start`], but recording `reader.*` metrics and the
@@ -152,9 +156,8 @@ impl FpgaReader {
     /// Stops the daemon, returning its channel for reuse.
     pub fn stop(mut self) -> FpgaChannel {
         self.stop.store(true, Ordering::SeqCst);
-        
-        self
-            .handle
+
+        self.handle
             .take()
             .expect("stop called once")
             .join()
@@ -207,11 +210,7 @@ fn run_reader(
             stats.submit_latency.record_duration(submitted_at.elapsed());
         }
         stats.inflight.dec();
-        let errors = done
-            .finishes
-            .iter()
-            .filter(|f| !f.status.is_ok())
-            .count() as u64;
+        let errors = done.finishes.iter().filter(|f| !f.status.is_ok()).count() as u64;
         stats.item_errors.add(errors);
         let mut unit = done.unit;
         unit.seal(*next_sequence);

@@ -153,8 +153,7 @@ impl InferenceSession {
                         // + forward (decode latency is the backend's, added
                         // by the DES; functionally we record the
                         // engine-side component).
-                        let copy =
-                            SimTime::from_secs_f64(unit_bytes as f64 / pcie);
+                        let copy = SimTime::from_secs_f64(unit_bytes as f64 / pcie);
                         latency.lock().record(copy + fwd);
                         compute.record(fwd.as_nanos());
                         modelled += fwd;
@@ -222,12 +221,8 @@ mod tests {
         let mut cfg = NvJpegBackendConfig::paper_defaults(1, 4, (32, 32));
         cfg.max_batches = Some(max);
         Arc::new(
-            NvJpegBackend::start(
-                collector,
-                Arc::new(CombinedResolver::disk_only(disk)),
-                cfg,
-            )
-            .unwrap(),
+            NvJpegBackend::start(collector, Arc::new(CombinedResolver::disk_only(disk)), cfg)
+                .unwrap(),
         )
     }
 

@@ -128,8 +128,7 @@ mod tests {
     #[test]
     fn breakdown_core_math() {
         let b = CpuCostBreakdown::new();
-        b.preprocessing_nanos
-            .store(300_000_000, Ordering::Relaxed); // 0.3 s
+        b.preprocessing_nanos.store(300_000_000, Ordering::Relaxed); // 0.3 s
         b.transform_nanos.store(150_000_000, Ordering::Relaxed);
         b.launch_nanos.store(950_000_000, Ordering::Relaxed);
         b.update_nanos.store(120_000_000, Ordering::Relaxed);

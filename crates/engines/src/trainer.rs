@@ -131,8 +131,7 @@ impl TrainingSession {
                 let engine_cpu = Arc::clone(&engine_cpu);
                 let barrier = Arc::clone(&barrier);
                 let compute_streams = Arc::clone(&compute_streams);
-                let mut timing =
-                    GpuTimingModel::new(gpu.spec(), &model, config.precision);
+                let mut timing = GpuTimingModel::new(gpu.spec(), &model, config.precision);
                 timing.set_background_share(config.gpu_background_share);
                 let config = config.clone();
                 let engine_batches = Arc::clone(&engine_batches);
@@ -244,10 +243,10 @@ impl TrainingSession {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dlb_backends::{CpuBackend, CpuBackendConfig};
     use dlb_gpu::GpuSpec;
     use dlb_storage::{Dataset, DatasetSpec, NvmeDisk, NvmeSpec};
     use dlbooster_core::{CombinedResolver, DataCollector};
-    use dlb_backends::{CpuBackend, CpuBackendConfig};
 
     fn cpu_backend(n_engines: usize, batch: usize, max: u64) -> Arc<CpuBackend> {
         let disk = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));

@@ -114,8 +114,8 @@ impl DecodeCmd {
             });
         }
         if self.target_w != 0 {
-            let need = self.target_w as u64 * self.target_h as u64
-                * self.format.bytes_per_pixel() as u64;
+            let need =
+                self.target_w as u64 * self.target_h as u64 * self.format.bytes_per_pixel() as u64;
             if need > self.dst_capacity as u64 {
                 return Err(FpgaError::BadCmd {
                     detail: format!(
@@ -357,10 +357,7 @@ mod tests {
             height: 1
         }
         .is_ok());
-        assert!(!ItemStatus::DecodeError {
-            detail: "x".into()
-        }
-        .is_ok());
+        assert!(!ItemStatus::DecodeError { detail: "x".into() }.is_ok());
     }
 
     #[test]

@@ -169,7 +169,10 @@ mod tests {
         let err = dev
             .load_mirror(DecoderMirror::jpeg_with_ways(16, 16))
             .unwrap_err();
-        assert!(matches!(err, FpgaError::InsufficientResources { .. }), "{err}");
+        assert!(
+            matches!(err, FpgaError::InsufficientResources { .. }),
+            "{err}"
+        );
         assert!(dev.mirror().is_none());
     }
 
@@ -210,11 +213,6 @@ mod tests {
         };
         assert_eq!(budget.utilisation(&need), (0.5, 0.5, 0.1));
         assert!(budget.fits(&need).is_ok());
-        assert!(budget
-            .fits(&ResourceBudget {
-                alms: 101,
-                ..need
-            })
-            .is_err());
+        assert!(budget.fits(&ResourceBudget { alms: 101, ..need }).is_err());
     }
 }

@@ -147,10 +147,7 @@ impl EngineStats {
 }
 
 enum LaneJob {
-    Decode {
-        idx: usize,
-        cmd: DecodeCmd,
-    },
+    Decode { idx: usize, cmd: DecodeCmd },
     Stop,
 }
 
@@ -236,9 +233,8 @@ impl DecoderEngine {
     /// and returns the device for reconfiguration.
     pub fn shutdown(mut self) -> FpgaDevice {
         self.submit_q.close();
-        
-        self
-            .orchestrator
+
+        self.orchestrator
             .take()
             .expect("shutdown called once")
             .join()
@@ -298,9 +294,11 @@ fn run_orchestrator(
         // Parser stage: unpack and validate every cmd up front.
         let mut parsed: Vec<Result<DecodeCmd, ItemStatus>> = Vec::with_capacity(n);
         for wire in &submission.cmds {
-            parsed.push(DecodeCmd::unpack(wire).map_err(|e| ItemStatus::DecodeError {
-                detail: format!("cmd parse: {e}"),
-            }));
+            parsed.push(
+                DecodeCmd::unpack(wire).map_err(|e| ItemStatus::DecodeError {
+                    detail: format!("cmd parse: {e}"),
+                }),
+            );
         }
         // Dispatch decodable cmds to the lanes.
         let mut results: Vec<Option<LaneResult>> = (0..n).map(|_| None).collect();
@@ -539,7 +537,9 @@ mod tests {
 
     fn engine_with_resolver() -> (DecoderEngine, Arc<MapResolver>, MemManager) {
         let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
-        device.load_mirror(DecoderMirror::jpeg_paper_config()).unwrap();
+        device
+            .load_mirror(DecoderMirror::jpeg_paper_config())
+            .unwrap();
         let resolver = Arc::new(MapResolver::new());
         let engine = DecoderEngine::start(device, resolver.clone()).unwrap();
         let pool = MemManager::new(PoolConfig {
@@ -579,9 +579,7 @@ mod tests {
                 .pack(),
             );
         }
-        engine
-            .submit(Submission { unit, cmds })
-            .unwrap();
+        engine.submit(Submission { unit, cmds }).unwrap();
         let done = engine.completions().pop().unwrap();
         assert_eq!(done.finishes.len(), n);
         assert_eq!(done.ok_count(), n);
@@ -691,7 +689,12 @@ mod tests {
             target_h: 0,
             format: OutputFormat::Rgb8,
         };
-        engine.submit(Submission { unit, cmds: vec![cmd.pack()] }).unwrap();
+        engine
+            .submit(Submission {
+                unit,
+                cmds: vec![cmd.pack()],
+            })
+            .unwrap();
         let done = engine.completions().pop().unwrap();
         assert!(matches!(
             done.finishes[0].status,
@@ -715,7 +718,12 @@ mod tests {
             target_h: 40,
             format: OutputFormat::Rgb8,
         };
-        engine.submit(Submission { unit, cmds: vec![cmd.pack()] }).unwrap();
+        engine
+            .submit(Submission {
+                unit,
+                cmds: vec![cmd.pack()],
+            })
+            .unwrap();
         let done = engine.completions().pop().unwrap();
         assert!(matches!(
             done.finishes[0].status,
@@ -740,7 +748,12 @@ mod tests {
             target_h: 28,
             format: OutputFormat::Gray8,
         };
-        engine.submit(Submission { unit, cmds: vec![cmd.pack()] }).unwrap();
+        engine
+            .submit(Submission {
+                unit,
+                cmds: vec![cmd.pack()],
+            })
+            .unwrap();
         let done = engine.completions().pop().unwrap();
         match done.finishes[0].status {
             ItemStatus::Ok { bytes_written, .. } => assert_eq!(bytes_written, 28 * 28),
@@ -758,9 +771,11 @@ mod tests {
 
     #[test]
     fn audio_mirror_extracts_spectrograms() {
-        use dlb_codec::audio::{spectrogram, synth_pcm, pcm_to_le_bytes, SpectrogramConfig};
+        use dlb_codec::audio::{pcm_to_le_bytes, spectrogram, synth_pcm, SpectrogramConfig};
         let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
-        device.load_mirror(DecoderMirror::audio_spectrogram()).unwrap();
+        device
+            .load_mirror(DecoderMirror::audio_spectrogram())
+            .unwrap();
         let resolver = Arc::new(MapResolver::new());
         let pcm = synth_pcm(4_000, 77);
         let src = resolver.put_disk(0, pcm_to_le_bytes(&pcm));
@@ -776,7 +791,9 @@ mod tests {
         let frames = config.frames(4_000);
         let out_len = frames * coeffs as usize * 4;
         let mut unit = pool.get_item().unwrap();
-        let off = unit.reserve(out_len, 0, coeffs as u32, frames as u32, 1).unwrap();
+        let off = unit
+            .reserve(out_len, 0, coeffs as u32, frames as u32, 1)
+            .unwrap();
         let cmd = DecodeCmd {
             cmd_id: 1,
             src,
@@ -786,10 +803,19 @@ mod tests {
             target_h: 0,
             format: OutputFormat::Gray8,
         };
-        engine.submit(Submission { unit, cmds: vec![cmd.pack()] }).unwrap();
+        engine
+            .submit(Submission {
+                unit,
+                cmds: vec![cmd.pack()],
+            })
+            .unwrap();
         let done = engine.completions().pop().unwrap();
         match done.finishes[0].status {
-            ItemStatus::Ok { bytes_written, width, height } => {
+            ItemStatus::Ok {
+                bytes_written,
+                width,
+                height,
+            } => {
                 assert_eq!(bytes_written as usize, out_len);
                 assert_eq!(width, coeffs);
                 assert_eq!(height as usize, frames);
@@ -798,7 +824,9 @@ mod tests {
         }
         // Device output equals the host-side kernel bit for bit.
         let reference = spectrogram(&pcm, &config).unwrap();
-        let got: Vec<f32> = done.unit.item_bytes(0)
+        let got: Vec<f32> = done
+            .unit
+            .item_bytes(0)
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
             .collect();
@@ -834,16 +862,30 @@ mod tests {
             target_h: 0,
             format: OutputFormat::Gray8,
         };
-        engine.submit(Submission { unit, cmds: vec![cmd.pack()] }).unwrap();
+        engine
+            .submit(Submission {
+                unit,
+                cmds: vec![cmd.pack()],
+            })
+            .unwrap();
         let done = engine.completions().pop().unwrap();
-        assert!(done.finishes[0].status.is_ok(), "{:?}", done.finishes[0].status);
-        let got: Vec<u32> = done.unit.item_bytes(0)
+        assert!(
+            done.finishes[0].status.is_ok(),
+            "{:?}",
+            done.finishes[0].status
+        );
+        let got: Vec<u32> = done
+            .unit
+            .item_bytes(0)
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
             .collect();
         let expected = quantize(
             &text,
-            &QuantizeConfig { seq_len: 32, ..QuantizeConfig::default_nlp() },
+            &QuantizeConfig {
+                seq_len: 32,
+                ..QuantizeConfig::default_nlp()
+            },
         )
         .unwrap();
         assert_eq!(got, expected);
@@ -889,7 +931,10 @@ mod tests {
             pool.recycle_item(done.unit).unwrap();
         }
         assert_eq!(engine.stats().batches.get(), n_batches as u64);
-        assert_eq!(engine.stats().items_ok.get(), (n_batches * per_batch) as u64);
+        assert_eq!(
+            engine.stats().items_ok.get(),
+            (n_batches * per_batch) as u64
+        );
         // Lane service time was recorded for every item.
         assert_eq!(
             engine.stats().lane_service.count(),

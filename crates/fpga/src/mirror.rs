@@ -134,6 +134,9 @@ mod tests {
             DecoderMirror::audio_spectrogram().kind,
             MirrorKind::AudioSpectrogram
         );
-        assert_eq!(DecoderMirror::text_quantize().kind, MirrorKind::TextQuantize);
+        assert_eq!(
+            DecoderMirror::text_quantize().kind,
+            MirrorKind::TextQuantize
+        );
     }
 }

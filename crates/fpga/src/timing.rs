@@ -77,11 +77,9 @@ impl ImageWorkload {
     /// 16×16 MCU) and 1 block per 8×8 MCU for grayscale.
     pub fn blocks(&self) -> u64 {
         if self.channels == 1 {
-            
             (self.src_width.div_ceil(8) as u64) * (self.src_height.div_ceil(8) as u64)
         } else {
-            let mcus =
-                (self.src_width.div_ceil(16) as u64) * (self.src_height.div_ceil(16) as u64);
+            let mcus = (self.src_width.div_ceil(16) as u64) * (self.src_height.div_ceil(16) as u64);
             mcus * 6
         }
     }
@@ -225,7 +223,10 @@ impl FpgaTimingModel {
     pub fn bottleneck(&self, w: &ImageWorkload) -> &'static str {
         let t = self.stage_times(w);
         let loads = [
-            ("huffman", t.huffman.as_secs_f64() / self.huffman_ways as f64),
+            (
+                "huffman",
+                t.huffman.as_secs_f64() / self.huffman_ways as f64,
+            ),
             ("idct", t.idct.as_secs_f64()),
             ("resize", t.resize.as_secs_f64() / self.resize_ways as f64),
             ("dma", t.dma.as_secs_f64()),
@@ -347,7 +348,10 @@ mod tests {
         let tp8r4 = FpgaTimingModel::from_mirror(&DecoderMirror::jpeg_with_ways(8, 4), &spec)
             .throughput_images_per_sec(&w);
         assert!(tp8 > tp4, "8-way {tp8:.0} should beat 4-way {tp4:.0}");
-        assert!(tp8r4 > tp8, "wider resize should relieve the next bottleneck");
+        assert!(
+            tp8r4 > tp8,
+            "wider resize should relieve the next bottleneck"
+        );
     }
 
     #[test]
@@ -428,7 +432,10 @@ mod tests {
         // Bigger batches take proportionally longer.
         let t8 = model.audio_batch_service(8, 16_000, 40);
         let ratio = t8.as_secs_f64() / t.as_secs_f64();
-        assert!((7.0..9.0).contains(&ratio), "audio batch scaling {ratio:.2}");
+        assert!(
+            (7.0..9.0).contains(&ratio),
+            "audio batch scaling {ratio:.2}"
+        );
 
         let tq = model.text_batch_service(64, 128);
         assert!(tq < SimTime::from_millis(1), "text quantise {tq}");

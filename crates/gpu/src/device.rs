@@ -179,7 +179,10 @@ impl GpuDevice {
     pub fn bind(&self, owner: &str) -> Result<(), String> {
         let mut b = self.binding.lock();
         if let Some(existing) = b.as_ref() {
-            return Err(format!("device {} already bound to {existing}", self.ordinal));
+            return Err(format!(
+                "device {} already bound to {existing}",
+                self.ordinal
+            ));
         }
         *b = Some(owner.to_string());
         Ok(())

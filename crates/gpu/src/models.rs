@@ -23,15 +23,7 @@ pub struct Layer {
 /// Convolution layer cost: `k×k` kernel, grouped, with explicit output
 /// spatial size (taken from the architecture tables, avoiding stride/pad
 /// inference errors).
-fn conv(
-    name: &str,
-    in_ch: u64,
-    out_ch: u64,
-    k: u64,
-    out_h: u64,
-    out_w: u64,
-    groups: u64,
-) -> Layer {
+fn conv(name: &str, in_ch: u64, out_ch: u64, k: u64, out_h: u64, out_w: u64, groups: u64) -> Layer {
     assert!(groups >= 1 && in_ch.is_multiple_of(groups) && out_ch.is_multiple_of(groups));
     let macs = k * k * (in_ch / groups) * out_ch * out_h * out_w;
     let params = k * k * (in_ch / groups) * out_ch + out_ch; // + bias
@@ -250,7 +242,14 @@ fn vgg16() -> DlModel {
 }
 
 /// ResNet basic block: two 3×3 convs (+ a 1×1 projection on downsampling).
-fn basic_block(layers: &mut Vec<Layer>, name: &str, in_ch: u64, ch: u64, sp: u64, downsample: bool) {
+fn basic_block(
+    layers: &mut Vec<Layer>,
+    name: &str,
+    in_ch: u64,
+    ch: u64,
+    sp: u64,
+    downsample: bool,
+) {
     layers.push(conv(&format!("{name}.conv1"), in_ch, ch, 3, sp, sp, 1));
     layers.push(conv(&format!("{name}.conv2"), ch, ch, 3, sp, sp, 1));
     if downsample {

@@ -117,7 +117,7 @@ impl GpuTimingModel {
     /// Weight-update (SGD step) time: parameter-bandwidth bound.
     pub fn update_time(&self) -> SimTime {
         let elem = 4.0; // master weights stay fp32
-        // Read weight + read grad + write weight.
+                        // Read weight + read grad + write weight.
         let t = self.params as f64 * elem * 3.0 / self.spec.mem_bytes_per_sec + 3.0e-5;
         self.contention.stretch(SimTime::from_secs_f64(t))
     }
@@ -328,14 +328,10 @@ mod tests {
         let batch = 128;
         let kernels = m.forward_time(batch) + m.backward_time(batch);
         let iter_wall = kernels + m.update_time();
-        let launch_frac =
-            m.launch_cpu_time(kernels, true).as_secs_f64() / iter_wall.as_secs_f64();
-        let transform_frac = m
-            .transform_cpu_time(batch, 224 * 224 * 3)
-            .as_secs_f64()
-            / iter_wall.as_secs_f64();
-        let update_frac =
-            m.update_cpu_time(batch).as_secs_f64() / iter_wall.as_secs_f64();
+        let launch_frac = m.launch_cpu_time(kernels, true).as_secs_f64() / iter_wall.as_secs_f64();
+        let transform_frac =
+            m.transform_cpu_time(batch, 224 * 224 * 3).as_secs_f64() / iter_wall.as_secs_f64();
+        let update_frac = m.update_cpu_time(batch).as_secs_f64() / iter_wall.as_secs_f64();
         assert!(
             (0.6..1.0).contains(&launch_frac),
             "launch fraction {launch_frac:.3} (paper ~0.95 core)"

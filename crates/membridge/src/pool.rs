@@ -246,10 +246,7 @@ impl BatchUnit {
                 self.data.len()
             ));
         }
-        if items
-            .iter()
-            .any(|it| it.offset + it.len > payload.len())
-        {
+        if items.iter().any(|it| it.offset + it.len > payload.len()) {
             return Err("item descriptor outside cached payload".into());
         }
         self.reset();
@@ -542,7 +539,10 @@ mod tests {
         let units: Vec<BatchUnit> = (0..4).map(|_| pool.get_item().unwrap()).collect();
         let mut addrs: Vec<u64> = units.iter().map(|u| u.phys_addr()).collect();
         addrs.sort_unstable();
-        assert_eq!(addrs, vec![0x1000_0000, 0x1000_0400, 0x1000_0800, 0x1000_0C00]);
+        assert_eq!(
+            addrs,
+            vec![0x1000_0000, 0x1000_0400, 0x1000_0800, 0x1000_0C00]
+        );
         for u in units {
             pool.recycle_item(u).unwrap();
         }

@@ -248,7 +248,12 @@ impl<T> BlockingQueue<T> {
             if st.closed {
                 return Err(QueueClosed);
             }
-            if self.inner.not_empty.wait_until(&mut st, deadline).timed_out() {
+            if self
+                .inner
+                .not_empty
+                .wait_until(&mut st, deadline)
+                .timed_out()
+            {
                 return Ok(match st.items.pop_front() {
                     Some(item) => {
                         st.popped += 1;

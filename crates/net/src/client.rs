@@ -109,7 +109,11 @@ impl ClientPool {
     fn encode_request(&self, rid: u64, client: u32, send_time: SimTime) -> (Vec<u8>, u32, u32) {
         let mut rng = SimRng::new(self.seed ^ rid.wrapping_mul(0x517C_C1B7_2722_0A95));
         let portrait = rng.uniform() < 0.3;
-        let (bw, bh) = if portrait { (375.0, 500.0) } else { (500.0, 375.0) };
+        let (bw, bh) = if portrait {
+            (375.0, 500.0)
+        } else {
+            (500.0, 375.0)
+        };
         let jitter = 0.85 + 0.3 * rng.uniform();
         let w = ((bw * self.scale * jitter) as u32).max(16);
         let h = ((bh * self.scale * jitter) as u32).max(16);
@@ -150,8 +154,7 @@ mod tests {
     fn all_clients_participate() {
         let pool = ClientPool::small(2000.0, 7);
         let reqs = pool.generate_requests(100);
-        let clients: std::collections::HashSet<u32> =
-            reqs.iter().map(|r| r.client_id).collect();
+        let clients: std::collections::HashSet<u32> = reqs.iter().map(|r| r.client_id).collect();
         assert_eq!(clients.len(), 5, "clients seen: {clients:?}");
     }
 
@@ -176,7 +179,9 @@ mod tests {
             let frame = Frame::decode(&r.wire_bytes).unwrap();
             assert_eq!(frame.request_id, r.request_id);
             // Payload must be decodable JPEG of the declared geometry.
-            let img = dlb_codec::JpegDecoder::new().decode(&frame.payload).unwrap();
+            let img = dlb_codec::JpegDecoder::new()
+                .decode(&frame.payload)
+                .unwrap();
             assert_eq!(img.width(), r.width);
             assert_eq!(img.height(), r.height);
         }

@@ -21,4 +21,4 @@ pub mod nic;
 
 pub use client::{ClientPool, Request};
 pub use framing::{Frame, FrameError, FRAME_HEADER_LEN};
-pub use nic::{NicRx, NicSpec, RxDescriptor};
+pub use nic::{NicRx, NicSpec, RxDescriptor, RxError, DEFAULT_RX_RING_CAPACITY};

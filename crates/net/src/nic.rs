@@ -3,9 +3,48 @@
 use crate::framing::{Frame, FrameError};
 use dlb_simcore::queueing::SerialPipe;
 use dlb_simcore::SimTime;
+use dlb_telemetry::{names, Counter, Registry};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Default RX descriptor ring capacity. Real NICs post descriptors into a
+/// fixed ring; when the host does not drain fast enough, arriving frames
+/// are dropped at the wire instead of growing host memory without bound.
+pub const DEFAULT_RX_RING_CAPACITY: usize = 4096;
+
+/// Why the NIC refused one delivered frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RxError {
+    /// The wire bytes failed to parse.
+    Frame(FrameError),
+    /// The frame parsed, but the descriptor ring was full — the frame is
+    /// dropped (counted, payload not stored) until the host drains.
+    RingFull {
+        /// The ring's configured capacity.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for RxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RxError::Frame(e) => write!(f, "frame error: {e:?}"),
+            RxError::RingFull { capacity } => {
+                write!(f, "RX ring full (capacity {capacity}), frame dropped")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RxError {}
+
+impl From<FrameError> for RxError {
+    fn from(e: FrameError) -> Self {
+        RxError::Frame(e)
+    }
+}
 
 /// Static NIC characteristics.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,7 +92,12 @@ pub struct RxDescriptor {
 #[derive(Debug)]
 pub struct NicRx {
     spec: NicSpec,
+    ring_capacity: usize,
     state: Mutex<RxState>,
+    /// Telemetry: frames dropped on ring overflow (`net.rx_ring_drops`).
+    drop_counter: Option<Arc<Counter>>,
+    /// Telemetry: frames rejected by the parser (`net.frames_bad`).
+    bad_counter: Option<Arc<Counter>>,
 }
 
 #[derive(Debug)]
@@ -63,23 +107,42 @@ struct RxState {
     next_phys: u64,
     frames_ok: u64,
     frames_bad: u64,
+    frames_dropped: u64,
     bytes_rx: u64,
 }
 
 impl NicRx {
-    /// A fresh RX engine whose buffer region starts at `phys_base`.
+    /// A fresh RX engine whose buffer region starts at `phys_base`, with
+    /// the [`DEFAULT_RX_RING_CAPACITY`].
     pub fn new(spec: NicSpec, phys_base: u64) -> Self {
+        Self::with_ring_capacity(spec, phys_base, DEFAULT_RX_RING_CAPACITY)
+    }
+
+    /// A fresh RX engine with an explicit descriptor-ring bound (≥ 1).
+    pub fn with_ring_capacity(spec: NicSpec, phys_base: u64, ring_capacity: usize) -> Self {
         Self {
             spec,
+            ring_capacity: ring_capacity.max(1),
             state: Mutex::new(RxState {
                 buffers: HashMap::new(),
                 ring: VecDeque::new(),
                 next_phys: phys_base,
                 frames_ok: 0,
                 frames_bad: 0,
+                frames_dropped: 0,
                 bytes_rx: 0,
             }),
+            drop_counter: None,
+            bad_counter: None,
         }
+    }
+
+    /// Mirrors drop/bad-frame counts into `registry` under the canonical
+    /// `net.*` names.
+    pub fn with_telemetry(mut self, registry: &Arc<Registry>) -> Self {
+        self.drop_counter = Some(registry.counter(names::NET_RX_DROPS));
+        self.bad_counter = Some(registry.counter(names::NET_FRAMES_BAD));
+        self
     }
 
     /// NIC characteristics.
@@ -87,17 +150,36 @@ impl NicRx {
         &self.spec
     }
 
+    /// Configured descriptor-ring capacity.
+    pub fn ring_capacity(&self) -> usize {
+        self.ring_capacity
+    }
+
     /// Delivers raw wire bytes (one frame). On success the payload is
-    /// placed in a fresh buffer and a descriptor is queued.
-    pub fn deliver(&self, wire_bytes: &[u8], arrival_nanos: u64) -> Result<RxDescriptor, FrameError> {
+    /// placed in a fresh buffer and a descriptor is queued. Frames
+    /// arriving to a full descriptor ring are dropped and counted — the
+    /// backpressure signal the serving layer's drain loop responds to.
+    pub fn deliver(&self, wire_bytes: &[u8], arrival_nanos: u64) -> Result<RxDescriptor, RxError> {
         let frame = match Frame::decode(wire_bytes) {
             Ok(f) => f,
             Err(e) => {
                 self.state.lock().frames_bad += 1;
-                return Err(e);
+                if let Some(c) = &self.bad_counter {
+                    c.inc();
+                }
+                return Err(RxError::Frame(e));
             }
         };
         let mut st = self.state.lock();
+        if st.ring.len() >= self.ring_capacity {
+            st.frames_dropped += 1;
+            if let Some(c) = &self.drop_counter {
+                c.inc();
+            }
+            return Err(RxError::RingFull {
+                capacity: self.ring_capacity,
+            });
+        }
         let phys_addr = st.next_phys;
         // 256-byte aligned buffer slots.
         st.next_phys += (frame.payload.len() as u64).div_ceil(256) * 256;
@@ -156,6 +238,11 @@ impl NicRx {
     /// Buffers currently held.
     pub fn buffers_held(&self) -> usize {
         self.state.lock().buffers.len()
+    }
+
+    /// Frames dropped because the descriptor ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.state.lock().frames_dropped
     }
 
     /// (ok, bad, bytes) lifetime counters.
@@ -241,6 +328,39 @@ mod tests {
         // the fabric is never the bottleneck in the paper's experiments.
         let offered = 5.0 * 100_000.0 * 1200.0;
         assert!(offered < nic.spec().wire_bytes_per_sec);
+    }
+
+    #[test]
+    fn full_ring_drops_and_counts() {
+        let nic = NicRx::with_ring_capacity(NicSpec::forty_gbps(), 0, 2);
+        assert_eq!(nic.ring_capacity(), 2);
+        nic.deliver(&frame(0, 10), 0).unwrap();
+        nic.deliver(&frame(1, 10), 1).unwrap();
+        let err = nic.deliver(&frame(2, 10), 2).unwrap_err();
+        assert_eq!(err, RxError::RingFull { capacity: 2 });
+        assert_eq!(nic.dropped(), 1);
+        assert_eq!(nic.pending(), 2);
+        // Dropped frames never store payload buffers.
+        assert_eq!(nic.buffers_held(), 2);
+        // Draining the ring makes room again.
+        nic.poll().unwrap();
+        nic.deliver(&frame(3, 10), 3).unwrap();
+        assert_eq!(nic.dropped(), 1);
+        let (ok, bad, _) = nic.counters();
+        assert_eq!((ok, bad), (3, 0), "drops are neither ok nor bad frames");
+    }
+
+    #[test]
+    fn telemetry_mirrors_drops_and_bad_frames() {
+        use std::sync::Arc;
+        let registry = Arc::new(dlb_telemetry::Registry::new());
+        let nic = NicRx::with_ring_capacity(NicSpec::forty_gbps(), 0, 1).with_telemetry(&registry);
+        nic.deliver(&frame(0, 10), 0).unwrap();
+        assert!(nic.deliver(&frame(1, 10), 1).is_err());
+        assert!(nic.deliver(&[0xFF; 4], 2).is_err());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter(dlb_telemetry::names::NET_RX_DROPS), 1);
+        assert_eq!(snap.counter(dlb_telemetry::names::NET_FRAMES_BAD), 1);
     }
 
     #[test]

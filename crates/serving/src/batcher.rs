@@ -1,0 +1,218 @@
+//! Deadline-aware dynamic batch former (Triton/Clipper-style).
+//!
+//! A batch closes when it reaches `max_batch` items **or** when its first
+//! item has lingered `max_linger`, whichever comes first — so small
+//! batches ship promptly under light load and full batches ship under
+//! heavy load. The former is clock-domain agnostic: the DES arms a
+//! [`BatchFormer::linger_deadline`] timer event carrying the current
+//! [`BatchFormer::generation`], and stale timers (the batch already closed
+//! full) are detected by generation mismatch.
+
+use crate::config::ServeRequest;
+use crate::instruments::ServingInstruments;
+use dlb_simcore::SimTime;
+use std::sync::Arc;
+
+/// A closed batch ready for the decode/inference pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FormedBatch {
+    /// Member requests in admission order.
+    pub requests: Vec<ServeRequest>,
+    /// True when the batch closed by linger expiry (or force close) rather
+    /// than by filling to `max_batch`.
+    pub closed_by_linger: bool,
+}
+
+impl FormedBatch {
+    /// Items in the batch.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True when the batch has no members (never produced by the former).
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+}
+
+/// The dynamic batch former.
+#[derive(Debug)]
+pub struct BatchFormer {
+    max_batch: u32,
+    max_linger: SimTime,
+    pending: Vec<ServeRequest>,
+    /// When the oldest pending item entered the former.
+    opened_at: Option<SimTime>,
+    /// Bumped on every close; identifies the forming batch so stale linger
+    /// timers can be discarded.
+    generation: u64,
+    instruments: Option<Arc<ServingInstruments>>,
+}
+
+impl BatchFormer {
+    /// Former closing at `max_batch` items or `max_linger` wait.
+    pub fn new(max_batch: u32, max_linger: SimTime) -> Self {
+        assert!(max_batch >= 1, "max_batch must be >= 1");
+        Self {
+            max_batch,
+            max_linger,
+            pending: Vec::with_capacity(max_batch as usize),
+            opened_at: None,
+            generation: 0,
+            instruments: None,
+        }
+    }
+
+    /// Attaches telemetry handles.
+    pub fn with_instruments(mut self, instruments: Arc<ServingInstruments>) -> Self {
+        self.instruments = Some(instruments);
+        self
+    }
+
+    /// Items currently forming.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Identifier of the forming batch; linger timers armed for an older
+    /// generation are stale.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Absolute time at which the forming batch must close, or `None` when
+    /// nothing is forming. Arm (or re-arm) a timer for this instant after
+    /// every push that returns `None` on a fresh batch.
+    pub fn linger_deadline(&self) -> Option<SimTime> {
+        self.opened_at.map(|t| t + self.max_linger)
+    }
+
+    /// Adds one request at `now`. Returns the closed batch when this push
+    /// filled it to `max_batch`.
+    pub fn push(&mut self, req: ServeRequest, now: SimTime) -> Option<FormedBatch> {
+        if self.pending.is_empty() {
+            self.opened_at = Some(now);
+        }
+        self.pending.push(req);
+        if self.pending.len() >= self.max_batch as usize {
+            Some(self.close(false))
+        } else {
+            None
+        }
+    }
+
+    /// Closes the forming batch if the linger timer armed for
+    /// `generation` is still current and has expired at `now`. Stale
+    /// timers (batch already closed) and early timers return `None`.
+    pub fn close_if_due(&mut self, now: SimTime, generation: u64) -> Option<FormedBatch> {
+        if generation != self.generation || self.pending.is_empty() {
+            return None;
+        }
+        match self.linger_deadline() {
+            Some(due) if now >= due => Some(self.close(true)),
+            _ => None,
+        }
+    }
+
+    /// Unconditionally closes the forming batch (pipeline drain).
+    pub fn force_close(&mut self) -> Option<FormedBatch> {
+        if self.pending.is_empty() {
+            None
+        } else {
+            Some(self.close(true))
+        }
+    }
+
+    fn close(&mut self, by_linger: bool) -> FormedBatch {
+        let requests = std::mem::take(&mut self.pending);
+        self.opened_at = None;
+        self.generation += 1;
+        if let Some(inst) = &self.instruments {
+            inst.on_batch_closed(requests.len() as u32, !by_linger);
+        }
+        FormedBatch {
+            requests,
+            closed_by_linger: by_linger,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64) -> ServeRequest {
+        ServeRequest {
+            id,
+            tenant: 0,
+            arrival: SimTime::from_micros(id),
+            deadline: SimTime::from_micros(id) + SimTime::from_millis(10),
+        }
+    }
+
+    #[test]
+    fn closes_full_at_max_batch() {
+        let mut f = BatchFormer::new(3, SimTime::from_millis(1));
+        let now = SimTime::ZERO;
+        assert!(f.push(req(0), now).is_none());
+        assert!(f.push(req(1), now).is_none());
+        let b = f.push(req(2), now).unwrap();
+        assert_eq!(b.len(), 3);
+        assert!(!b.closed_by_linger);
+        assert_eq!(f.pending(), 0);
+        assert_eq!(f.generation(), 1);
+    }
+
+    #[test]
+    fn linger_closes_partial_batch() {
+        let mut f = BatchFormer::new(8, SimTime::from_micros(100));
+        let t0 = SimTime::from_millis(1);
+        f.push(req(0), t0);
+        f.push(req(1), t0 + SimTime::from_micros(10));
+        let gen = f.generation();
+        assert_eq!(f.linger_deadline(), Some(t0 + SimTime::from_micros(100)));
+        // Timer fires early: nothing.
+        assert!(f.close_if_due(t0 + SimTime::from_micros(50), gen).is_none());
+        let b = f.close_if_due(t0 + SimTime::from_micros(100), gen).unwrap();
+        assert_eq!(b.len(), 2);
+        assert!(b.closed_by_linger);
+    }
+
+    #[test]
+    fn stale_generation_timer_is_ignored() {
+        let mut f = BatchFormer::new(2, SimTime::from_micros(100));
+        let t0 = SimTime::ZERO;
+        f.push(req(0), t0);
+        let gen = f.generation();
+        f.push(req(1), t0).unwrap(); // closed full; gen advanced
+        f.push(req(2), t0 + SimTime::from_micros(10));
+        // The old timer fires after the close: must not clip the new batch.
+        assert!(f
+            .close_if_due(t0 + SimTime::from_micros(100), gen)
+            .is_none());
+        assert_eq!(f.pending(), 1);
+    }
+
+    #[test]
+    fn linger_clock_restarts_per_batch() {
+        let mut f = BatchFormer::new(4, SimTime::from_micros(100));
+        f.push(req(0), SimTime::from_micros(0));
+        f.force_close().unwrap();
+        f.push(req(1), SimTime::from_micros(500));
+        assert_eq!(
+            f.linger_deadline(),
+            Some(SimTime::from_micros(600)),
+            "linger measured from the new batch's first push"
+        );
+    }
+
+    #[test]
+    fn force_close_flushes_partial() {
+        let mut f = BatchFormer::new(4, SimTime::from_millis(1));
+        assert!(f.force_close().is_none());
+        f.push(req(0), SimTime::ZERO);
+        let b = f.force_close().unwrap();
+        assert_eq!(b.len(), 1);
+        assert!(f.force_close().is_none());
+    }
+}

@@ -224,7 +224,10 @@ mod tests {
 
     #[test]
     fn events_fire_in_time_order() {
-        let mut sim = Simulation::new(Recorder { log: vec![], chain: 0 });
+        let mut sim = Simulation::new(Recorder {
+            log: vec![],
+            chain: 0,
+        });
         sim.seed(SimTime::from_nanos(30), 3);
         sim.seed(SimTime::from_nanos(10), 1);
         sim.seed(SimTime::from_nanos(20), 2);
@@ -236,7 +239,10 @@ mod tests {
 
     #[test]
     fn ties_break_by_insertion_order() {
-        let mut sim = Simulation::new(Recorder { log: vec![], chain: 0 });
+        let mut sim = Simulation::new(Recorder {
+            log: vec![],
+            chain: 0,
+        });
         for tag in 0..50 {
             sim.seed(SimTime::from_nanos(5), tag);
         }
@@ -247,7 +253,10 @@ mod tests {
 
     #[test]
     fn chained_events_advance_clock() {
-        let mut sim = Simulation::new(Recorder { log: vec![], chain: 5 });
+        let mut sim = Simulation::new(Recorder {
+            log: vec![],
+            chain: 5,
+        });
         sim.seed(SimTime::ZERO, 999);
         let s = sim.run_to_completion();
         assert_eq!(s.events, 6);
@@ -257,7 +266,10 @@ mod tests {
 
     #[test]
     fn deadline_stops_early() {
-        let mut sim = Simulation::new(Recorder { log: vec![], chain: 100 });
+        let mut sim = Simulation::new(Recorder {
+            log: vec![],
+            chain: 100,
+        });
         sim.seed(SimTime::ZERO, 999);
         let s = sim.run_until(SimTime::from_nanos(35), u64::MAX);
         assert!(!s.drained);
@@ -271,7 +283,10 @@ mod tests {
 
     #[test]
     fn event_cap_stops_early() {
-        let mut sim = Simulation::new(Recorder { log: vec![], chain: 100 });
+        let mut sim = Simulation::new(Recorder {
+            log: vec![],
+            chain: 100,
+        });
         sim.seed(SimTime::ZERO, 999);
         let s = sim.run_until(SimTime::MAX, 10);
         assert_eq!(s.events, 10);
@@ -302,7 +317,10 @@ mod tests {
     #[test]
     fn determinism_across_runs() {
         let run = || {
-            let mut sim = Simulation::new(Recorder { log: vec![], chain: 20 });
+            let mut sim = Simulation::new(Recorder {
+                log: vec![],
+                chain: 20,
+            });
             sim.seed(SimTime::from_nanos(7), 999);
             sim.seed(SimTime::from_nanos(7), 1);
             sim.seed(SimTime::from_nanos(3), 2);

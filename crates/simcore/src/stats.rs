@@ -288,7 +288,7 @@ mod tests {
         let mut tw = TimeWeighted::new(0);
         tw.set(SimTime::from_secs(1), 10); // level 0 for 1s
         tw.set(SimTime::from_secs(3), 0); // level 10 for 2s
-        // Average over 4s: (0·1 + 10·2 + 0·1) / 4 = 5.
+                                          // Average over 4s: (0·1 + 10·2 + 0·1) / 4 = 5.
         assert!((tw.average(SimTime::from_secs(4)) - 5.0).abs() < 1e-9);
         assert_eq!(tw.peak(), 10);
         assert_eq!(tw.level(), 0);

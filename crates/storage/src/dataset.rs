@@ -261,9 +261,12 @@ mod tests {
     #[test]
     fn ilsvrc_labels_span_classes() {
         let ds = Dataset::build(DatasetSpec::ilsvrc_small(64, 5), &disk()).unwrap();
-        let distinct: std::collections::HashSet<u64> =
-            ds.records.iter().map(|r| r.label).collect();
-        assert!(distinct.len() > 16, "only {} distinct labels", distinct.len());
+        let distinct: std::collections::HashSet<u64> = ds.records.iter().map(|r| r.label).collect();
+        assert!(
+            distinct.len() > 16,
+            "only {} distinct labels",
+            distinct.len()
+        );
         assert!(ds.records.iter().all(|r| r.label < 1000));
     }
 

@@ -17,7 +17,7 @@
 use crate::dataset::{Dataset, Record};
 use crate::nvme::NvmeDisk;
 use dlb_codec::resize::{resize, ResizeFilter};
-use dlb_codec::{JpegDecoder, Image};
+use dlb_codec::{Image, JpegDecoder};
 use dlb_simcore::SimTime;
 use parking_lot::RwLock;
 use rayon::prelude::*;

@@ -122,14 +122,12 @@ impl NvmeDisk {
 
     /// Modelled duration of a single isolated read.
     pub fn read_time(&self, bytes: u64) -> SimTime {
-        SimTime::from_secs_f64(bytes as f64 / self.spec.read_bytes_per_sec)
-            + self.spec.cmd_latency
+        SimTime::from_secs_f64(bytes as f64 / self.spec.read_bytes_per_sec) + self.spec.cmd_latency
     }
 
     /// Modelled duration of a single isolated write.
     pub fn write_time(&self, bytes: u64) -> SimTime {
-        SimTime::from_secs_f64(bytes as f64 / self.spec.write_bytes_per_sec)
-            + self.spec.cmd_latency
+        SimTime::from_secs_f64(bytes as f64 / self.spec.write_bytes_per_sec) + self.spec.cmd_latency
     }
 }
 

@@ -311,7 +311,10 @@ mod tests {
         let j = Json::object(vec![
             ("id", "Fig 1".into()),
             ("n", 3u64.into()),
-            ("rows", Json::Array(vec![Json::from(1u64), Json::from(2u64)])),
+            (
+                "rows",
+                Json::Array(vec![Json::from(1u64), Json::from(2u64)]),
+            ),
         ]);
         assert_eq!(
             j.to_string_compact(),
@@ -325,10 +328,13 @@ mod tests {
     fn indexing_and_comparisons() {
         let j = Json::object(vec![
             ("id", "Fig 1".into()),
-            ("rows", Json::Array(vec![Json::object(vec![(
-                "cells",
-                Json::Array(vec!["a".into(), 2.5f64.into()]),
-            )])])),
+            (
+                "rows",
+                Json::Array(vec![Json::object(vec![(
+                    "cells",
+                    Json::Array(vec!["a".into(), 2.5f64.into()]),
+                )])]),
+            ),
         ]);
         assert_eq!(j["id"], "Fig 1");
         assert_eq!(j["rows"][0]["cells"][0], "a");

@@ -31,7 +31,7 @@ pub use json::Json;
 pub use metrics::{default_latency_bounds, Counter, Gauge, Histogram, HistogramSnapshot};
 pub use pipeline::{
     names, ChannelMetrics, DecoderMetrics, DispatcherMetrics, EngineMetrics, PipelineSnapshot,
-    PoolMetrics, QueueMetrics, ReaderMetrics, Telemetry,
+    PoolMetrics, QueueMetrics, ReaderMetrics, ServingMetrics, Telemetry, TenantServingMetrics,
 };
 pub use registry::{MetricValue, Registry, RegistrySnapshot};
 pub use watchdog::{Heartbeat, StallReport, Watchdog};

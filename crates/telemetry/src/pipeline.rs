@@ -79,6 +79,41 @@ pub mod names {
     /// Router: batches delivered to slot queues.
     pub const ROUTER_DELIVERED: &str = "router.delivered";
 
+    /// Serving: requests offered to the admission controller.
+    pub const SERVING_OFFERED: &str = "serving.offered";
+    /// Serving: requests admitted into the serving queue.
+    pub const SERVING_ADMITTED: &str = "serving.admitted";
+    /// Serving: requests rejected at the admission door.
+    pub const SERVING_REJECTED: &str = "serving.rejected";
+    /// Serving: admitted requests later evicted by the shedding policy.
+    pub const SERVING_SHED: &str = "serving.shed";
+    /// Serving: admitted requests that completed (prediction returned).
+    pub const SERVING_COMPLETED: &str = "serving.completed";
+    /// Serving: completions that met their SLO deadline (goodput).
+    pub const SERVING_GOOD: &str = "serving.good";
+    /// Serving: admitted requests currently queued or in the pipeline.
+    pub const SERVING_INFLIGHT: &str = "serving.inflight";
+    /// Serving: admission-queue depth (gauge; high-water = worst backlog).
+    pub const SERVING_QUEUE_DEPTH: &str = "serving.queue_depth";
+    /// Serving: admission-queue delay histogram (ns, arrival→dequeue).
+    pub const SERVING_QUEUE_DELAY: &str = "serving.queue_delay_nanos";
+    /// Serving: formed-batch size histogram (items per batch).
+    pub const SERVING_BATCH_SIZE: &str = "serving.batch_size";
+    /// Serving: batches formed by the dynamic batcher.
+    pub const SERVING_BATCHES: &str = "serving.batches_formed";
+    /// Serving: batches closed because they reached `max_batch`.
+    pub const SERVING_BATCH_FULL: &str = "serving.batches_closed_full";
+    /// Serving: batches closed because `max_linger` expired.
+    pub const SERVING_BATCH_LINGER: &str = "serving.batches_closed_linger";
+    /// Prefix for per-tenant serving metrics
+    /// (`serving.tenant.<id>.admitted|completed|shed|goodput`).
+    pub const SERVING_TENANT_PREFIX: &str = "serving.tenant.";
+
+    /// NIC: frames dropped because the bounded RX ring was full.
+    pub const NET_RX_DROPS: &str = "net.rx_ring_drops";
+    /// NIC: frames rejected by the wire parser.
+    pub const NET_FRAMES_BAD: &str = "net.frames_bad";
+
     /// Prefix for per-queue metrics (`queue.<name>.depth` etc.).
     pub const QUEUE_PREFIX: &str = "queue.";
 }
@@ -201,6 +236,63 @@ pub struct EngineMetrics {
     pub compute: Option<HistogramSnapshot>,
 }
 
+/// One tenant class's serving view.
+#[derive(Debug, Clone, Default)]
+pub struct TenantServingMetrics {
+    /// Tenant id as registered (the `<id>` in `serving.tenant.<id>.*`).
+    pub tenant: String,
+    /// Requests admitted for this tenant.
+    pub admitted: u64,
+    /// Completions for this tenant.
+    pub completed: u64,
+    /// Requests shed (rejected or evicted) for this tenant.
+    pub shed: u64,
+    /// In-SLO completions for this tenant (goodput gauge level).
+    pub goodput: i64,
+}
+
+/// Serving-layer view: admission, shedding, dynamic batching, goodput.
+#[derive(Debug, Clone, Default)]
+pub struct ServingMetrics {
+    /// Requests offered to admission.
+    pub offered: u64,
+    /// Requests admitted into the queue.
+    pub admitted: u64,
+    /// Requests rejected at the door.
+    pub rejected: u64,
+    /// Admitted requests later evicted by shedding.
+    pub shed: u64,
+    /// Admitted requests completed.
+    pub completed: u64,
+    /// Completions that met the SLO deadline.
+    pub good: u64,
+    /// Admitted minus (completed + shed) at snapshot time.
+    pub inflight: i64,
+    /// Admission-queue depth at snapshot time.
+    pub queue_depth: i64,
+    /// Highest admission-queue depth observed.
+    pub queue_depth_high_water: i64,
+    /// Batches formed by the dynamic batcher.
+    pub batches: u64,
+    /// Batches closed at `max_batch`.
+    pub batches_closed_full: u64,
+    /// Batches closed by `max_linger` expiry.
+    pub batches_closed_linger: u64,
+    /// Formed-batch size distribution.
+    pub batch_size: Option<HistogramSnapshot>,
+    /// Admission-queue delay distribution (ns).
+    pub queue_delay: Option<HistogramSnapshot>,
+    /// Per-tenant breakdown.
+    pub tenants: Vec<TenantServingMetrics>,
+}
+
+impl ServingMetrics {
+    /// True when no serving layer recorded anything into this registry.
+    pub fn is_empty(&self) -> bool {
+        self.offered == 0 && self.admitted == 0 && self.batches == 0
+    }
+}
+
 /// One instrumented queue's view.
 #[derive(Debug, Clone, Default)]
 pub struct QueueMetrics {
@@ -238,6 +330,8 @@ pub struct PipelineSnapshot {
     pub engines: EngineMetrics,
     /// Batches the router delivered to slot queues.
     pub router_delivered: u64,
+    /// SLO-aware serving layer (admission, shedding, dynamic batching).
+    pub serving: ServingMetrics,
     /// Instrumented queues (slot queues, trans queues, ...).
     pub queues: Vec<QueueMetrics>,
     /// Stages flagged as stalled at capture time.
@@ -257,6 +351,7 @@ impl PipelineSnapshot {
     pub fn from_parts(raw: RegistrySnapshot, stalls: Vec<StallReport>) -> Self {
         use names::*;
         let queues = collect_queues(&raw);
+        let serving = collect_serving(&raw);
         Self {
             reader: ReaderMetrics {
                 batches_submitted: raw.counter(READER_BATCHES_SUBMITTED),
@@ -300,6 +395,7 @@ impl PipelineSnapshot {
                 compute: raw.histogram(ENGINE_COMPUTE).cloned(),
             },
             router_delivered: raw.counter(ROUTER_DELIVERED),
+            serving,
             queues,
             stalls,
             raw,
@@ -352,6 +448,27 @@ impl PipelineSnapshot {
                 v.push(format!(
                     "queue {} conservation: pushed {} != popped {} + depth {}",
                     q.name, q.pushed, q.popped, q.depth
+                ));
+            }
+        }
+        if !self.serving.is_empty() {
+            let s = &self.serving;
+            if s.offered != s.admitted + s.rejected {
+                v.push(format!(
+                    "serving admission conservation: offered {} != admitted {} + rejected {}",
+                    s.offered, s.admitted, s.rejected
+                ));
+            }
+            if s.admitted != s.completed + s.shed + s.inflight.max(0) as u64 {
+                v.push(format!(
+                    "serving conservation: admitted {} != completed {} + shed {} + inflight {}",
+                    s.admitted, s.completed, s.shed, s.inflight
+                ));
+            }
+            if s.good > s.completed {
+                v.push(format!(
+                    "serving goodput exceeds completions: good {} > completed {}",
+                    s.good, s.completed
                 ));
             }
         }
@@ -433,6 +550,52 @@ impl PipelineSnapshot {
                 ]),
             ),
             ("router_delivered", self.router_delivered.into()),
+            (
+                "serving",
+                Json::object(vec![
+                    ("offered", self.serving.offered.into()),
+                    ("admitted", self.serving.admitted.into()),
+                    ("rejected", self.serving.rejected.into()),
+                    ("shed", self.serving.shed.into()),
+                    ("completed", self.serving.completed.into()),
+                    ("good", self.serving.good.into()),
+                    ("inflight", self.serving.inflight.into()),
+                    ("queue_depth", self.serving.queue_depth.into()),
+                    (
+                        "queue_depth_high_water",
+                        self.serving.queue_depth_high_water.into(),
+                    ),
+                    ("batches", self.serving.batches.into()),
+                    (
+                        "batches_closed_full",
+                        self.serving.batches_closed_full.into(),
+                    ),
+                    (
+                        "batches_closed_linger",
+                        self.serving.batches_closed_linger.into(),
+                    ),
+                    ("batch_size", hist(&self.serving.batch_size)),
+                    ("queue_delay", hist(&self.serving.queue_delay)),
+                    (
+                        "tenants",
+                        Json::Array(
+                            self.serving
+                                .tenants
+                                .iter()
+                                .map(|t| {
+                                    Json::object(vec![
+                                        ("tenant", t.tenant.as_str().into()),
+                                        ("admitted", t.admitted.into()),
+                                        ("completed", t.completed.into()),
+                                        ("shed", t.shed.into()),
+                                        ("goodput", t.goodput.into()),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
             (
                 "queues",
                 Json::Array(
@@ -540,6 +703,31 @@ impl PipelineSnapshot {
             hist_line(&self.engines.compute)
         );
         let _ = writeln!(out, "  router     delivered={}", self.router_delivered);
+        if !self.serving.is_empty() {
+            let s = &self.serving;
+            let _ = writeln!(
+                out,
+                "  serving    offered={} admitted={} rejected={} shed={} completed={} good={} inflight={}",
+                s.offered, s.admitted, s.rejected, s.shed, s.completed, s.good, s.inflight
+            );
+            let _ = writeln!(
+                out,
+                "  serving    queue depth={} (hw {}) batches={} (full {} / linger {}) delay[{}]",
+                s.queue_depth,
+                s.queue_depth_high_water,
+                s.batches,
+                s.batches_closed_full,
+                s.batches_closed_linger,
+                hist_line(&s.queue_delay)
+            );
+            for t in &s.tenants {
+                let _ = writeln!(
+                    out,
+                    "  tenant {:<8} admitted={} completed={} shed={} goodput={}",
+                    t.tenant, t.admitted, t.completed, t.shed, t.goodput
+                );
+            }
+        }
         for q in &self.queues {
             let _ = writeln!(
                 out,
@@ -565,6 +753,50 @@ impl PipelineSnapshot {
             }
         }
         out
+    }
+}
+
+fn collect_serving(raw: &RegistrySnapshot) -> ServingMetrics {
+    use names::*;
+    let mut tenant_ids: Vec<String> = raw
+        .metrics
+        .keys()
+        .filter_map(|k| {
+            let rest = k.strip_prefix(SERVING_TENANT_PREFIX)?;
+            let (id, field) = rest.rsplit_once('.')?;
+            (field == "admitted").then(|| id.to_string())
+        })
+        .collect();
+    tenant_ids.dedup();
+    let tenants = tenant_ids
+        .into_iter()
+        .map(|id| {
+            let key = |field: &str| format!("{SERVING_TENANT_PREFIX}{id}.{field}");
+            TenantServingMetrics {
+                admitted: raw.counter(&key("admitted")),
+                completed: raw.counter(&key("completed")),
+                shed: raw.counter(&key("shed")),
+                goodput: raw.gauge(&key("goodput")),
+                tenant: id,
+            }
+        })
+        .collect();
+    ServingMetrics {
+        offered: raw.counter(SERVING_OFFERED),
+        admitted: raw.counter(SERVING_ADMITTED),
+        rejected: raw.counter(SERVING_REJECTED),
+        shed: raw.counter(SERVING_SHED),
+        completed: raw.counter(SERVING_COMPLETED),
+        good: raw.counter(SERVING_GOOD),
+        inflight: raw.gauge(SERVING_INFLIGHT),
+        queue_depth: raw.gauge(SERVING_QUEUE_DEPTH),
+        queue_depth_high_water: raw.gauge_high_water(SERVING_QUEUE_DEPTH),
+        batches: raw.counter(SERVING_BATCHES),
+        batches_closed_full: raw.counter(SERVING_BATCH_FULL),
+        batches_closed_linger: raw.counter(SERVING_BATCH_LINGER),
+        batch_size: raw.histogram(SERVING_BATCH_SIZE).cloned(),
+        queue_delay: raw.histogram(SERVING_QUEUE_DELAY).cloned(),
+        tenants,
     }
 }
 
@@ -608,7 +840,9 @@ mod tests {
         t.registry.counter(names::DECODER_ITEMS_IN).add(10);
         t.registry.counter(names::DECODER_ITEMS_OK).add(9);
         t.registry.counter(names::DECODER_ITEMS_ERR).add(1);
-        t.registry.histogram(names::DECODER_LANE_SERVICE).record(1500);
+        t.registry
+            .histogram(names::DECODER_LANE_SERVICE)
+            .record(1500);
         t.registry.gauge("queue.slot0.depth").set(1);
         t.registry.counter("queue.slot0.pushed").add(3);
         t.registry.counter("queue.slot0.popped").add(2);
@@ -633,6 +867,60 @@ mod tests {
         let v = snap.invariant_violations();
         assert_eq!(v.len(), 1);
         assert!(v[0].contains("batch conservation"));
+    }
+
+    #[test]
+    fn serving_metrics_collected_and_conserved() {
+        let t = Telemetry::with_defaults();
+        t.registry.counter(names::SERVING_OFFERED).add(10);
+        t.registry.counter(names::SERVING_ADMITTED).add(7);
+        t.registry.counter(names::SERVING_REJECTED).add(3);
+        t.registry.counter(names::SERVING_SHED).add(1);
+        t.registry.counter(names::SERVING_COMPLETED).add(4);
+        t.registry.counter(names::SERVING_GOOD).add(4);
+        t.registry.gauge(names::SERVING_INFLIGHT).set(2);
+        t.registry.gauge(names::SERVING_QUEUE_DEPTH).set(2);
+        t.registry.counter("serving.tenant.0.admitted").add(7);
+        t.registry.counter("serving.tenant.0.completed").add(4);
+        t.registry.gauge("serving.tenant.0.goodput").set(4);
+        let snap = t.pipeline_snapshot();
+        assert_eq!(snap.serving.offered, 10);
+        assert_eq!(snap.serving.admitted, 7);
+        assert_eq!(snap.serving.inflight, 2);
+        assert_eq!(snap.serving.tenants.len(), 1);
+        assert_eq!(snap.serving.tenants[0].tenant, "0");
+        assert_eq!(snap.serving.tenants[0].goodput, 4);
+        assert!(
+            snap.invariant_violations().is_empty(),
+            "{:?}",
+            snap.invariant_violations()
+        );
+        let text = snap.to_text();
+        assert!(text.contains("serving    offered=10 admitted=7"));
+        let j = snap.to_json();
+        assert_eq!(j["serving"]["admitted"], 7u64);
+        assert_eq!(j["serving"]["tenants"][0]["goodput"], 4u64);
+    }
+
+    #[test]
+    fn serving_conservation_violations_detected() {
+        let t = Telemetry::with_defaults();
+        t.registry.counter(names::SERVING_OFFERED).add(5);
+        t.registry.counter(names::SERVING_ADMITTED).add(5);
+        // completed + shed + inflight = 3 != 5 admitted.
+        t.registry.counter(names::SERVING_COMPLETED).add(3);
+        let v = t.pipeline_snapshot().invariant_violations();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("serving conservation"));
+    }
+
+    #[test]
+    fn empty_serving_is_invisible() {
+        let t = Telemetry::with_defaults();
+        let snap = t.pipeline_snapshot();
+        assert!(snap.serving.is_empty());
+        assert!(!snap.to_text().contains("serving"));
+        assert!(snap.invariant_violations().is_empty());
     }
 
     #[test]

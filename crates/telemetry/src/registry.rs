@@ -94,7 +94,9 @@ impl Registry {
 impl std::fmt::Debug for Registry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let m = self.metrics.lock().unwrap_or_else(|p| p.into_inner());
-        f.debug_struct("Registry").field("metrics", &m.len()).finish()
+        f.debug_struct("Registry")
+            .field("metrics", &m.len())
+            .finish()
     }
 }
 
@@ -134,16 +136,22 @@ impl RegistrySnapshot {
                 Some(mine) => match (mine, theirs) {
                     (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
                     (
-                        MetricValue::Gauge { value: a, high_water: ah },
-                        MetricValue::Gauge { value: b, high_water: bh },
+                        MetricValue::Gauge {
+                            value: a,
+                            high_water: ah,
+                        },
+                        MetricValue::Gauge {
+                            value: b,
+                            high_water: bh,
+                        },
                     ) => {
                         *a += b;
                         *ah = (*ah).max(*bh);
                     }
                     (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(b),
-                    (mine, theirs) => panic!(
-                        "metric {name} kind mismatch on merge: {mine:?} vs {theirs:?}"
-                    ),
+                    (mine, theirs) => {
+                        panic!("metric {name} kind mismatch on merge: {mine:?} vs {theirs:?}")
+                    }
                 },
             }
         }

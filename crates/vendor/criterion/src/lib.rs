@@ -43,7 +43,9 @@ impl fmt::Display for BenchmarkId {
 
 impl From<&str> for BenchmarkId {
     fn from(s: &str) -> Self {
-        Self { full: s.to_string() }
+        Self {
+            full: s.to_string(),
+        }
     }
 }
 
@@ -128,7 +130,13 @@ impl BenchmarkGroup<'_> {
         id: impl Into<BenchmarkId>,
         f: F,
     ) -> &mut Self {
-        run_one(&self.name, &id.into().full, self.sample_size, self.throughput, f);
+        run_one(
+            &self.name,
+            &id.into().full,
+            self.sample_size,
+            self.throughput,
+            f,
+        );
         self
     }
 
@@ -139,9 +147,13 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: F,
     ) -> &mut Self {
-        run_one(&self.name, &id.full, self.sample_size, self.throughput, |b| {
-            f(b, input)
-        });
+        run_one(
+            &self.name,
+            &id.full,
+            self.sample_size,
+            self.throughput,
+            |b| f(b, input),
+        );
         self
     }
 

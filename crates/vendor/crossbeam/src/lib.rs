@@ -135,11 +135,7 @@ pub mod channel {
                 if self.shared.senders.load(Ordering::Acquire) == 0 {
                     return Err(RecvError);
                 }
-                q = self
-                    .shared
-                    .cv
-                    .wait(q)
-                    .unwrap_or_else(|p| p.into_inner());
+                q = self.shared.cv.wait(q).unwrap_or_else(|p| p.into_inner());
             }
         }
 

@@ -93,7 +93,13 @@ mod tests {
         assert_eq!(ok.unwrap(), vec![2, 3, 4]);
         let err: Result<Vec<i32>, String> = data
             .par_iter()
-            .map(|&x| if x == 2 { Err("two".to_string()) } else { Ok(x) })
+            .map(|&x| {
+                if x == 2 {
+                    Err("two".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
             .collect();
         assert!(err.is_err());
     }

@@ -168,8 +168,7 @@ impl Calibration {
     /// CPU decode time of one image of `w` (one core).
     pub fn cpu_decode_time(&self, w: &ImageWorkload) -> SimTime {
         let px = w.src_width as f64 * w.src_height as f64;
-        SimTime::from_secs_f64(px / self.cpu_decode_pixels_per_sec_per_core)
-            + self.cpu_decode_fixed
+        SimTime::from_secs_f64(px / self.cpu_decode_pixels_per_sec_per_core) + self.cpu_decode_fixed
     }
 
     /// Images/s one core decodes on workload `w` (§2.2 anchor: ≈300 for

@@ -75,13 +75,11 @@ pub struct EconomicsReport {
 
 /// Computes the §5.4 ledger.
 pub fn analyze(inputs: &EconomicsInputs) -> EconomicsReport {
-    let freed_core_revenue_per_hour =
-        inputs.fpga_core_equivalents * inputs.core_price_per_hour;
+    let freed_core_revenue_per_hour = inputs.fpga_core_equivalents * inputs.core_price_per_hour;
     let core_revenue_per_year = inputs.core_price_per_hour * 24.0 * 365.0;
     let per_core_watts = inputs.cpu_watts / inputs.cores_per_socket;
     let cpu_decode_watts = per_core_watts * inputs.fpga_core_equivalents;
-    let cpu_decode_power_cost_per_hour =
-        cpu_decode_watts / 1000.0 * inputs.power_price_per_kwh;
+    let cpu_decode_power_cost_per_hour = cpu_decode_watts / 1000.0 * inputs.power_price_per_kwh;
     let fpga_power_cost_per_hour = inputs.fpga_watts / 1000.0 * inputs.power_price_per_kwh;
     let net_benefit_per_hour = freed_core_revenue_per_hour
         + (cpu_decode_power_cost_per_hour - fpga_power_cost_per_hour)
@@ -120,7 +118,11 @@ mod tests {
         assert!(r.fpga_power_cost_per_hour < r.cpu_decode_power_cost_per_hour);
         assert!(r.watts_saved > 100.0, "watts saved {:.0}", r.watts_saved);
         // The deployment pays for itself.
-        assert!(r.net_benefit_per_hour > 1.0, "net {:.2}", r.net_benefit_per_hour);
+        assert!(
+            r.net_benefit_per_hour > 1.0,
+            "net {:.2}",
+            r.net_benefit_per_hour
+        );
     }
 
     #[test]

@@ -5,9 +5,11 @@
 use crate::calibration::{BackendKind, Calibration};
 use crate::economics::{analyze, EconomicsInputs};
 use crate::inference::InferenceSim;
-use crate::report::{fmt_cores, fmt_rate, fmt_ratio, FigureReport, Row};
+use crate::report::{fmt_cores, fmt_rate, fmt_ratio, goodput_vs_offered_load, FigureReport, Row};
 use crate::training::{TrainBackend, TrainingParams, TrainingSim};
 use dlb_gpu::ModelZoo;
+use dlb_serving::{ServingConfig, ShedPolicy};
+use dlb_simcore::SimTime;
 
 /// Batch-size axis of Figs. 7/8 for a model (…32, ResNet-50 goes to 64).
 pub fn batch_axis(model: ModelZoo) -> Vec<u32> {
@@ -143,7 +145,11 @@ pub fn fig6_training_cpu_cost(cal: &Calibration) -> FigureReport {
         &["model", "backend", "1-GPU cores", "2-GPU cores"],
     );
     for model in training_models() {
-        for kind in [BackendKind::CpuBased, BackendKind::Lmdb, BackendKind::DlBooster] {
+        for kind in [
+            BackendKind::CpuBased,
+            BackendKind::Lmdb,
+            BackendKind::DlBooster,
+        ] {
             let one = TrainingSim::run(
                 cal.clone(),
                 TrainingParams::paper(model, TrainBackend::Kind(kind), 1),
@@ -163,7 +169,11 @@ pub fn fig6_training_cpu_cost(cal: &Calibration) -> FigureReport {
     // Fig. 6(d): DLBooster ResNet-18 per-activity breakdown.
     let d = TrainingSim::run(
         cal.clone(),
-        TrainingParams::paper(ModelZoo::ResNet18, TrainBackend::Kind(BackendKind::DlBooster), 1),
+        TrainingParams::paper(
+            ModelZoo::ResNet18,
+            TrainBackend::Kind(BackendKind::DlBooster),
+            1,
+        ),
     );
     let (pre, tra, lau, upd) = d.cpu_breakdown;
     rep.note(format!(
@@ -171,7 +181,9 @@ pub fn fig6_training_cpu_cost(cal: &Calibration) -> FigureReport {
         pre, tra, lau, upd
     ));
     rep.note("paper 6(d): 0.3 preprocessing / 0.15 transform / 0.95 launch / 0.12 update");
-    rep.note("paper: DLBooster ~1.5 cores/GPU, LMDB ~2.5, CPU-based ~12 (AlexNet) / ~7 (ResNet-18)");
+    rep.note(
+        "paper: DLBooster ~1.5 cores/GPU, LMDB ~2.5, CPU-based ~12 (AlexNet) / ~7 (ResNet-18)",
+    );
     rep
 }
 
@@ -180,7 +192,14 @@ pub fn fig7_inference_throughput(cal: &Calibration) -> FigureReport {
     let mut rep = FigureReport::new(
         "Figure 7",
         "Inference throughput (images/s) vs batch size (fp16 Tensor Cores)",
-        &["model", "batch", "CPU-based", "nvJPEG", "DLBooster", "DLB/nvJPEG"],
+        &[
+            "model",
+            "batch",
+            "CPU-based",
+            "nvJPEG",
+            "DLBooster",
+            "DLB/nvJPEG",
+        ],
     );
     for model in inference_models() {
         for &bs in &batch_axis(model) {
@@ -297,6 +316,33 @@ pub fn sec54_economics() -> FigureReport {
     rep
 }
 
+/// The canonical overload-sweep axis: 0.5×–3× of saturated capacity.
+pub const OVERLOAD_MULTIPLIERS: [f64; 5] = [0.5, 1.0, 1.5, 2.0, 3.0];
+
+/// Goodput vs offered load through the SLO-aware serving layer (beyond
+/// the paper: the ROADMAP's "heavy traffic" regime). GoogLeNet on the
+/// DLBooster backend, the paper's five clients as equal-weight tenants,
+/// deadline-aware shedding, 50 ms SLO.
+pub fn overload_goodput_sweep(cal: &Calibration) -> FigureReport {
+    let slo = SimTime::from_millis(50);
+    let cfg = ServingConfig::five_clients(32, slo, ShedPolicy::DeadlineAware);
+    let points = InferenceSim::overload_sweep(
+        cal,
+        ModelZoo::GoogLeNet,
+        BackendKind::DlBooster,
+        32,
+        cfg,
+        &OVERLOAD_MULTIPLIERS,
+        7,
+    );
+    let mut rep = goodput_vs_offered_load(
+        "GoogLeNet / DLBooster bs32, 5 tenants, deadline-aware shedding, 50 ms SLO",
+        &points,
+    );
+    rep.note("expected: goodput plateaus at capacity beyond 1.0x while p99 stays inside the SLO");
+    rep
+}
+
 /// Every figure in paper order (the `figures` binary prints these).
 pub fn all_figures(cal: &Calibration) -> Vec<FigureReport> {
     vec![
@@ -307,6 +353,7 @@ pub fn all_figures(cal: &Calibration) -> Vec<FigureReport> {
         fig8_inference_latency(cal),
         fig9_inference_cpu_cost(cal),
         sec54_economics(),
+        overload_goodput_sweep(cal),
     ]
 }
 
@@ -319,7 +366,11 @@ mod tests {
         let rep = fig2_motivation(&Calibration::paper());
         assert_eq!(rep.rows.len(), 8);
         // Default config is far below the bound (paper: ~25 %).
-        let ideal: f64 = rep.rows[0].cells[2].replace('k', "000").replace('.', "").parse().unwrap_or(0.0);
+        let ideal: f64 = rep.rows[0].cells[2]
+            .replace('k', "000")
+            .replace('.', "")
+            .parse()
+            .unwrap_or(0.0);
         assert!(ideal > 0.0);
     }
 

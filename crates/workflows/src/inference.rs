@@ -6,11 +6,15 @@
 //! "from the point when the inference system receives pictures from clients
 //! to the point when engines make a prediction".
 //!
-//! Two drive modes:
+//! Three drive modes:
 //! * [`DriveMode::Saturated`] — a closed loop keeps the pipeline full; the
 //!   measured completion rate is the Fig. 7 throughput.
 //! * [`DriveMode::Load`] — open-loop Poisson arrivals at a fraction of that
 //!   capacity; per-request latency reproduces Fig. 8.
+//! * [`DriveMode::Served`] — open-loop arrivals routed through the
+//!   `dlb-serving` layer (deadline-aware dynamic batching, admission
+//!   control with load shedding, per-tenant WFQ); offered load may exceed
+//!   capacity — the overload-sweep regime the ROADMAP north star demands.
 //!
 //! Backend stations:
 //! * **DLBooster** — the FPGA pipeline (singleton), batch service from the
@@ -21,9 +25,14 @@
 
 use crate::calibration::{BackendKind, Calibration, Workload};
 use dlb_gpu::{GpuTimingModel, ModelZoo, Precision};
+use dlb_serving::{
+    AdmissionController, BatchFormer, ServeRequest, ServingConfig, ServingInstruments,
+};
 use dlb_simcore::stats::{BusyTracker, LatencyStats};
 use dlb_simcore::{Scheduler, SimModel, SimRng, SimTime, Simulation};
+use dlb_telemetry::{PipelineSnapshot, Registry};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// How the request generator drives the pipeline.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,6 +42,12 @@ pub enum DriveMode {
     /// Open-loop Poisson at `rate` requests/s — measures latency (Fig. 8).
     Load {
         /// Aggregate client request rate.
+        rate: f64,
+    },
+    /// Open-loop Poisson at `rate` requests/s through the serving layer
+    /// (requires [`InferenceParams::serving`]); `rate` may exceed capacity.
+    Served {
+        /// Aggregate offered request rate.
         rate: f64,
     },
 }
@@ -65,6 +80,9 @@ pub struct InferenceParams {
     /// plugging more FPGA devices"). Only meaningful for the DLBooster
     /// backend; each device is an independent decode station.
     pub n_fpgas: u32,
+    /// Serving-layer configuration — required by [`DriveMode::Served`],
+    /// ignored by the other drive modes.
+    pub serving: Option<ServingConfig>,
 }
 
 impl InferenceParams {
@@ -81,6 +99,7 @@ impl InferenceParams {
             seed: 7,
             direct_gpu_dma: false,
             n_fpgas: 1,
+            serving: None,
         }
     }
 }
@@ -102,6 +121,58 @@ pub struct InferenceOutcome {
     pub sim_time: SimTime,
     /// Requests completed.
     pub completed: u64,
+    /// Serving-layer view ([`DriveMode::Served`] runs only).
+    pub serving: Option<ServingOutcome>,
+}
+
+/// Serving-layer outcome of one [`DriveMode::Served`] run: the admission
+/// ledger, the post-warmup goodput rate, and the full telemetry snapshot
+/// (with `serving.*` conservation invariants checkable via
+/// [`PipelineSnapshot::invariant_violations`]).
+#[derive(Debug, Clone)]
+pub struct ServingOutcome {
+    /// Requests offered to the admission controller.
+    pub offered: u64,
+    /// Requests admitted.
+    pub admitted: u64,
+    /// Requests rejected at the door.
+    pub rejected: u64,
+    /// Admitted requests evicted by the shedding policy.
+    pub shed: u64,
+    /// Admitted requests that completed.
+    pub completed: u64,
+    /// Completions that met their SLO deadline.
+    pub good: u64,
+    /// In-SLO completions per second over the post-warmup window.
+    pub goodput: f64,
+    /// End-of-run telemetry (all `serving.*` metrics, per-tenant rows,
+    /// queue-delay and batch-size histograms).
+    pub snapshot: PipelineSnapshot,
+}
+
+impl ServingOutcome {
+    /// Fraction of completions that met the SLO (1.0 when none completed).
+    pub fn slo_attainment(&self) -> f64 {
+        if self.completed == 0 {
+            1.0
+        } else {
+            self.good as f64 / self.completed as f64
+        }
+    }
+}
+
+/// One point of an overload sweep: offered load as a multiple of the
+/// measured saturated capacity, plus the run outcome at that load.
+#[derive(Debug, Clone)]
+pub struct OverloadPoint {
+    /// Offered load as a fraction of saturated capacity (the sweep axis).
+    pub multiplier: f64,
+    /// Offered arrival rate, requests/s.
+    pub offered_rate: f64,
+    /// Saturated capacity the multiplier is relative to, images/s.
+    pub capacity: f64,
+    /// Run outcome; `outcome.serving` is always `Some` for sweep points.
+    pub outcome: InferenceOutcome,
 }
 
 #[doc(hidden)]
@@ -110,6 +181,12 @@ pub enum Ev {
     Kickoff,
     /// A request's payload finished crossing the fabric.
     ArrivalAtServer,
+    /// The dynamic batcher's linger timer expired for `generation`.
+    LingerExpired {
+        /// The forming-batch generation the timer was armed for; stale
+        /// generations (the batch already closed full) are ignored.
+        generation: u64,
+    },
     /// Decode station finished the batch at queue head.
     DecodeDone,
     /// PCIe copy finished.
@@ -121,6 +198,32 @@ pub enum Ev {
 struct Batch {
     /// Arrival times of member requests.
     arrivals: Vec<SimTime>,
+    /// Member requests when formed by the serving layer (empty otherwise);
+    /// completions are scored against their deadlines.
+    requests: Vec<ServeRequest>,
+}
+
+/// Serving-layer state threaded through the DES (Served mode only).
+struct ServingState {
+    admission: AdmissionController,
+    former: BatchFormer,
+    instruments: Arc<ServingInstruments>,
+    registry: Arc<Registry>,
+    slo: SimTime,
+    /// Worst-case batch-forming wait (the configured linger).
+    linger: SimTime,
+    /// One full pass through decode + copy + infer for a full batch.
+    pass: SimTime,
+    /// Slowest single station's full-batch service — the per-batch drain
+    /// interval of a saturated pipeline.
+    bottleneck: SimTime,
+    /// Cumulative tenant load shares for arrival sampling.
+    tenant_cdf: Vec<(u32, f64)>,
+    next_id: u64,
+    /// In-SLO completions after warmup (goodput numerator).
+    good_after_warmup: u64,
+    /// Which former generation has a linger timer armed.
+    armed_generation: Option<u64>,
 }
 
 /// The inference DES model.
@@ -145,6 +248,8 @@ pub struct InferenceSim {
     in_flight: u32,
     /// Open-loop arrivals generated so far (bounded by the batch budget).
     arrivals_generated: u64,
+    /// Serving layer (Served mode only).
+    serving: Option<ServingState>,
 
     // Measurement.
     latency: LatencyStats,
@@ -170,7 +275,13 @@ impl InferenceSim {
         } else {
             1
         };
-        Self {
+        if matches!(params.mode, DriveMode::Served { .. }) {
+            assert!(
+                params.serving.is_some(),
+                "DriveMode::Served requires InferenceParams::serving"
+            );
+        }
+        let mut sim = Self {
             cal,
             timing,
             rng,
@@ -184,6 +295,7 @@ impl InferenceSim {
             infer_busy: false,
             in_flight: 0,
             arrivals_generated: 0,
+            serving: None,
             latency: LatencyStats::new(),
             cpu: BusyTracker::new(),
             batches_done: 0,
@@ -191,20 +303,83 @@ impl InferenceSim {
             warmup_at: None,
             done_at: SimTime::ZERO,
             params,
+        };
+        if let (DriveMode::Served { .. }, Some(cfg)) = (sim.params.mode, sim.params.serving.clone())
+        {
+            sim.serving = Some(sim.build_serving_state(cfg));
+        }
+        sim
+    }
+
+    /// Builds the Served-mode state: instrumented admission controller and
+    /// batch former, with the feasibility predictor calibrated from the
+    /// stage service model (no measurement run needed).
+    fn build_serving_state(&self, cfg: ServingConfig) -> ServingState {
+        let registry = Arc::new(Registry::new());
+        let instruments = ServingInstruments::new(&registry, cfg.max_batch);
+        let bs = self.params.batch_size.max(1) as u64;
+        let (decode, _) = self.decode_service(self.params.batch_size);
+        let copy = if self.params.direct_gpu_dma {
+            SimTime::ZERO
+        } else {
+            self.copy_service(self.params.batch_size)
+        };
+        let infer = self.infer_service(self.params.batch_size);
+        // Queue drain rate: the slowest station bounds it (decode runs on
+        // `decode_stations` parallel devices).
+        let bottleneck = SimTime::from_nanos(
+            (decode.as_nanos() / self.decode_stations.max(1) as u64)
+                .max(copy.as_nanos())
+                .max(infer.as_nanos()),
+        );
+        let per_item_ns = bottleneck.as_nanos() / bs;
+        // Pipeline latency once dequeued: batch forming is bounded by
+        // max_linger, then one pass through every station.
+        let pass = decode + copy + infer;
+        let base = cfg.max_linger + pass;
+        let mut admission =
+            AdmissionController::new(cfg.clone()).with_instruments(Arc::clone(&instruments));
+        admission.set_service_estimate(SimTime::from_nanos(per_item_ns), base);
+        let former = BatchFormer::new(cfg.max_batch, cfg.max_linger)
+            .with_instruments(Arc::clone(&instruments));
+        let total_share = cfg.total_load_share().max(f64::MIN_POSITIVE);
+        let mut acc = 0.0;
+        let tenant_cdf = cfg
+            .tenants
+            .iter()
+            .map(|t| {
+                acc += t.load_share.max(0.0) / total_share;
+                (t.id, acc)
+            })
+            .collect();
+        ServingState {
+            admission,
+            former,
+            instruments,
+            registry,
+            slo: cfg.slo,
+            linger: cfg.max_linger,
+            pass,
+            bottleneck,
+            tenant_cdf,
+            next_id: 0,
+            good_after_warmup: 0,
+            armed_generation: None,
         }
     }
 
-    /// Decode service time + host CPU busy charge for one batch.
-    fn decode_service(&self) -> (SimTime, SimTime) {
-        let bs = self.params.batch_size as u64;
+    /// Decode service time + host CPU busy charge for one batch of
+    /// `items` images (Served-mode linger closes can ship partial
+    /// batches; the fixed modes always pass `batch_size`).
+    fn decode_service(&self, items: u32) -> (SimTime, SimTime) {
+        let bs = items.max(1) as u64;
         let img = Workload::Ilsvrc.image();
         match self.params.backend {
             BackendKind::DlBooster => {
                 let images = vec![img; bs as usize];
                 let service = self.cal.fpga.batch_service_time(&images);
-                let host = SimTime::from_nanos(
-                    self.cal.dlb_host_per_image_inference.as_nanos() * bs,
-                );
+                let host =
+                    SimTime::from_nanos(self.cal.dlb_host_per_image_inference.as_nanos() * bs);
                 (service, host)
             }
             BackendKind::CpuBased => {
@@ -232,20 +407,21 @@ impl InferenceSim {
         }
     }
 
-    fn copy_service(&self) -> SimTime {
-        let bytes = self.params.batch_size as u64 * Workload::Ilsvrc.decoded_bytes();
+    fn copy_service(&self, items: u32) -> SimTime {
+        let bytes = items.max(1) as u64 * Workload::Ilsvrc.decoded_bytes();
         SimTime::from_secs_f64(bytes as f64 / self.cal.infer_gpu.pcie_bytes_per_sec)
     }
 
-    fn infer_service(&self) -> SimTime {
+    fn infer_service(&self, items: u32) -> SimTime {
         // Contention stretch is already configured on the timing model.
-        self.timing.forward_time(self.params.batch_size)
+        self.timing.forward_time(items.max(1))
     }
 
     fn spawn_batch_saturated(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
         let bs = self.params.batch_size;
         let batch = Batch {
             arrivals: vec![now; bs as usize],
+            requests: Vec::new(),
         };
         self.in_flight += 1;
         self.decode_q.push_back(batch);
@@ -253,13 +429,12 @@ impl InferenceSim {
     }
 
     fn schedule_next_arrival(&mut self, sched: &mut Scheduler<Ev>) {
-        let DriveMode::Load { rate } = self.params.mode else {
-            return;
+        let rate = match self.params.mode {
+            DriveMode::Load { rate } | DriveMode::Served { rate } => rate,
+            DriveMode::Saturated => return,
         };
         // Bound the run: enough arrivals for the batch budget.
-        if self.arrivals_generated
-            >= self.params.batches as u64 * self.params.batch_size as u64
-        {
+        if self.arrivals_generated >= self.params.batches as u64 * self.params.batch_size as u64 {
             return;
         }
         self.arrivals_generated += 1;
@@ -275,8 +450,9 @@ impl InferenceSim {
         {
             return;
         }
+        let items = self.decode_q[self.decode_busy as usize].arrivals.len() as u32;
         self.decode_busy += 1;
-        let (service, busy) = self.decode_service();
+        let (service, busy) = self.decode_service(items);
         self.cpu.add(busy);
         sched.after(service, Ev::DecodeDone);
     }
@@ -286,7 +462,13 @@ impl InferenceSim {
             return;
         }
         self.copy_busy = true;
-        sched.after(self.copy_service(), Ev::CopyDone);
+        let items = self
+            .copy_q
+            .front()
+            .expect("copy has a batch")
+            .arrivals
+            .len() as u32;
+        sched.after(self.copy_service(items), Ev::CopyDone);
     }
 
     fn try_start_infer(&mut self, sched: &mut Scheduler<Ev>) {
@@ -295,9 +477,94 @@ impl InferenceSim {
         }
         self.infer_busy = true;
         // Kernel-launch host cost (TensorRT-grade: thin).
-        let service = self.infer_service();
+        let items = self
+            .infer_q
+            .front()
+            .expect("infer has a batch")
+            .arrivals
+            .len() as u32;
+        let service = self.infer_service(items);
         self.cpu.add(self.timing.launch_cpu_time(service, false));
         sched.after(service, Ev::InferDone);
+    }
+
+    /// One client request reaches the serving layer (Served mode): sample
+    /// its tenant from the configured load shares, stamp its deadline, and
+    /// offer it to the admission controller.
+    fn serving_arrival(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
+        let u = self.rng.uniform();
+        let st = self
+            .serving
+            .as_mut()
+            .expect("Served mode has serving state");
+        let tenant = st
+            .tenant_cdf
+            .iter()
+            .find(|&&(_, c)| u < c)
+            .or(st.tenant_cdf.last())
+            .map(|&(id, _)| id)
+            .unwrap_or(0);
+        let req = ServeRequest {
+            id: st.next_id,
+            tenant,
+            arrival: now,
+            deadline: now + st.slo,
+        };
+        st.next_id += 1;
+        let _ = st.admission.offer(req, now);
+        self.pump_serving(now, sched);
+    }
+
+    /// Moves admitted requests from the admission queue into the dynamic
+    /// batcher and dispatches closed batches, subject to backpressure:
+    /// at most `decode_stations + 2` batches may occupy the pipeline, so
+    /// overload backlog accumulates in the admission queue where the
+    /// shedding policy can act on it.
+    fn pump_serving(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
+        if self.serving.is_none() {
+            return;
+        }
+        let room = self.decode_stations as usize + 2;
+        let mut dispatched = false;
+        loop {
+            let in_pipeline = self.decode_q.len() + self.copy_q.len() + self.infer_q.len();
+            // Dispatch-time backstop: a queued request whose deadline
+            // cannot survive the forming wait plus the pipeline at its
+            // *current* occupancy would only waste downstream capacity on
+            // a late answer — shed it before it costs anything.
+            let st = self.serving.as_mut().expect("checked above");
+            let lead = st.linger
+                + st.pass
+                + SimTime::from_nanos(st.bottleneck.as_nanos() * in_pipeline as u64);
+            let _ = st.admission.shed_unservable(now, lead);
+            if in_pipeline >= room {
+                break;
+            }
+            let Some(req) = st.admission.pop(now) else {
+                break;
+            };
+            if let Some(closed) = st.former.push(req, now) {
+                st.armed_generation = None;
+                self.decode_q.push_back(Batch {
+                    arrivals: closed.requests.iter().map(|r| r.arrival).collect(),
+                    requests: closed.requests,
+                });
+                dispatched = true;
+            }
+        }
+        // Arm the linger timer for the batch now forming (at most one live
+        // timer per generation; Scheduler::at clamps past instants to now).
+        let st = self.serving.as_mut().expect("checked above");
+        if let Some(deadline) = st.former.linger_deadline() {
+            let generation = st.former.generation();
+            if st.armed_generation != Some(generation) {
+                st.armed_generation = Some(generation);
+                sched.at(deadline, Ev::LingerExpired { generation });
+            }
+        }
+        if dispatched {
+            self.try_start_decode(sched);
+        }
     }
 }
 
@@ -314,20 +581,47 @@ impl SimModel for InferenceSim {
                         self.spawn_batch_saturated(now, sched);
                     }
                 }
-                DriveMode::Load { .. } => {
+                DriveMode::Load { .. } | DriveMode::Served { .. } => {
                     self.schedule_next_arrival(sched);
                 }
             },
             Ev::ArrivalAtServer => {
                 // NIC transfer time shifts the effective arrival instant;
                 // the paper measures from server receipt, so `now` is it.
-                self.pending.push(now);
-                if self.pending.len() >= self.params.batch_size as usize {
-                    let arrivals = std::mem::take(&mut self.pending);
-                    self.decode_q.push_back(Batch { arrivals });
-                    self.try_start_decode(sched);
+                if self.serving.is_some() {
+                    self.serving_arrival(now, sched);
+                } else {
+                    self.pending.push(now);
+                    if self.pending.len() >= self.params.batch_size as usize {
+                        let arrivals = std::mem::take(&mut self.pending);
+                        self.decode_q.push_back(Batch {
+                            arrivals,
+                            requests: Vec::new(),
+                        });
+                        self.try_start_decode(sched);
+                    }
                 }
                 self.schedule_next_arrival(sched);
+            }
+            Ev::LingerExpired { generation } => {
+                // Close the forming batch if this timer is still current.
+                // Linger closes bypass the backpressure gate: a request
+                // that waited `max_linger` must ship, not wait for room.
+                let mut dispatched = false;
+                if let Some(st) = self.serving.as_mut() {
+                    if let Some(closed) = st.former.close_if_due(now, generation) {
+                        st.armed_generation = None;
+                        self.decode_q.push_back(Batch {
+                            arrivals: closed.requests.iter().map(|r| r.arrival).collect(),
+                            requests: closed.requests,
+                        });
+                        dispatched = true;
+                    }
+                }
+                if dispatched {
+                    self.try_start_decode(sched);
+                    self.pump_serving(now, sched);
+                }
             }
             Ev::DecodeDone => {
                 self.decode_busy -= 1;
@@ -357,10 +651,19 @@ impl SimModel for InferenceSim {
                 if self.batches_done == self.params.warmup {
                     self.warmup_at = Some(now);
                 }
-                if self.batches_done > self.params.warmup {
+                let past_warmup = self.batches_done > self.params.warmup;
+                if past_warmup {
                     self.completed_after_warmup += batch.arrivals.len() as u64;
                     for &arr in &batch.arrivals {
                         self.latency.record(now.saturating_sub(arr));
+                    }
+                }
+                if let Some(st) = self.serving.as_mut() {
+                    for req in &batch.requests {
+                        let good = st.instruments.on_completed(req, now);
+                        if good && past_warmup {
+                            st.good_after_warmup += 1;
+                        }
                     }
                 }
                 self.done_at = now;
@@ -380,6 +683,9 @@ impl SimModel for InferenceSim {
                 // gating this on the batch budget strands the queue and
                 // collapses Load-mode throughput.
                 self.try_start_infer(sched);
+                // A batch left the pipeline: the backpressure gate opened,
+                // so the serving layer can pull more from its queue.
+                self.pump_serving(now, sched);
             }
         }
     }
@@ -408,6 +714,24 @@ impl InferenceSim {
             model.completed_after_warmup as f64 / window.as_secs_f64()
         };
         let _ = bs;
+        let serving = model.serving.as_ref().map(|st| {
+            let snapshot = PipelineSnapshot::from_parts(st.registry.snapshot(), Vec::new());
+            let goodput = if window == SimTime::ZERO {
+                0.0
+            } else {
+                st.good_after_warmup as f64 / window.as_secs_f64()
+            };
+            ServingOutcome {
+                offered: snapshot.serving.offered,
+                admitted: snapshot.serving.admitted,
+                rejected: snapshot.serving.rejected,
+                shed: snapshot.serving.shed,
+                completed: snapshot.serving.completed,
+                good: snapshot.serving.good,
+                goodput,
+                snapshot,
+            }
+        });
         InferenceOutcome {
             throughput,
             mean_latency: model.latency.mean(),
@@ -416,6 +740,7 @@ impl InferenceSim {
             cpu_cores: model.cpu.cores(model.done_at),
             sim_time: model.done_at,
             completed: model.completed_after_warmup,
+            serving,
         }
     }
 
@@ -431,6 +756,55 @@ impl InferenceSim {
             InferenceParams::paper(model, backend, batch_size),
         )
         .throughput
+    }
+
+    /// Runs one [`DriveMode::Served`] experiment at `rate` requests/s.
+    pub fn served(
+        cal: &Calibration,
+        model: ModelZoo,
+        backend: BackendKind,
+        batch_size: u32,
+        cfg: ServingConfig,
+        rate: f64,
+        seed: u64,
+    ) -> InferenceOutcome {
+        let mut params = InferenceParams::paper(model, backend, batch_size);
+        params.mode = DriveMode::Served { rate };
+        params.serving = Some(cfg);
+        params.seed = seed;
+        InferenceSim::run(cal.clone(), params)
+    }
+
+    /// Open-loop overload sweep: measures saturated capacity, then drives
+    /// the serving layer at `capacity × m` for every multiplier `m`
+    /// (0.5×–3× is the canonical axis). This is the graceful-degradation
+    /// experiment the serving layer exists for: with shedding enabled,
+    /// goodput plateaus at capacity while admitted-request latency stays
+    /// inside the SLO; without it, the admission queue grows without bound
+    /// and every latency percentile blows through the deadline.
+    pub fn overload_sweep(
+        cal: &Calibration,
+        model: ModelZoo,
+        backend: BackendKind,
+        batch_size: u32,
+        cfg: ServingConfig,
+        multipliers: &[f64],
+        seed: u64,
+    ) -> Vec<OverloadPoint> {
+        let capacity = Self::saturated_throughput(cal, model, backend, batch_size);
+        multipliers
+            .iter()
+            .map(|&m| {
+                assert!(m > 0.0, "offered-load multiplier must be positive");
+                let rate = capacity * m;
+                OverloadPoint {
+                    multiplier: m,
+                    offered_rate: rate,
+                    capacity,
+                    outcome: Self::served(cal, model, backend, batch_size, cfg.clone(), rate, seed),
+                }
+            })
+            .collect()
     }
 
     /// Convenience: latency at `utilisation` of saturated capacity.
@@ -464,10 +838,17 @@ mod tests {
 
     #[test]
     fn dlbooster_saturates_near_fpga_plateau() {
-        let tp =
-            InferenceSim::saturated_throughput(&cal(), ModelZoo::GoogLeNet, BackendKind::DlBooster, 32);
+        let tp = InferenceSim::saturated_throughput(
+            &cal(),
+            ModelZoo::GoogLeNet,
+            BackendKind::DlBooster,
+            32,
+        );
         // Fig. 7(a) plateau: ≈5.5–6 k img/s.
-        assert!((4_500.0..7_000.0).contains(&tp), "DLBooster GoogLeNet bs32: {tp:.0}");
+        assert!(
+            (4_500.0..7_000.0).contains(&tp),
+            "DLBooster GoogLeNet bs32: {tp:.0}"
+        );
     }
 
     #[test]
@@ -496,18 +877,23 @@ mod tests {
     #[test]
     fn throughput_grows_with_batch_size() {
         let c = cal();
-        let t1 = InferenceSim::saturated_throughput(&c, ModelZoo::GoogLeNet, BackendKind::DlBooster, 1);
-        let t8 = InferenceSim::saturated_throughput(&c, ModelZoo::GoogLeNet, BackendKind::DlBooster, 8);
-        let t32 = InferenceSim::saturated_throughput(&c, ModelZoo::GoogLeNet, BackendKind::DlBooster, 32);
+        let t1 =
+            InferenceSim::saturated_throughput(&c, ModelZoo::GoogLeNet, BackendKind::DlBooster, 1);
+        let t8 =
+            InferenceSim::saturated_throughput(&c, ModelZoo::GoogLeNet, BackendKind::DlBooster, 8);
+        let t32 =
+            InferenceSim::saturated_throughput(&c, ModelZoo::GoogLeNet, BackendKind::DlBooster, 32);
         assert!(t8 > t1 && t32 >= t8 * 0.95, "{t1:.0} → {t8:.0} → {t32:.0}");
     }
 
     #[test]
     fn fig8_latency_ordering_at_bs1() {
         let c = cal();
-        let dlb = InferenceSim::loaded_latency(&c, ModelZoo::GoogLeNet, BackendKind::DlBooster, 1, 0.6);
+        let dlb =
+            InferenceSim::loaded_latency(&c, ModelZoo::GoogLeNet, BackendKind::DlBooster, 1, 0.6);
         let nv = InferenceSim::loaded_latency(&c, ModelZoo::GoogLeNet, BackendKind::NvJpeg, 1, 0.6);
-        let cpu = InferenceSim::loaded_latency(&c, ModelZoo::GoogLeNet, BackendKind::CpuBased, 1, 0.6);
+        let cpu =
+            InferenceSim::loaded_latency(&c, ModelZoo::GoogLeNet, BackendKind::CpuBased, 1, 0.6);
         // Fig. 8(a) bs=1: 1.2 ms (DLB) < 1.8 ms (nvJPEG) < 3.4 ms (CPU).
         assert!(
             dlb.p50_latency < nv.p50_latency && nv.p50_latency < cpu.p50_latency,
@@ -529,8 +915,10 @@ mod tests {
     #[test]
     fn latency_grows_with_batch_size() {
         let c = cal();
-        let small = InferenceSim::loaded_latency(&c, ModelZoo::Vgg16, BackendKind::DlBooster, 2, 0.5);
-        let large = InferenceSim::loaded_latency(&c, ModelZoo::Vgg16, BackendKind::DlBooster, 16, 0.5);
+        let small =
+            InferenceSim::loaded_latency(&c, ModelZoo::Vgg16, BackendKind::DlBooster, 2, 0.5);
+        let large =
+            InferenceSim::loaded_latency(&c, ModelZoo::Vgg16, BackendKind::DlBooster, 16, 0.5);
         assert!(
             large.p50_latency > small.p50_latency,
             "Fig. 8 shape: {} vs {}",

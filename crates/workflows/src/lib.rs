@@ -11,7 +11,10 @@
 //!   allreduce, warmup-trimmed throughput and CPU-core accounting.
 //! * [`inference`] — the online-inference DES (Figs. 7, 8, 9): Poisson
 //!   clients over the 40 Gbps NIC, batch assembly, backend decode station,
-//!   PCIe copy, contended GPU service, per-request latency.
+//!   PCIe copy, contended GPU service, per-request latency — plus the
+//!   beyond-paper [`DriveMode::Served`](inference::DriveMode::Served)
+//!   overload sweeps through the `dlb-serving` layer (dynamic batching,
+//!   admission control, load shedding, per-tenant WFQ).
 //! * [`figures`] — per-figure sweep drivers producing [`report`] tables with
 //!   paper-expected values alongside measured ones.
 //! * [`economics`] — the cost model of §5.4.
@@ -25,6 +28,8 @@ pub mod report;
 pub mod training;
 
 pub use calibration::{BackendKind, Calibration, Workload};
-pub use inference::{InferenceOutcome, InferenceSim};
-pub use report::{FigureReport, Row};
+pub use inference::{
+    DriveMode, InferenceOutcome, InferenceParams, InferenceSim, OverloadPoint, ServingOutcome,
+};
+pub use report::{goodput_vs_offered_load, FigureReport, Row, TelemetryReport};
 pub use training::{TrainingOutcome, TrainingSim};

@@ -100,9 +100,8 @@ impl FigureReport {
 
     /// JSON export (for EXPERIMENTS.md regeneration and archival).
     pub fn to_json(&self) -> Json {
-        let str_array = |items: &[String]| {
-            Json::Array(items.iter().map(|s| Json::from(s.as_str())).collect())
-        };
+        let str_array =
+            |items: &[String]| Json::Array(items.iter().map(|s| Json::from(s.as_str())).collect());
         Json::object(vec![
             ("id", Json::from(self.id.as_str())),
             ("title", Json::from(self.title.as_str())),
@@ -173,6 +172,61 @@ impl TelemetryReport {
             ("pipeline", self.snapshot.to_json()),
         ])
     }
+}
+
+/// Builds the goodput-vs-offered-load table from an overload sweep
+/// (`title` names the swept configuration, e.g. backend and policy).
+///
+/// One row per offered-load multiplier: the admission ledger, the goodput
+/// rate, the SLO-attainment fraction, and the admitted-request p99. Under
+/// a working shedding policy the goodput column plateaus at the measured
+/// capacity while the p99 column stays inside the SLO; with shedding
+/// disabled the queue-depth high-water column grows with offered load and
+/// p99 leaves the SLO behind.
+pub fn goodput_vs_offered_load(
+    title: &str,
+    points: &[crate::inference::OverloadPoint],
+) -> FigureReport {
+    let mut rep = FigureReport::new(
+        "Overload sweep",
+        title,
+        &[
+            "offered",
+            "req/s",
+            "admitted",
+            "rejected",
+            "shed",
+            "goodput/s",
+            "slo-met",
+            "p99 ms",
+            "queue hw",
+        ],
+    );
+    for p in points {
+        let s = p
+            .outcome
+            .serving
+            .as_ref()
+            .expect("overload sweep points always carry a serving outcome");
+        rep.push_row(Row::new(&[
+            format!("{:.2}x", p.multiplier),
+            fmt_rate(p.offered_rate),
+            s.admitted.to_string(),
+            s.rejected.to_string(),
+            s.shed.to_string(),
+            fmt_rate(s.goodput),
+            format!("{:.1}%", s.slo_attainment() * 100.0),
+            format!("{:.2}", p.outcome.p99_latency.as_secs_f64() * 1e3),
+            s.snapshot.serving.queue_depth_high_water.to_string(),
+        ]));
+    }
+    if let Some(p) = points.first() {
+        rep.note(format!(
+            "capacity (saturated) = {} img/s; goodput counts in-SLO completions only",
+            fmt_rate(p.capacity)
+        ));
+    }
+    rep
 }
 
 /// Formats a throughput value compactly.

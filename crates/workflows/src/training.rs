@@ -212,26 +212,21 @@ impl TrainingSim {
             TrainBackend::Kind(BackendKind::CpuBased) => {
                 let per_image = self.cal.cpu_decode_time(&self.params.workload.image());
                 let workers = self.params.cpu_workers.max(1) as f64;
-                let service =
-                    SimTime::from_secs_f64(per_image.as_secs_f64() * bs as f64 / workers);
+                let service = SimTime::from_secs_f64(per_image.as_secs_f64() * bs as f64 / workers);
                 // All `workers` cores are busy for the service duration.
                 let busy = SimTime::from_secs_f64(service.as_secs_f64() * workers);
                 (service, busy)
             }
             TrainBackend::Kind(BackendKind::Lmdb) => {
-                let t = self
-                    .cal
-                    .lmdb
-                    .batch_read_time(decoded, self.params.n_gpus)
+                let t = self.cal.lmdb.batch_read_time(decoded, self.params.n_gpus)
                     + SimTime::from_nanos(self.cal.per_datum_copy_overhead.as_nanos() * bs);
                 (t, t)
             }
             TrainBackend::Kind(BackendKind::DlBooster) => {
                 let images = vec![self.params.workload.image(); bs as usize];
                 let service = self.cal.fpga.batch_service_time(&images);
-                let host = SimTime::from_nanos(
-                    self.cal.dlb_host_per_image_training.as_nanos() * bs,
-                );
+                let host =
+                    SimTime::from_nanos(self.cal.dlb_host_per_image_training.as_nanos() * bs);
                 (service, host)
             }
             TrainBackend::Kind(BackendKind::NvJpeg) => {
@@ -291,8 +286,7 @@ impl TrainingSim {
         self.ready[g] -= 1;
         self.phase[g] = Phase::Copying;
         let bytes = self.params.batch_size as u64 * self.params.workload.decoded_bytes();
-        let mut copy =
-            SimTime::from_secs_f64(bytes as f64 / self.cal.train_gpu.pcie_bytes_per_sec);
+        let mut copy = SimTime::from_secs_f64(bytes as f64 / self.cal.train_gpu.pcie_bytes_per_sec);
         // §5.2: "LMDB and CPU-based backend copy each datum to GPU in small
         // pieces, which results in ∼20% performance downgrades" (visible on
         // LeNet-5, where iterations are sub-millisecond). DLBooster moves
@@ -342,7 +336,8 @@ impl SimModel for TrainingSim {
                 self.phase[g] = Phase::Computing;
                 let fwd = self.timing.forward_time(self.params.batch_size);
                 let bwd = self.timing.backward_time(self.params.batch_size);
-                self.launch.add(self.timing.launch_cpu_time(fwd + bwd, true));
+                self.launch
+                    .add(self.timing.launch_cpu_time(fwd + bwd, true));
                 sched.after(fwd + bwd, Ev::ComputeDone { gpu });
             }
             Ev::ComputeDone { gpu } => {
@@ -363,7 +358,8 @@ impl SimModel for TrainingSim {
                         && self.iter_done[g as usize] == round
                     {
                         self.phase[g as usize] = Phase::Updating;
-                        self.update.add(self.timing.update_cpu_time(self.params.batch_size));
+                        self.update
+                            .add(self.timing.update_cpu_time(self.params.batch_size));
                         sched.after(upd, Ev::UpdateDone { gpu: g });
                     }
                 }
@@ -500,11 +496,7 @@ mod tests {
             "CPU backend cores {:.1}",
             cpu.cpu_cores
         );
-        assert!(
-            dlb.cpu_cores < 3.0,
-            "DLBooster cores {:.1}",
-            dlb.cpu_cores
-        );
+        assert!(dlb.cpu_cores < 3.0, "DLBooster cores {:.1}", dlb.cpu_cores);
         assert!(
             cpu.cpu_cores > 2.5 * dlb.cpu_cores,
             "{:.1} vs {:.1}",
@@ -536,7 +528,11 @@ mod tests {
         let lmdb = run(ModelZoo::LeNet5, TrainBackend::Kind(BackendKind::Lmdb), 1);
         // §5.2: MNIST caches after the first epoch → little CPU overhead
         // for every backend (the decode burn disappears).
-        assert!(cpu.cpu_cores < 4.0, "LeNet CPU-based cores {:.1}", cpu.cpu_cores);
+        assert!(
+            cpu.cpu_cores < 4.0,
+            "LeNet CPU-based cores {:.1}",
+            cpu.cpu_cores
+        );
         assert!(lmdb.cpu_cores < 4.0);
         // The ≈20 % small-copy penalty of the baselines (Fig. 5a).
         let ratio = dlb.throughput / cpu.throughput.max(1.0);

@@ -18,7 +18,9 @@ use std::sync::Arc;
 fn run_audio_mirror() {
     use dlbooster::codec::audio::{pcm_to_le_bytes, synth_pcm, SpectrogramConfig};
     let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
-    device.load_mirror(DecoderMirror::audio_spectrogram()).unwrap();
+    device
+        .load_mirror(DecoderMirror::audio_spectrogram())
+        .unwrap();
     let resolver = Arc::new(MapResolver::new());
     let pcm = synth_pcm(16_000, 1); // one second of synthetic speech
     let src = resolver.put_disk(0, pcm_to_le_bytes(&pcm));
@@ -45,7 +47,12 @@ fn run_audio_mirror() {
         target_h: 0,
         format: OutputFormat::Gray8,
     };
-    engine.submit(Submission { unit, cmds: vec![cmd.pack()] }).unwrap();
+    engine
+        .submit(Submission {
+            unit,
+            cmds: vec![cmd.pack()],
+        })
+        .unwrap();
     let done = engine.completions().pop().unwrap();
     println!(
         "  audio mirror: 1s of 16kHz PCM -> {} frames x {} log-DCT coefficients ({} ok)",
@@ -83,7 +90,12 @@ fn run_text_mirror() {
         target_h: 0,
         format: OutputFormat::Gray8,
     };
-    engine.submit(Submission { unit, cmds: vec![cmd.pack()] }).unwrap();
+    engine
+        .submit(Submission {
+            unit,
+            cmds: vec![cmd.pack()],
+        })
+        .unwrap();
     let done = engine.completions().pop().unwrap();
     let first_ids: Vec<u32> = done.unit.item_bytes(0)[..16]
         .chunks_exact(4)
@@ -111,7 +123,15 @@ fn main() {
     );
 
     let w = ImageWorkload::ilsvrc_like();
-    for (hw, rw) in [(1u32, 1u32), (2, 1), (2, 2), (4, 2), (6, 3), (8, 4), (16, 8)] {
+    for (hw, rw) in [
+        (1u32, 1u32),
+        (2, 1),
+        (2, 2),
+        (4, 2),
+        (6, 3),
+        (8, 4),
+        (16, 8),
+    ] {
         let mirror = DecoderMirror::jpeg_with_ways(hw, rw);
         let fits = spec.budget.fits(&mirror.resources).is_ok();
         let model = FpgaTimingModel::from_mirror(&mirror, &spec);

@@ -21,7 +21,9 @@ fn functional_run_dlbooster(iterations: u64) {
     let dataset = Dataset::build(DatasetSpec::ilsvrc_small(24, 11), &disk).unwrap();
     let collector = Arc::new(DataCollector::load_from_disk(&dataset.records, 3));
     let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
-    device.load_mirror(DecoderMirror::jpeg_paper_config()).unwrap();
+    device
+        .load_mirror(DecoderMirror::jpeg_paper_config())
+        .unwrap();
     let engine = DecoderEngine::start(
         device,
         Arc::new(CombinedResolver::disk_only(Arc::clone(&disk))),
@@ -35,7 +37,9 @@ fn functional_run_dlbooster(iterations: u64) {
         )
         .unwrap(),
     );
-    let gpus: Vec<GpuDevice> = (0..2).map(|i| GpuDevice::new(GpuSpec::tesla_p100(), i)).collect();
+    let gpus: Vec<GpuDevice> = (0..2)
+        .map(|i| GpuDevice::new(GpuSpec::tesla_p100(), i))
+        .collect();
     let report = TrainingSession::run(
         booster,
         &gpus,
@@ -76,7 +80,9 @@ fn functional_run_cpu(iterations: u64) {
         )
         .unwrap(),
     );
-    let gpus: Vec<GpuDevice> = (0..2).map(|i| GpuDevice::new(GpuSpec::tesla_p100(), i)).collect();
+    let gpus: Vec<GpuDevice> = (0..2)
+        .map(|i| GpuDevice::new(GpuSpec::tesla_p100(), i))
+        .collect();
     let report = TrainingSession::run(
         backend,
         &gpus,

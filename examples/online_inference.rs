@@ -8,12 +8,22 @@
 //!
 //! Part 2 prints the paper-scale DES rows for Figs. 7–9 (GoogLeNet).
 //!
+//! Part 3 goes beyond the paper: it drives the SLO-aware serving layer
+//! (deadline-aware dynamic batching, admission control with load shedding,
+//! per-tenant WFQ) through an open-loop overload sweep from 0.5× to 3× of
+//! saturated capacity, prints the goodput-vs-offered-load table, and dumps
+//! the 3× run's `TelemetryReport` JSON — so this example doubles as a
+//! smoke test for the serving subsystem.
+//!
 //! ```text
 //! cargo run --example online_inference
 //! ```
 
 use dlbooster::prelude::*;
-use dlbooster::workflows::figures;
+use dlbooster::simcore::SimTime;
+use dlbooster::workflows::inference::InferenceSim;
+use dlbooster::workflows::report::{goodput_vs_offered_load, TelemetryReport};
+use dlbooster::workflows::{figures, BackendKind};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -47,8 +57,14 @@ fn functional_online_pipeline() {
 
     // DLBooster in stream mode.
     let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
-    device.load_mirror(DecoderMirror::jpeg_paper_config()).unwrap();
-    let engine = DecoderEngine::start(device, Arc::new(CombinedResolver::nic_only(Arc::clone(&nic)))).unwrap();
+    device
+        .load_mirror(DecoderMirror::jpeg_paper_config())
+        .unwrap();
+    let engine = DecoderEngine::start(
+        device,
+        Arc::new(CombinedResolver::nic_only(Arc::clone(&nic))),
+    )
+    .unwrap();
     let mut config = DlBoosterConfig::inference(1, 8, (224, 224));
     config.max_batches = Some(3);
     let booster = DlBooster::start(collector, FpgaChannel::init(engine, 0), config).unwrap();
@@ -69,6 +85,43 @@ fn functional_online_pipeline() {
     println!("[functional] served {served} requests end to end (NIC → FPGA → host batch)");
 }
 
+fn serving_overload_sweep(cal: &Calibration) {
+    let slo = SimTime::from_millis(50);
+    let cfg = ServingConfig::five_clients(32, slo, ShedPolicy::DeadlineAware);
+    let points = InferenceSim::overload_sweep(
+        cal,
+        ModelZoo::GoogLeNet,
+        BackendKind::DlBooster,
+        32,
+        cfg,
+        &figures::OVERLOAD_MULTIPLIERS,
+        7,
+    );
+    println!(
+        "{}",
+        goodput_vs_offered_load(
+            "GoogLeNet / DLBooster bs32, 5 tenants, deadline-aware shedding, 50 ms SLO",
+            &points,
+        )
+        .render()
+    );
+
+    // The 3x point's full telemetry, as archival JSON (shed counters,
+    // batch-size and queue-delay histograms, per-tenant goodput).
+    let three_x = points.last().expect("sweep has points");
+    let serving = three_x
+        .outcome
+        .serving
+        .as_ref()
+        .expect("served runs carry a serving outcome");
+    let report = TelemetryReport::new(
+        "Overload sweep / 3.0x",
+        "serving-layer telemetry at 3x capacity",
+        serving.snapshot.clone(),
+    );
+    println!("{}", report.to_json().to_string_pretty());
+}
+
 fn main() {
     println!("== Part 1: functional online pipeline ==");
     functional_online_pipeline();
@@ -79,4 +132,8 @@ fn main() {
     println!("{}", figures::fig7_inference_throughput(&cal).render());
     println!("{}", figures::fig8_inference_latency(&cal).render());
     println!("{}", figures::fig9_inference_cpu_cost(&cal).render());
+
+    println!();
+    println!("== Part 3: SLO-aware serving under overload (0.5x-3x capacity) ==");
+    serving_overload_sweep(&cal);
 }

@@ -17,8 +17,8 @@ use std::sync::Arc;
 fn main() {
     // --- data plane: synthetic ILSVRC-like JPEGs on a simulated Optane ---
     let disk = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));
-    let dataset = Dataset::build(DatasetSpec::ilsvrc_small(32, 2024), &disk)
-        .expect("dataset generation");
+    let dataset =
+        Dataset::build(DatasetSpec::ilsvrc_small(32, 2024), &disk).expect("dataset generation");
     println!(
         "dataset: {} images, {:.1} KB mean encoded size",
         dataset.records.len(),
@@ -49,13 +49,7 @@ fn main() {
     let booster = DlBooster::start(
         collector,
         FpgaChannel::init(engine, 0),
-        DlBoosterConfig::training(
-            1,
-            batch_size,
-            (224, 224),
-            dataset.records.len(),
-            Some(4),
-        ),
+        DlBoosterConfig::training(1, batch_size, (224, 224), dataset.records.len(), Some(4)),
     )
     .expect("booster start");
 

@@ -57,6 +57,7 @@
 //! | [`gpu`] | `dlb-gpu` | GPU substrate: model zoo, kernels, streams, nvJPEG |
 //! | [`storage`] | `dlb-storage` | NVMe model, synthetic datasets, LMDB store |
 //! | [`net`] | `dlb-net` | 40 Gbps NIC, framing, client generators |
+//! | [`serving`] | `dlb-serving` | SLO-aware serving: dynamic batching, admission control, load shedding, per-tenant WFQ |
 //! | [`telemetry`] | `dlb-telemetry` | pipeline metrics, snapshots, stall watchdog |
 //! | [`core`] | `dlbooster-core` | the paper's host bridger (Algorithms 1–3) |
 //! | [`backends`] | `dlb-backends` | CPU-based / LMDB / nvJPEG baselines |
@@ -70,6 +71,7 @@ pub use dlb_fpga as fpga;
 pub use dlb_gpu as gpu;
 pub use dlb_membridge as membridge;
 pub use dlb_net as net;
+pub use dlb_serving as serving;
 pub use dlb_simcore as simcore;
 pub use dlb_storage as storage;
 pub use dlb_telemetry as telemetry;
@@ -78,7 +80,10 @@ pub use dlbooster_core as core;
 
 /// The names almost every user of the library needs.
 pub mod prelude {
-    pub use dlb_backends::{CpuBackend, CpuBackendConfig, LmdbBackend, LmdbBackendConfig, NvJpegBackend, NvJpegBackendConfig};
+    pub use dlb_backends::{
+        CpuBackend, CpuBackendConfig, LmdbBackend, LmdbBackendConfig, NvJpegBackend,
+        NvJpegBackendConfig,
+    };
     pub use dlb_codec::{ColorSpace, Image, JpegDecoder, JpegEncoder};
     pub use dlb_engines::{InferenceConfig, InferenceSession, TrainingConfig, TrainingSession};
     pub use dlb_fpga::{
@@ -88,6 +93,7 @@ pub mod prelude {
     pub use dlb_gpu::{GpuDevice, GpuSpec, GpuTimingModel, ModelZoo, Precision};
     pub use dlb_membridge::{BatchUnit, BlockingQueue, MemManager, PoolConfig};
     pub use dlb_net::{ClientPool, NicRx, NicSpec};
+    pub use dlb_serving::{ServeRequest, ServingBridge, ServingConfig, ShedPolicy, TenantClass};
     pub use dlb_storage::{Dataset, DatasetSpec, LmdbStore, NvmeDisk, NvmeSpec};
     pub use dlb_telemetry::{PipelineSnapshot, Telemetry};
     pub use dlb_workflows::calibration::{BackendKind, Calibration, Workload};

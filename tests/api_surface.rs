@@ -12,8 +12,8 @@
 //! | load_from_disk | DataCollector | none |
 //! | load_from_net | DataCollector | none |
 
-use dlbooster::prelude::*;
 use dlbooster::net::RxDescriptor;
+use dlbooster::prelude::*;
 use dlbooster::storage::Record;
 use std::sync::Arc;
 
@@ -37,14 +37,12 @@ fn memmanager_verbs() {
 #[test]
 fn fpga_channel_verbs() {
     let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
-    device.load_mirror(DecoderMirror::jpeg_paper_config()).unwrap();
+    device
+        .load_mirror(DecoderMirror::jpeg_paper_config())
+        .unwrap();
     let resolver = Arc::new(dlbooster::fpga::MapResolver::new());
-    let img = dlbooster::codec::synth::generate(
-        32,
-        32,
-        dlbooster::codec::synth::SynthStyle::Photo,
-        1,
-    );
+    let img =
+        dlbooster::codec::synth::generate(32, 32, dlbooster::codec::synth::SynthStyle::Photo, 1);
     let bytes = JpegEncoder::new(85).unwrap().encode(&img).unwrap();
     let src = resolver.put_disk(0, bytes);
     let engine = DecoderEngine::start(device, resolver).unwrap();

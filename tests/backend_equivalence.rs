@@ -40,7 +40,9 @@ fn collect(backend: &dyn PreprocessBackend, batches: usize) -> HashMap<u64, Vec<
 fn dlbooster_pixels(f: &Fixture) -> HashMap<u64, Vec<u8>> {
     let collector = Arc::new(DataCollector::load_from_disk(&f.dataset.records, 0));
     let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
-    device.load_mirror(DecoderMirror::jpeg_paper_config()).unwrap();
+    device
+        .load_mirror(DecoderMirror::jpeg_paper_config())
+        .unwrap();
     let engine = DecoderEngine::start(
         device,
         Arc::new(CombinedResolver::disk_only(Arc::clone(&f.disk))),

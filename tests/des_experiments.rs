@@ -45,11 +45,19 @@ fn headline_claim_one_tenth_cpu_cores() {
     let c = cal();
     let cpu = TrainingSim::run(
         c.clone(),
-        TrainingParams::paper(ModelZoo::AlexNet, TrainBackend::Kind(BackendKind::CpuBased), 2),
+        TrainingParams::paper(
+            ModelZoo::AlexNet,
+            TrainBackend::Kind(BackendKind::CpuBased),
+            2,
+        ),
     );
     let dlb = TrainingSim::run(
         c,
-        TrainingParams::paper(ModelZoo::AlexNet, TrainBackend::Kind(BackendKind::DlBooster), 2),
+        TrainingParams::paper(
+            ModelZoo::AlexNet,
+            TrainBackend::Kind(BackendKind::DlBooster),
+            2,
+        ),
     );
     // Total cores include framework overhead common to both backends; the
     // "1/10" headline is about the preprocessing burn itself.
@@ -109,7 +117,8 @@ fn fig7_nvjpeg_degradation_grows_with_batch() {
     // increases" relative to what the GPU could do.
     let c = cal();
     let rel = |bs| {
-        let nv = InferenceSim::saturated_throughput(&c, ModelZoo::GoogLeNet, BackendKind::NvJpeg, bs);
+        let nv =
+            InferenceSim::saturated_throughput(&c, ModelZoo::GoogLeNet, BackendKind::NvJpeg, bs);
         let dlb =
             InferenceSim::saturated_throughput(&c, ModelZoo::GoogLeNet, BackendKind::DlBooster, bs);
         nv / dlb
@@ -128,7 +137,7 @@ fn all_figures_render_without_panicking() {
     // A full sweep of every figure (the same call the `figures` binary and
     // EXPERIMENTS.md use) must complete and produce non-empty tables.
     let reports = figures::all_figures(&cal());
-    assert_eq!(reports.len(), 7);
+    assert_eq!(reports.len(), 8, "7 paper figures + the overload sweep");
     for rep in &reports {
         assert!(!rep.rows.is_empty(), "{} has no rows", rep.id);
         let rendered = rep.render();

@@ -15,13 +15,16 @@ fn build_pipeline(
     let dataset = Dataset::build(DatasetSpec::ilsvrc_small(n_images, 77), &disk).unwrap();
     let collector = Arc::new(DataCollector::load_from_disk(&dataset.records, 0));
     let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
-    device.load_mirror(DecoderMirror::jpeg_paper_config()).unwrap();
+    device
+        .load_mirror(DecoderMirror::jpeg_paper_config())
+        .unwrap();
     let engine = DecoderEngine::start(
         device,
         Arc::new(CombinedResolver::disk_only(Arc::clone(&disk))),
     )
     .unwrap();
-    let mut config = DlBoosterConfig::training(n_engines, batch, (48, 48), n_images, Some(max_batches));
+    let mut config =
+        DlBoosterConfig::training(n_engines, batch, (48, 48), n_images, Some(max_batches));
     config.cache_bytes = 0; // force live decode for integrity checks
     let booster = DlBooster::start(collector, FpgaChannel::init(engine, 0), config).unwrap();
     (disk, dataset, booster)
@@ -95,7 +98,9 @@ fn pipeline_snapshot_accounts_for_every_stage() {
     let dataset = Dataset::build(DatasetSpec::ilsvrc_small(16, 21), &disk).unwrap();
     let collector = Arc::new(DataCollector::load_from_disk(&dataset.records, 0));
     let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
-    device.load_mirror(DecoderMirror::jpeg_paper_config()).unwrap();
+    device
+        .load_mirror(DecoderMirror::jpeg_paper_config())
+        .unwrap();
     let engine = DecoderEngine::start_with_telemetry(
         device,
         Arc::new(CombinedResolver::disk_only(Arc::clone(&disk))),
@@ -142,7 +147,11 @@ fn pipeline_snapshot_accounts_for_every_stage() {
     assert!(snap.dispatcher.batches >= snap.engines.batches);
     assert!(snap.router_delivered >= report.iterations);
     // Submit latency recorded once per completed reader batch.
-    let submit = snap.reader.submit_latency.as_ref().expect("submit histogram");
+    let submit = snap
+        .reader
+        .submit_latency
+        .as_ref()
+        .expect("submit histogram");
     assert_eq!(submit.count, snap.batches_out());
     // Healthy, quiescent run: no conservation violation, no stall.
     assert!(
@@ -150,7 +159,10 @@ fn pipeline_snapshot_accounts_for_every_stage() {
         "violations: {:?}",
         snap.invariant_violations()
     );
-    assert!(snap.stalls.is_empty(), "healthy run must not trip the watchdog");
+    assert!(
+        snap.stalls.is_empty(),
+        "healthy run must not trip the watchdog"
+    );
     assert!(snap.to_text().contains("watchdog   quiet"));
 }
 
@@ -161,7 +173,9 @@ fn hybrid_cache_serves_later_epochs_in_full_pipeline() {
     let dataset = Dataset::build(DatasetSpec::ilsvrc_small(n_images, 5), &disk).unwrap();
     let collector = Arc::new(DataCollector::load_from_disk(&dataset.records, 0));
     let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
-    device.load_mirror(DecoderMirror::jpeg_paper_config()).unwrap();
+    device
+        .load_mirror(DecoderMirror::jpeg_paper_config())
+        .unwrap();
     let engine = DecoderEngine::start(
         device,
         Arc::new(CombinedResolver::disk_only(Arc::clone(&disk))),

@@ -3,23 +3,21 @@
 //! gracefully — errors surface in FINISH signals and counters, never as
 //! hangs or panics.
 
-use dlbooster::prelude::*;
 use dlbooster::fpga::{MapResolver, Submission};
+use dlbooster::prelude::*;
 use std::sync::Arc;
 
 fn engine_with(resolver: Arc<MapResolver>) -> DecoderEngine {
     let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
-    device.load_mirror(DecoderMirror::jpeg_paper_config()).unwrap();
+    device
+        .load_mirror(DecoderMirror::jpeg_paper_config())
+        .unwrap();
     DecoderEngine::start(device, resolver).unwrap()
 }
 
 fn good_jpeg(seed: u64) -> Vec<u8> {
-    let img = dlbooster::codec::synth::generate(
-        40,
-        30,
-        dlbooster::codec::synth::SynthStyle::Photo,
-        seed,
-    );
+    let img =
+        dlbooster::codec::synth::generate(40, 30, dlbooster::codec::synth::SynthStyle::Photo, seed);
     JpegEncoder::new(85).unwrap().encode(&img).unwrap()
 }
 
@@ -48,7 +46,10 @@ fn corrupt_payloads_fail_item_not_batch() {
 
     let mut unit = pool.get_item().unwrap();
     let mut cmds = Vec::new();
-    for (i, src) in [valid, truncated, corrupted, garbage].into_iter().enumerate() {
+    for (i, src) in [valid, truncated, corrupted, garbage]
+        .into_iter()
+        .enumerate()
+    {
         let off = unit.reserve(24 * 24 * 3, i as u64, 24, 24, 3).unwrap();
         cmds.push(
             DecodeCmd {
@@ -94,7 +95,9 @@ fn reader_counts_item_errors_and_keeps_flowing() {
     }
     let collector = Arc::new(DataCollector::load_from_disk(&records, 0));
     let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
-    device.load_mirror(DecoderMirror::jpeg_paper_config()).unwrap();
+    device
+        .load_mirror(DecoderMirror::jpeg_paper_config())
+        .unwrap();
     let engine = DecoderEngine::start(
         device,
         Arc::new(CombinedResolver::disk_only(Arc::clone(&disk))),
@@ -128,7 +131,9 @@ fn corrupt_payloads_surface_in_telemetry_counters() {
     }
     let collector = Arc::new(DataCollector::load_from_disk(&records, 0));
     let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
-    device.load_mirror(DecoderMirror::jpeg_paper_config()).unwrap();
+    device
+        .load_mirror(DecoderMirror::jpeg_paper_config())
+        .unwrap();
     let engine = DecoderEngine::start_with_telemetry(
         device,
         Arc::new(CombinedResolver::disk_only(Arc::clone(&disk))),
@@ -186,7 +191,11 @@ fn stalled_queue_trips_the_watchdog() {
     // Draining the queue and beating again clears the verdict.
     assert_eq!(q.pop().unwrap(), 7);
     assert!(
-        telemetry.watchdog.stalled().iter().all(|s| s.stage != "stuck_stage"),
+        telemetry
+            .watchdog
+            .stalled()
+            .iter()
+            .all(|s| s.stage != "stuck_stage"),
         "drained queue must not be reported stalled"
     );
 }
@@ -197,7 +206,9 @@ fn mid_run_shutdown_terminates_cleanly() {
     let dataset = Dataset::build(DatasetSpec::ilsvrc_small(16, 31), &disk).unwrap();
     let collector = Arc::new(DataCollector::load_from_disk(&dataset.records, 1));
     let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
-    device.load_mirror(DecoderMirror::jpeg_paper_config()).unwrap();
+    device
+        .load_mirror(DecoderMirror::jpeg_paper_config())
+        .unwrap();
     let engine = DecoderEngine::start(
         device,
         Arc::new(CombinedResolver::disk_only(Arc::clone(&disk))),
@@ -232,8 +243,8 @@ fn mid_run_shutdown_terminates_cleanly() {
         }
     }
     drop(booster); // join reader/router so exit-time accounting lands
-    // Batches in flight at kill time are charged to batch_errors, so
-    // conservation still balances after a forced shutdown.
+                   // Batches in flight at kill time are charged to batch_errors, so
+                   // conservation still balances after a forced shutdown.
     let snap = telemetry.pipeline_snapshot();
     assert!(snap.batches_in() >= 2);
     assert_eq!(snap.batches_in(), snap.batches_out() + snap.batch_errors());
@@ -270,7 +281,9 @@ fn pool_exhaustion_applies_backpressure_not_failure() {
     let dataset = Dataset::build(DatasetSpec::ilsvrc_small(8, 3), &disk).unwrap();
     let collector = Arc::new(DataCollector::load_from_disk(&dataset.records, 0));
     let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
-    device.load_mirror(DecoderMirror::jpeg_paper_config()).unwrap();
+    device
+        .load_mirror(DecoderMirror::jpeg_paper_config())
+        .unwrap();
     let engine = DecoderEngine::start(
         device,
         Arc::new(CombinedResolver::disk_only(Arc::clone(&disk))),

@@ -23,10 +23,14 @@ fn requests_flow_from_nic_to_decoded_batches_with_identity() {
     collector.close_stream();
 
     let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
-    device.load_mirror(DecoderMirror::jpeg_paper_config()).unwrap();
-    let engine =
-        DecoderEngine::start(device, Arc::new(CombinedResolver::nic_only(Arc::clone(&nic))))
-            .unwrap();
+    device
+        .load_mirror(DecoderMirror::jpeg_paper_config())
+        .unwrap();
+    let engine = DecoderEngine::start(
+        device,
+        Arc::new(CombinedResolver::nic_only(Arc::clone(&nic))),
+    )
+    .unwrap();
     let mut config = DlBoosterConfig::inference(1, batch_size, (56, 56));
     config.max_batches = Some((n_requests / batch_size) as u64);
     let booster = DlBooster::start(collector, FpgaChannel::init(engine, 0), config).unwrap();
@@ -71,7 +75,9 @@ fn inference_pipeline_snapshot_covers_nic_path() {
     collector.close_stream();
 
     let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
-    device.load_mirror(DecoderMirror::jpeg_paper_config()).unwrap();
+    device
+        .load_mirror(DecoderMirror::jpeg_paper_config())
+        .unwrap();
     let engine = DecoderEngine::start_with_telemetry(
         device,
         Arc::new(CombinedResolver::nic_only(Arc::clone(&nic))),
@@ -136,15 +142,18 @@ fn inference_session_over_stream_backend() {
     collector.close_stream();
 
     let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
-    device.load_mirror(DecoderMirror::jpeg_paper_config()).unwrap();
-    let engine =
-        DecoderEngine::start(device, Arc::new(CombinedResolver::nic_only(Arc::clone(&nic))))
-            .unwrap();
+    device
+        .load_mirror(DecoderMirror::jpeg_paper_config())
+        .unwrap();
+    let engine = DecoderEngine::start(
+        device,
+        Arc::new(CombinedResolver::nic_only(Arc::clone(&nic))),
+    )
+    .unwrap();
     let mut config = DlBoosterConfig::inference(1, batch_size, (224, 224));
     config.max_batches = Some((n_requests / batch_size) as u64);
-    let booster: Arc<dyn PreprocessBackend> = Arc::new(
-        DlBooster::start(collector, FpgaChannel::init(engine, 0), config).unwrap(),
-    );
+    let booster: Arc<dyn PreprocessBackend> =
+        Arc::new(DlBooster::start(collector, FpgaChannel::init(engine, 0), config).unwrap());
 
     let gpus = vec![GpuDevice::new(GpuSpec::tesla_v100(), 0)];
     let report = InferenceSession::run(
