@@ -12,6 +12,7 @@ use dlb_codec::resize::{resize, ResizeFilter};
 use dlb_codec::JpegDecoder;
 use dlb_fpga::DataSourceResolver;
 use dlb_membridge::BatchUnit;
+use dlb_telemetry::{names, Telemetry};
 use dlbooster_core::{BackendError, DataCollector, HostBatch, PreprocessBackend};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -56,6 +57,28 @@ impl CpuBackend {
         resolver: Arc<dyn DataSourceResolver>,
         config: CpuBackendConfig,
     ) -> Result<Self, String> {
+        Self::start_inner(collector, resolver, config, None)
+    }
+
+    /// [`CpuBackend::start`] with the per-stage `codec.*` timers exported
+    /// into `telemetry` (`codec.huffman_ns` / `codec.idct_ns` /
+    /// `codec.resize_ns`), at the cost of per-block timestamp reads in
+    /// the decoder.
+    pub fn start_with_telemetry(
+        collector: Arc<DataCollector>,
+        resolver: Arc<dyn DataSourceResolver>,
+        config: CpuBackendConfig,
+        telemetry: Arc<Telemetry>,
+    ) -> Result<Self, String> {
+        Self::start_inner(collector, resolver, config, Some(telemetry))
+    }
+
+    fn start_inner(
+        collector: Arc<DataCollector>,
+        resolver: Arc<dyn DataSourceResolver>,
+        config: CpuBackendConfig,
+        telemetry: Option<Arc<Telemetry>>,
+    ) -> Result<Self, String> {
         if config.workers == 0 || config.batch_size == 0 || config.n_engines == 0 {
             return Err("workers, batch_size and n_engines must be positive".into());
         }
@@ -71,10 +94,11 @@ impl CpuBackend {
             let resolver = Arc::clone(&resolver);
             let scaffold = Arc::clone(&scaffold);
             let config = config.clone();
+            let telemetry = telemetry.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("cpu-decode-{w}"))
-                    .spawn(move || cpu_worker(collector, resolver, scaffold, config))
+                    .spawn(move || cpu_worker(collector, resolver, scaffold, config, telemetry))
                     .expect("spawn cpu worker"),
             );
         }
@@ -96,8 +120,11 @@ fn cpu_worker(
     resolver: Arc<dyn DataSourceResolver>,
     scaffold: Arc<PoolScaffold>,
     config: CpuBackendConfig,
+    telemetry: Option<Arc<Telemetry>>,
 ) {
-    let decoder = JpegDecoder::new();
+    // Stage timing costs per-block timestamp reads; only pay for it when
+    // somebody is collecting the counters.
+    let decoder = JpegDecoder::new().with_stage_timing(telemetry.is_some());
     'produce: while !scaffold.stop.load(Ordering::SeqCst) {
         if !scaffold.router.claim() {
             break;
@@ -119,23 +146,41 @@ fn cpu_worker(
         };
         let t0 = Instant::now();
         let mut arrivals = Vec::with_capacity(metas.len());
-        for meta in &metas {
-            arrivals.push(meta.arrival_nanos.unwrap_or(0));
-            let decoded = resolver
-                .fetch(&meta.src)
+        // Fetch the whole batch, then decode it as one pool submission —
+        // images in a batch decode concurrently on the work-stealing pool
+        // (each image itself sequential: throughput-shaped parallelism).
+        let fetched: Vec<Option<Vec<u8>>> = metas
+            .iter()
+            .map(|meta| {
+                arrivals.push(meta.arrival_nanos.unwrap_or(0));
+                resolver.fetch(&meta.src).ok()
+            })
+            .collect();
+        let payloads: Vec<&[u8]> = fetched
+            .iter()
+            .map(|b| b.as_deref().unwrap_or(&[]))
+            .collect();
+        let decoded = decoder.decode_batch_with_stats(&payloads);
+        let mut huffman_ns = 0u64;
+        let mut idct_ns = 0u64;
+        let mut resize_ns = 0u64;
+        for (meta, result) in metas.iter().zip(decoded) {
+            let resized = result.ok().and_then(|(img, stats)| {
+                huffman_ns += stats.huffman_ns;
+                idct_ns += stats.idct_ns;
+                let r0 = Instant::now();
+                let out = resize(
+                    &img,
+                    config.target_w,
+                    config.target_h,
+                    ResizeFilter::Bilinear,
+                )
                 .ok()
-                .and_then(|bytes| decoder.decode(&bytes).ok())
-                .and_then(|img| {
-                    resize(
-                        &img,
-                        config.target_w,
-                        config.target_h,
-                        ResizeFilter::Bilinear,
-                    )
-                    .ok()
-                })
                 .map(|img| img.to_rgb());
-            match decoded {
+                resize_ns += r0.elapsed().as_nanos() as u64;
+                out
+            });
+            match resized {
                 Some(img) => {
                     // The per-datum small copy of §5.2 — inherent to the
                     // CPU path: every image is decoded elsewhere and copied
@@ -154,6 +199,13 @@ fn cpu_worker(
                     );
                 }
             }
+        }
+        if let Some(t) = &telemetry {
+            t.registry
+                .counter(names::CODEC_HUFFMAN_NANOS)
+                .add(huffman_ns);
+            t.registry.counter(names::CODEC_IDCT_NANOS).add(idct_ns);
+            t.registry.counter(names::CODEC_RESIZE_NANOS).add(resize_ns);
         }
         scaffold
             .cpu_busy_nanos
@@ -281,6 +333,35 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn telemetry_exports_codec_stage_timers() {
+        let disk = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));
+        let ds = Dataset::build(DatasetSpec::ilsvrc_small(16, 5), &disk).unwrap();
+        let collector = Arc::new(DataCollector::load_from_disk(&ds.records, 0));
+        let telemetry = Telemetry::with_defaults();
+        let b = CpuBackend::start_with_telemetry(
+            collector,
+            Arc::new(CombinedResolver::disk_only(disk)),
+            CpuBackendConfig {
+                n_engines: 1,
+                batch_size: 4,
+                target_w: 32,
+                target_h: 32,
+                workers: 2,
+                max_batches: Some(3),
+            },
+            Arc::clone(&telemetry),
+        )
+        .unwrap();
+        while let Ok(batch) = b.next_batch(0) {
+            b.recycle(batch.unit);
+        }
+        let snap = telemetry.registry.snapshot();
+        assert!(snap.counter(names::CODEC_HUFFMAN_NANOS) > 0);
+        assert!(snap.counter(names::CODEC_IDCT_NANOS) > 0);
+        assert!(snap.counter(names::CODEC_RESIZE_NANOS) > 0);
     }
 
     #[test]

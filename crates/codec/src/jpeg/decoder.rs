@@ -12,14 +12,17 @@
 //! stages without re-running the arithmetic.
 
 use super::{marker, ComponentSpec, FrameInfo};
-use crate::dct::{idct_8x8, BLOCK_LEN, ZIGZAG};
+use crate::dct::{idct_8x8, idct_8x8_dequant, BLOCK_LEN, ZIGZAG};
 use crate::error::{CodecError, CodecResult};
 use crate::huffman::{decode_magnitude, BitReader, HuffTable};
 use crate::pixel::{clamp_u8, ycbcr_to_rgb, ColorSpace, Image};
 use crate::quant::QuantTable;
+use rayon::prelude::*;
+use std::time::Instant;
 
 /// Work statistics gathered during a decode, consumed by the FPGA timing
-/// model (`dlb-fpga::timing`).
+/// model (`dlb-fpga::timing`) and — for the `*_ns` stage timers — by the
+/// `codec.*` telemetry counters the backends export.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DecodeStats {
     /// Number of MCUs in the scan.
@@ -32,16 +35,42 @@ pub struct DecodeStats {
     pub nonzero_coeffs: u64,
     /// Restart segments encountered (1 if no DRI).
     pub restart_segments: u32,
+    /// Wall nanoseconds in Huffman entropy decoding. Only populated when
+    /// [`JpegDecoder::with_stage_timing`] is enabled; summed across
+    /// workers for a parallel decode (so it can exceed wall time).
+    pub huffman_ns: u64,
+    /// Wall nanoseconds in dequantisation + inverse DCT (same caveats as
+    /// [`DecodeStats::huffman_ns`]).
+    pub idct_ns: u64,
 }
 
-/// Baseline JPEG decoder with reusable internal scratch space.
+impl DecodeStats {
+    /// The fields that describe the *work done*, excluding the wall-clock
+    /// stage timers — equal for any two decodes of the same stream
+    /// regardless of threading, which is what the equivalence tests pin.
+    pub fn work(&self) -> (u64, u64, u64, u64, u32) {
+        (
+            self.mcus,
+            self.blocks,
+            self.entropy_bits,
+            self.nonzero_coeffs,
+            self.restart_segments,
+        )
+    }
+}
+
+/// Baseline JPEG decoder.
 ///
-/// The decoder is cheap to construct; reusing one instance across images
-/// avoids re-allocating the coefficient scratch (a hot-loop concern for the
-/// CPU baseline, which decodes hundreds of images per second per core).
-#[derive(Debug, Default)]
+/// The decoder is cheap to construct and `Sync`; one instance can serve
+/// any number of threads. [`JpegDecoder::decode`] walks the scan
+/// sequentially; [`JpegDecoder::decode_parallel`] entropy-decodes
+/// independent restart segments concurrently on the work-stealing pool —
+/// the software mirror of the paper's 4-way parallel Huffman unit
+/// (Fig. 4) — and is bit-exact with the sequential path.
+#[derive(Debug, Default, Clone)]
 pub struct JpegDecoder {
-    _private: (),
+    collect_timing: bool,
+    reference_idct: bool,
 }
 
 /// Everything parsed from the header section (before the entropy scan).
@@ -61,6 +90,21 @@ impl JpegDecoder {
         Self::default()
     }
 
+    /// Enables per-stage wall-clock timing: [`DecodeStats::huffman_ns`] /
+    /// [`DecodeStats::idct_ns`] are populated. Off by default — the
+    /// per-block `Instant` reads cost ~1 % of decode time.
+    pub fn with_stage_timing(mut self, on: bool) -> Self {
+        self.collect_timing = on;
+        self
+    }
+
+    /// Forces the direct O(8³) basis-matrix iDCT instead of the fast AAN
+    /// transform. For benchmarking and accuracy cross-checks only.
+    pub fn with_reference_idct(mut self, on: bool) -> Self {
+        self.reference_idct = on;
+        self
+    }
+
     /// Parses only the JFIF headers, returning the frame geometry. This is
     /// what DLBooster's `DataCollector` calls to build decode cmds without
     /// touching the entropy-coded payload.
@@ -77,7 +121,42 @@ impl JpegDecoder {
     /// Decodes and additionally reports workload statistics.
     pub fn decode_with_stats(&self, data: &[u8]) -> CodecResult<(Image, DecodeStats)> {
         let headers = parse_headers(data)?;
-        decode_scan(data, &headers)
+        decode_scan(data, &headers, self, false)
+    }
+
+    /// Decodes with restart segments entropy-decoded **in parallel** on
+    /// the work-stealing pool. Bit-exact with [`JpegDecoder::decode`];
+    /// falls back to the sequential path when the stream has no restart
+    /// interval (nothing independent to split) or the pool has one
+    /// worker.
+    pub fn decode_parallel(&self, data: &[u8]) -> CodecResult<Image> {
+        self.decode_parallel_with_stats(data).map(|(img, _)| img)
+    }
+
+    /// [`JpegDecoder::decode_parallel`] plus workload statistics.
+    pub fn decode_parallel_with_stats(&self, data: &[u8]) -> CodecResult<(Image, DecodeStats)> {
+        let headers = parse_headers(data)?;
+        decode_scan(data, &headers, self, true)
+    }
+
+    /// Decodes a batch of independent streams concurrently (one pool task
+    /// per image, each image decoded sequentially — the throughput-shaped
+    /// parallelism the CPU backend's worker pool uses). Results keep
+    /// input order; per-image failures do not affect their neighbours.
+    pub fn decode_batch(&self, batch: &[&[u8]]) -> Vec<CodecResult<Image>> {
+        batch.par_iter().map(|data| self.decode(data)).collect()
+    }
+
+    /// [`JpegDecoder::decode_batch`] plus per-image workload statistics,
+    /// for callers that export the `codec.*` stage timers.
+    pub fn decode_batch_with_stats(
+        &self,
+        batch: &[&[u8]],
+    ) -> Vec<CodecResult<(Image, DecodeStats)>> {
+        batch
+            .par_iter()
+            .map(|data| self.decode_with_stats(data))
+            .collect()
     }
 }
 
@@ -372,6 +451,68 @@ fn parse_dht(
 }
 
 // ---------------------------------------------------------------------------
+// Restart-segment index
+// ---------------------------------------------------------------------------
+
+/// One pre-scan pass over the entropy-coded data, producing the byte
+/// range of every restart segment.
+///
+/// The scan is **stuffing-aware**: a `0xFF 0x00` pair is entropy data
+/// (a stuffed `0xFF` byte), never a marker — so a stuffed byte adjacent
+/// to a boundary can't be mistaken for (or hide) a restart marker, and
+/// each input byte is examined exactly once instead of the old per-
+/// boundary linear hunt from the bit-reader's resync position.
+///
+/// Marker ordering is validated here (`RSTn` must cycle `RST0..RST7`),
+/// which is what lets the segments be handed out to pool workers as
+/// independent, individually-checkable decode tasks.
+fn index_restart_segments(
+    scan: &[u8],
+    expected_segments: usize,
+) -> CodecResult<Vec<(usize, usize)>> {
+    let mut segments = Vec::with_capacity(expected_segments);
+    let mut seg_start = 0usize;
+    let mut p = 0usize;
+    while segments.len() + 1 < expected_segments {
+        if p + 1 >= scan.len() {
+            return Err(CodecError::UnexpectedEof {
+                context: "restart marker",
+            });
+        }
+        if scan[p] != 0xFF {
+            p += 1;
+            continue;
+        }
+        let m = scan[p + 1];
+        if m == 0x00 {
+            p += 2; // stuffed data byte
+            continue;
+        }
+        if !marker::is_rst(m) {
+            return Err(CodecError::InvalidMarker {
+                marker: m,
+                context: "restart boundary",
+            });
+        }
+        let expected = marker::RST0 + (segments.len() as u8 & 7);
+        if m != expected {
+            return Err(CodecError::MalformedSegment {
+                detail: format!(
+                    "restart marker out of order: got {m:02X}, expected {expected:02X}"
+                ),
+            });
+        }
+        segments.push((seg_start, p));
+        p += 2;
+        seg_start = p;
+    }
+    // Final segment: everything up to the trailing marker (EOI) or end of
+    // data; the bit reader stops at markers on its own.
+    segments.push((seg_start, scan.len()));
+    Ok(segments)
+}
+
+// ---------------------------------------------------------------------------
 // Scan decoding
 // ---------------------------------------------------------------------------
 
@@ -382,19 +523,140 @@ struct OutPlane {
     height: usize,
 }
 
-fn decode_scan(data: &[u8], headers: &Headers) -> CodecResult<(Image, DecodeStats)> {
+/// Per-component decode context: resolved tables plus the AAN-folded
+/// dequantisation multipliers (computed once per scan).
+struct CompCtx<'t> {
+    spec: ComponentSpec,
+    q: &'t QuantTable,
+    dc: &'t HuffTable,
+    ac: &'t HuffTable,
+    idct_scale: [f32; BLOCK_LEN],
+}
+
+/// One decoded 8×8 block parked by a parallel segment task until the
+/// serial scatter writes it into its plane: component index, pixel
+/// coordinates of the block's top-left corner in the (padded) plane, and
+/// the clamped level-shifted samples.
+struct SegBlock {
+    ci: u8,
+    bx: u32,
+    by: u32,
+    samples: [u8; BLOCK_LEN],
+}
+
+/// Statistics accumulated while decoding one restart segment.
+#[derive(Default)]
+struct SegStats {
+    mcus: u64,
+    blocks: u64,
+    entropy_bits: u64,
+    nonzero_coeffs: u64,
+    huffman_ns: u64,
+    idct_ns: u64,
+}
+
+impl SegStats {
+    fn merge_into(&self, total: &mut DecodeStats) {
+        total.mcus += self.mcus;
+        total.blocks += self.blocks;
+        total.entropy_bits += self.entropy_bits;
+        total.nonzero_coeffs += self.nonzero_coeffs;
+        total.huffman_ns += self.huffman_ns;
+        total.idct_ns += self.idct_ns;
+    }
+}
+
+/// Entropy-decodes the MCUs `[mcu_start, mcu_start + mcu_count)` from one
+/// restart segment's bytes, emitting every reconstructed block through
+/// `sink(ci, bx, by, samples)`. Shared by the sequential path (sink
+/// writes straight into the planes) and the parallel path (sink parks
+/// blocks for the scatter) — which is what makes the two bit-exact.
+fn decode_segment<F>(
+    seg: &[u8],
+    ctx: &[CompCtx<'_>],
+    mcu_cols: u64,
+    mcu_start: u64,
+    mcu_count: u64,
+    dec: &JpegDecoder,
+    sink: &mut F,
+) -> CodecResult<SegStats>
+where
+    F: FnMut(usize, u32, u32, &[u8; BLOCK_LEN]),
+{
+    let mut reader = BitReader::new(seg);
+    let mut dc_pred = vec![0i32; ctx.len()];
+    let mut stats = SegStats::default();
+    let mut quantized = [0i16; BLOCK_LEN];
+    let mut coeffs = [0f32; BLOCK_LEN];
+    let mut samples = [0f32; BLOCK_LEN];
+    let mut out = [0u8; BLOCK_LEN];
+
+    for mcu_index in mcu_start..mcu_start + mcu_count {
+        let my = (mcu_index / mcu_cols) as u32;
+        let mx = (mcu_index % mcu_cols) as u32;
+        for (ci, c) in ctx.iter().enumerate() {
+            for vy in 0..c.spec.v {
+                for hx in 0..c.spec.h {
+                    let t0 = dec.collect_timing.then(Instant::now);
+                    decode_block(
+                        &mut reader,
+                        c.dc,
+                        c.ac,
+                        &mut dc_pred[ci],
+                        &mut quantized,
+                        &mut stats.nonzero_coeffs,
+                    )?;
+                    let t1 = dec.collect_timing.then(Instant::now);
+                    if let (Some(t0), Some(t1)) = (t0, t1) {
+                        stats.huffman_ns += (t1 - t0).as_nanos() as u64;
+                    }
+                    if dec.reference_idct {
+                        c.q.dequantize(&quantized, &mut coeffs);
+                        idct_8x8(&coeffs, &mut samples);
+                    } else {
+                        idct_8x8_dequant(&quantized, &c.idct_scale, &mut samples);
+                    }
+                    for (o, &s) in out.iter_mut().zip(samples.iter()) {
+                        *o = clamp_u8(s + 128.0);
+                    }
+                    if let Some(t1) = t1 {
+                        stats.idct_ns += t1.elapsed().as_nanos() as u64;
+                    }
+                    let bx = (mx * c.spec.h as u32 + hx as u32) * 8;
+                    let by = (my * c.spec.v as u32 + vy as u32) * 8;
+                    sink(ci, bx, by, &out);
+                    stats.blocks += 1;
+                }
+            }
+        }
+        stats.mcus += 1;
+    }
+    stats.entropy_bits = reader.byte_pos() as u64 * 8;
+    Ok(stats)
+}
+
+/// Writes one reconstructed block into its component plane.
+#[inline]
+fn write_block(plane: &mut OutPlane, bx: u32, by: u32, samples: &[u8; BLOCK_LEN]) {
+    for y in 0..8 {
+        let row = (by as usize + y) * plane.width + bx as usize;
+        plane.data[row..row + 8].copy_from_slice(&samples[y * 8..y * 8 + 8]);
+    }
+}
+
+fn decode_scan(
+    data: &[u8],
+    headers: &Headers,
+    dec: &JpegDecoder,
+    parallel: bool,
+) -> CodecResult<(Image, DecodeStats)> {
     let frame = &headers.frame;
-    let (mcu_cols, mcu_rows) = frame.mcu_grid();
+    let (grid_cols, grid_rows) = frame.mcu_grid();
+    let mcu_cols = grid_cols as u64;
     let total_mcus = frame.mcu_count();
     let ri = frame.restart_interval as u64;
 
     // Resolve tables per component once.
-    struct CompCtx<'t> {
-        spec: ComponentSpec,
-        q: &'t QuantTable,
-        dc: &'t HuffTable,
-        ac: &'t HuffTable,
-    }
     let mut ctx = Vec::with_capacity(frame.components.len());
     for c in &frame.components {
         let q = headers.qtables[c.qtable as usize].as_ref().ok_or_else(|| {
@@ -417,6 +679,7 @@ fn decode_scan(data: &[u8], headers: &Headers) -> CodecResult<(Image, DecodeStat
             q,
             dc,
             ac,
+            idct_scale: q.idct_scale(),
         });
     }
 
@@ -424,8 +687,8 @@ fn decode_scan(data: &[u8], headers: &Headers) -> CodecResult<(Image, DecodeStat
     let mut planes: Vec<OutPlane> = ctx
         .iter()
         .map(|c| {
-            let w = mcu_cols as usize * c.spec.h as usize * 8;
-            let h = mcu_rows as usize * c.spec.v as usize * 8;
+            let w = grid_cols as usize * c.spec.h as usize * 8;
+            let h = grid_rows as usize * c.spec.v as usize * 8;
             OutPlane {
                 data: vec![0u8; w * h],
                 width: w,
@@ -435,89 +698,88 @@ fn decode_scan(data: &[u8], headers: &Headers) -> CodecResult<(Image, DecodeStat
         .collect();
 
     let scan = &data[headers.scan_start..];
-    let mut reader = BitReader::new(scan);
-    let mut dc_pred = vec![0i32; ctx.len()];
+
+    // One-pass restart-segment index (a single trivial segment when the
+    // stream has no restart interval).
+    let segments = if ri > 0 {
+        let expected = total_mcus.div_ceil(ri) as usize;
+        index_restart_segments(scan, expected)?
+    } else {
+        vec![(0usize, scan.len())]
+    };
+    // MCU range covered by segment `si`.
+    let seg_mcus = |si: usize| -> (u64, u64) {
+        if ri == 0 {
+            (0, total_mcus)
+        } else {
+            let start = si as u64 * ri;
+            (start, ri.min(total_mcus - start))
+        }
+    };
+
     let mut stats = DecodeStats {
-        restart_segments: 1,
+        restart_segments: segments.len() as u32,
         ..DecodeStats::default()
     };
 
-    let mut quantized = [0i16; BLOCK_LEN];
-    let mut coeffs = [0f32; BLOCK_LEN];
-    let mut samples = [0f32; BLOCK_LEN];
-    let mut segment_base = 0usize; // offset into `scan` of current segment
-    let mut expected_rst: u8 = 0;
-
-    for mcu_index in 0..total_mcus {
-        // Handle restart boundaries.
-        if ri > 0 && mcu_index > 0 && mcu_index % ri == 0 {
-            // The entropy segment ends at a marker; locate and verify it.
-            let consumed = reader.byte_pos();
-            let mut p = segment_base + consumed;
-            // Skip pad bits already handled by byte_pos; find the marker.
-            while p + 1 < scan.len() && !(scan[p] == 0xFF && scan[p + 1] != 0x00) {
-                p += 1;
-            }
-            if p + 1 >= scan.len() {
-                return Err(CodecError::UnexpectedEof {
-                    context: "restart marker",
-                });
-            }
-            let m = scan[p + 1];
-            if !marker::is_rst(m) {
-                return Err(CodecError::InvalidMarker {
-                    marker: m,
-                    context: "restart boundary",
-                });
-            }
-            if m != marker::RST0 + (expected_rst & 7) {
-                return Err(CodecError::MalformedSegment {
-                    detail: format!(
-                        "restart marker out of order: got {m:02X}, expected {:02X}",
-                        marker::RST0 + (expected_rst & 7)
-                    ),
-                });
-            }
-            expected_rst = expected_rst.wrapping_add(1);
-            stats.entropy_bits += consumed as u64 * 8;
-            segment_base = p + 2;
-            reader = BitReader::new(&scan[segment_base..]);
-            dc_pred.iter_mut().for_each(|v| *v = 0);
-            stats.restart_segments += 1;
-        }
-
-        let my = (mcu_index / mcu_cols as u64) as u32;
-        let mx = (mcu_index % mcu_cols as u64) as u32;
-        for (ci, c) in ctx.iter().enumerate() {
-            for vy in 0..c.spec.v {
-                for hx in 0..c.spec.h {
-                    decode_block(
-                        &mut reader,
-                        c.dc,
-                        c.ac,
-                        &mut dc_pred[ci],
-                        &mut quantized,
-                        &mut stats,
-                    )?;
-                    c.q.dequantize(&quantized, &mut coeffs);
-                    idct_8x8(&coeffs, &mut samples);
-                    // Write the level-shifted samples into the plane.
-                    let plane = &mut planes[ci];
-                    let bx = (mx * c.spec.h as u32 + hx as u32) as usize * 8;
-                    let by = (my * c.spec.v as u32 + vy as u32) as usize * 8;
-                    for y in 0..8 {
-                        let row = (by + y) * plane.width + bx;
-                        for x in 0..8 {
-                            plane.data[row + x] = clamp_u8(samples[y * 8 + x] + 128.0);
-                        }
-                    }
-                    stats.blocks += 1;
-                }
+    let go_parallel = parallel && segments.len() >= 2 && rayon::current_num_threads() > 1;
+    if go_parallel {
+        // Decode segments concurrently into parked block lists, then
+        // scatter serially. Collection is index-ordered, so the first
+        // failing segment's error is returned — matching the sequential
+        // walk.
+        let ctx = &ctx;
+        let results: Vec<CodecResult<(Vec<SegBlock>, SegStats)>> = segments
+            .iter()
+            .enumerate()
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|(si, &(s, e))| {
+                let (mcu_start, mcu_count) = seg_mcus(si);
+                let mut blocks =
+                    Vec::with_capacity(mcu_count as usize * frame.blocks_per_mcu() as usize);
+                let seg_stats = decode_segment(
+                    &scan[s..e],
+                    ctx,
+                    mcu_cols,
+                    mcu_start,
+                    mcu_count,
+                    dec,
+                    &mut |ci, bx, by, samples| {
+                        blocks.push(SegBlock {
+                            ci: ci as u8,
+                            bx,
+                            by,
+                            samples: *samples,
+                        });
+                    },
+                )?;
+                Ok((blocks, seg_stats))
+            })
+            .collect();
+        for result in results {
+            let (blocks, seg_stats) = result?;
+            seg_stats.merge_into(&mut stats);
+            for b in &blocks {
+                write_block(&mut planes[b.ci as usize], b.bx, b.by, &b.samples);
             }
         }
-        stats.mcus += 1;
+    } else {
+        for (si, &(s, e)) in segments.iter().enumerate() {
+            let (mcu_start, mcu_count) = seg_mcus(si);
+            let planes = &mut planes;
+            let seg_stats = decode_segment(
+                &scan[s..e],
+                &ctx,
+                mcu_cols,
+                mcu_start,
+                mcu_count,
+                dec,
+                &mut |ci, bx, by, samples| write_block(&mut planes[ci], bx, by, samples),
+            )?;
+            seg_stats.merge_into(&mut stats);
+        }
     }
-    stats.entropy_bits += reader.byte_pos() as u64 * 8;
 
     let image = assemble_image(
         frame,
@@ -534,7 +796,7 @@ fn decode_block(
     ac_table: &HuffTable,
     dc_pred: &mut i32,
     out: &mut [i16; BLOCK_LEN],
-    stats: &mut DecodeStats,
+    nonzero_coeffs: &mut u64,
 ) -> CodecResult<()> {
     out.fill(0);
     // DC.
@@ -552,7 +814,7 @@ fn decode_block(
     *dc_pred += diff;
     out[0] = *dc_pred as i16;
     if *dc_pred != 0 {
-        stats.nonzero_coeffs += 1;
+        *nonzero_coeffs += 1;
     }
 
     // AC.
@@ -576,7 +838,7 @@ fn decode_block(
         }
         let v = decode_magnitude(r.get_bits(size)?, size);
         out[ZIGZAG[k]] = v as i16;
-        stats.nonzero_coeffs += 1;
+        *nonzero_coeffs += 1;
         k += 1;
     }
     Ok(())
@@ -798,5 +1060,119 @@ mod tests {
             }
             let _ = JpegDecoder::new().decode(&bytes);
         }
+    }
+
+    #[test]
+    fn segment_index_handles_stuffed_bytes() {
+        // Entropy data containing a stuffed 0xFF (encoded as FF 00)
+        // immediately before a restart marker — the old per-boundary hunt
+        // could misread this; the one-pass index must not.
+        let scan = [
+            0xAB, 0xFF, 0x00, 0xCD, // segment 0, incl. stuffed byte
+            0xFF, 0xD0, // RST0
+            0xFF, 0x00, 0xFF, 0xD1, // segment 1 ends with stuffing, RST1
+            0x12, 0x34, // segment 2
+        ];
+        let segs = index_restart_segments(&scan, 3).unwrap();
+        assert_eq!(segs, vec![(0, 4), (6, 8), (10, 12)]);
+    }
+
+    #[test]
+    fn segment_index_rejects_out_of_order_markers() {
+        let scan = [0xAB, 0xFF, 0xD3, 0x12]; // RST3 where RST0 is expected
+        let err = index_restart_segments(&scan, 2).unwrap_err();
+        assert!(matches!(err, CodecError::MalformedSegment { .. }), "{err}");
+    }
+
+    #[test]
+    fn segment_index_rejects_non_restart_marker() {
+        let scan = [0xAB, 0xFF, 0xD9, 0x12]; // EOI where a RST is expected
+        let err = index_restart_segments(&scan, 2).unwrap_err();
+        assert!(matches!(err, CodecError::InvalidMarker { .. }), "{err}");
+    }
+
+    #[test]
+    fn segment_index_eof_when_markers_missing() {
+        let scan = [0xAB, 0xCD, 0x12, 0x34]; // no markers at all
+        let err = index_restart_segments(&scan, 2).unwrap_err();
+        assert!(matches!(err, CodecError::UnexpectedEof { .. }), "{err}");
+    }
+
+    #[test]
+    fn parallel_decode_bit_exact_with_sequential() {
+        let img = test_image(96, 80);
+        let dec = JpegDecoder::new();
+        for ri in [0u16, 1, 3, 8] {
+            let bytes = JpegEncoder::new(85)
+                .unwrap()
+                .with_restart_interval(ri)
+                .encode(&img)
+                .unwrap();
+            let (seq, seq_stats) = dec.decode_with_stats(&bytes).unwrap();
+            let (par, par_stats) = dec.decode_parallel_with_stats(&bytes).unwrap();
+            assert_eq!(seq.data(), par.data(), "ri={ri}");
+            assert_eq!(seq_stats.work(), par_stats.work(), "ri={ri}");
+        }
+    }
+
+    #[test]
+    fn fast_and_reference_idct_agree_on_pixels() {
+        // The AAN path runs inside the accuracy contract of the reference
+        // transform: after quantisation and u8 clamping the reconstructions
+        // should differ by at most 1 LSB on a small minority of pixels.
+        let img = test_image(64, 64);
+        let bytes = JpegEncoder::new(85).unwrap().encode(&img).unwrap();
+        let fast = JpegDecoder::new().decode(&bytes).unwrap();
+        let reference = JpegDecoder::new()
+            .with_reference_idct(true)
+            .decode(&bytes)
+            .unwrap();
+        let mut diff = 0usize;
+        for (&a, &b) in fast.data().iter().zip(reference.data()) {
+            let d = (a as i32 - b as i32).unsigned_abs();
+            assert!(d <= 1, "pixel differs by {d}");
+            diff += (d != 0) as usize;
+        }
+        assert!(
+            diff * 20 < fast.byte_len(),
+            "{diff} of {} pixels off by one",
+            fast.byte_len()
+        );
+    }
+
+    #[test]
+    fn stage_timing_populates_counters() {
+        let img = test_image(64, 48);
+        let bytes = JpegEncoder::new(85).unwrap().encode(&img).unwrap();
+        let (_, stats) = JpegDecoder::new()
+            .with_stage_timing(true)
+            .decode_with_stats(&bytes)
+            .unwrap();
+        assert!(stats.huffman_ns > 0);
+        assert!(stats.idct_ns > 0);
+        // Untimed decode leaves them zero.
+        let (_, bare) = JpegDecoder::new().decode_with_stats(&bytes).unwrap();
+        assert_eq!(bare.huffman_ns, 0);
+        assert_eq!(bare.idct_ns, 0);
+    }
+
+    #[test]
+    fn decode_batch_preserves_order_and_isolates_failures() {
+        let dec = JpegDecoder::new();
+        let a = JpegEncoder::new(85)
+            .unwrap()
+            .encode(&test_image(24, 16))
+            .unwrap();
+        let b = JpegEncoder::new(85)
+            .unwrap()
+            .encode(&test_image(40, 40))
+            .unwrap();
+        let bad = vec![0u8; 16];
+        let batch: Vec<&[u8]> = vec![&a, &bad, &b];
+        let out = dec.decode_batch(&batch);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].as_ref().unwrap().width(), 24);
+        assert!(out[1].is_err());
+        assert_eq!(out[2].as_ref().unwrap().height(), 40);
     }
 }

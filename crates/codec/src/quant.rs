@@ -94,6 +94,13 @@ impl QuantTable {
         }
     }
 
+    /// Dequantisation multipliers with the AAN iDCT scale factors folded
+    /// in, for [`crate::dct::idct_8x8_dequant`]. Computed once per scan,
+    /// amortised over every block that uses this table.
+    pub fn idct_scale(&self) -> [f32; BLOCK_LEN] {
+        crate::dct::idct_scale_factors(&self.values)
+    }
+
     /// Dequantize one raster-order integer block back to coefficients.
     pub fn dequantize(&self, quantized: &[i16; BLOCK_LEN], out: &mut [f32; BLOCK_LEN]) {
         for ((o, &v), &q) in out.iter_mut().zip(quantized.iter()).zip(self.values.iter()) {

@@ -235,6 +235,116 @@ proptest! {
         prop_assert_eq!(out.color(), ColorSpace::Gray);
         prop_assert_eq!((out.width(), out.height()), (w, h));
     }
+
+    #[test]
+    fn parallel_decode_bit_exact_any_stream(
+        w in 16u32..=96,
+        h in 16u32..=96,
+        interval in prop::sample::select(vec![0u16, 1, 7, 64]),
+        mode in prop::sample::select(vec![ChromaMode::Yuv420, ChromaMode::Yuv444]),
+        seed in any::<u64>(),
+    ) {
+        let img = generate(w, h, SynthStyle::Photo, seed);
+        let bytes = JpegEncoder::new(85)
+            .unwrap()
+            .with_mode(mode)
+            .with_restart_interval(interval)
+            .encode(&img)
+            .unwrap();
+        let dec = JpegDecoder::new();
+        let (seq, seq_stats) = dec.decode_with_stats(&bytes).unwrap();
+        let (par, par_stats) = dec.decode_parallel_with_stats(&bytes).unwrap();
+        prop_assert_eq!(seq.data(), par.data());
+        prop_assert_eq!(seq_stats.work(), par_stats.work());
+    }
+
+    #[test]
+    fn parallel_decode_bit_exact_across_thread_counts(
+        interval in prop::sample::select(vec![1u16, 3, 7]),
+        threads in prop::sample::select(vec![1usize, 2, 4, 8]),
+        seed in any::<u64>(),
+    ) {
+        let img = generate(64, 64, SynthStyle::Photo, seed);
+        let bytes = JpegEncoder::new(85)
+            .unwrap()
+            .with_restart_interval(interval)
+            .encode(&img)
+            .unwrap();
+        let dec = JpegDecoder::new();
+        let seq = dec.decode(&bytes).unwrap();
+        let _guard = THREAD_OVERRIDE_LOCK.lock().unwrap();
+        rayon::set_num_threads(Some(threads));
+        let par = dec.decode_parallel(&bytes);
+        rayon::set_num_threads(None);
+        let par = par.unwrap();
+        prop_assert_eq!(seq.data(), par.data());
+    }
+
+    #[test]
+    fn parallel_decode_error_equivalent_on_malformed_streams(
+        interval in prop::sample::select(vec![2u16, 5]),
+        flips in prop::collection::vec((0usize..4096, 0u8..=255), 1..12),
+        seed in any::<u64>(),
+    ) {
+        let img = generate(48, 48, SynthStyle::Photo, seed);
+        let mut bytes = JpegEncoder::new(80)
+            .unwrap()
+            .with_restart_interval(interval)
+            .encode(&img)
+            .unwrap();
+        for &(pos, val) in &flips {
+            let idx = pos % bytes.len();
+            bytes[idx] = val;
+        }
+        let dec = JpegDecoder::new();
+        let seq = dec.decode(&bytes);
+        let par = dec.decode_parallel(&bytes);
+        // Both paths pre-scan the same segment index and run the same
+        // per-segment core: they must agree on success, and on the pixels
+        // when they do succeed. (Error *values* are also equal today, but
+        // the contract is outcome equivalence.)
+        match (seq, par) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a.data(), b.data()),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "decode disagreement: seq {:?} par {:?}", a.is_ok(), b.is_ok()),
+        }
+    }
+}
+
+/// Serialises tests that mutate the global rayon thread override.
+static THREAD_OVERRIDE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[test]
+fn stuffed_ff_bytes_near_restart_boundaries_decode_identically() {
+    // Regression for the old per-boundary marker hunt, which scanned raw
+    // bytes for `0xFF` and could stop inside stuffed entropy data. Search
+    // seeds for encoded streams that actually contain a stuffed `FF 00`
+    // immediately before a restart marker, then require parallel decode to
+    // be bit-exact with sequential there.
+    let enc = JpegEncoder::new(95).unwrap().with_restart_interval(1);
+    let dec = JpegDecoder::new();
+    let mut exercised = 0;
+    for seed in 0..500u64 {
+        let img = generate(32, 32, SynthStyle::Photo, seed);
+        let bytes = enc.clone().encode(&img).unwrap();
+        let stuffed_before_rst = bytes
+            .windows(4)
+            .any(|w| w[0] == 0xFF && w[1] == 0x00 && w[2] == 0xFF && (0xD0..=0xD7).contains(&w[3]));
+        if !stuffed_before_rst {
+            continue;
+        }
+        exercised += 1;
+        let seq = dec.decode(&bytes).unwrap();
+        let par = dec.decode_parallel(&bytes).unwrap();
+        assert_eq!(seq.data(), par.data(), "seed {seed}");
+        if exercised >= 8 {
+            break;
+        }
+    }
+    assert!(
+        exercised > 0,
+        "no seed produced FF00 stuffing adjacent to a restart marker"
+    );
 }
 
 #[test]

@@ -109,6 +109,14 @@ pub mod names {
     /// (`serving.tenant.<id>.admitted|completed|shed|goodput`).
     pub const SERVING_TENANT_PREFIX: &str = "serving.tenant.";
 
+    /// Codec: wall nanoseconds in Huffman entropy decoding (summed across
+    /// decode workers, so it can exceed wall time).
+    pub const CODEC_HUFFMAN_NANOS: &str = "codec.huffman_ns";
+    /// Codec: wall nanoseconds in dequantisation + inverse DCT.
+    pub const CODEC_IDCT_NANOS: &str = "codec.idct_ns";
+    /// Codec: wall nanoseconds in resize (decode-side bilinear scaling).
+    pub const CODEC_RESIZE_NANOS: &str = "codec.resize_ns";
+
     /// NIC: frames dropped because the bounded RX ring was full.
     pub const NET_RX_DROPS: &str = "net.rx_ring_drops";
     /// NIC: frames rejected by the wire parser.

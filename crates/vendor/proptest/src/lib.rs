@@ -17,22 +17,33 @@ pub mod test_runner {
     //! Runner plumbing: config, RNG, and the case-level error type.
 
     /// Run configuration (`cases` is the only knob this shim honors).
+    ///
+    /// Like upstream proptest, a `PROPTEST_CASES` environment variable
+    /// overrides the case count from either constructor — CI pins it to
+    /// bound property-test time without touching the sources.
     #[derive(Debug, Clone)]
     pub struct Config {
         /// Number of cases sampled per property.
         pub cases: u32,
     }
 
+    fn env_cases() -> Option<u32> {
+        std::env::var("PROPTEST_CASES").ok()?.parse().ok()
+    }
+
     impl Config {
-        /// Config running `cases` cases per property.
+        /// Config running `cases` cases per property (unless overridden by
+        /// the `PROPTEST_CASES` environment variable).
         pub fn with_cases(cases: u32) -> Self {
-            Self { cases }
+            Self {
+                cases: env_cases().unwrap_or(cases),
+            }
         }
     }
 
     impl Default for Config {
         fn default() -> Self {
-            Self { cases: 64 }
+            Self::with_cases(64)
         }
     }
 
@@ -582,6 +593,17 @@ mod tests {
             let exact = prop::collection::vec(any::<u8>(), 8usize).sample(&mut rng);
             assert_eq!(exact.len(), 8);
         }
+    }
+
+    #[test]
+    fn env_var_overrides_case_count() {
+        // Set + read + restore quickly; the worst concurrent effect on
+        // other tests in this binary is a different case count.
+        std::env::set_var("PROPTEST_CASES", "7");
+        let c = crate::test_runner::Config::with_cases(64);
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(c.cases, 7);
+        assert_eq!(crate::test_runner::Config::with_cases(64).cases, 64);
     }
 
     #[test]

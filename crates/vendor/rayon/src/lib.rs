@@ -1,48 +1,216 @@
-//! Minimal offline drop-in for the `rayon` API surface used by this
-//! workspace: `prelude::{into_par_iter, par_iter}` plus
-//! [`current_num_threads`]. Execution is sequential — call sites stay
-//! deterministic and the dependency resolves without a network.
+//! Offline drop-in for the `rayon` API surface used by this workspace —
+//! `prelude::{into_par_iter, par_iter}` plus [`current_num_threads`] —
+//! backed by a **real** work-stealing thread pool.
+//!
+//! Unlike the original sequential shim, `.par_iter().map(f).collect()`
+//! now executes `f` on multiple OS threads:
+//!
+//! * items are materialised up front and split into chunks (≈4 chunks per
+//!   worker so stealing has something to balance),
+//! * each worker owns a LIFO deque of chunks and steals FIFO from its
+//!   peers when its own deque runs dry (classic work-stealing: owners pop
+//!   hot recent work, thieves take the oldest/biggest-remaining work),
+//! * workers are spawned with [`std::thread::scope`], so closures may
+//!   borrow from the caller's stack — no `'static` bound, no leaked
+//!   threads, panics propagate on join,
+//! * results carry their chunk's origin index, so collection is
+//!   **deterministic**: output order always equals input order, and
+//!   `Result` collection yields the error of the *earliest* failing item,
+//!   exactly as a sequential left-to-right run would.
+//!
+//! The worker count comes from, in priority order: a programmatic
+//! [`set_num_threads`] override, the `DLB_RAYON_THREADS` environment
+//! variable, and the host's available parallelism. A value of `1` (or
+//! workloads too small to split) falls back to inline sequential
+//! execution — the determinism escape hatch used by tests.
 
-/// Reported worker count (the host's available parallelism; execution in
-/// this shim is sequential regardless).
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide worker-count override (0 = unset). Set via
+/// [`set_num_threads`]; read by [`current_num_threads`].
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Chunks per worker the item range is pre-split into. >1 so that a
+/// worker finishing early finds whole chunks left to steal.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// Below this many items the spawn cost dominates: run inline.
+const MIN_PARALLEL_ITEMS: usize = 2;
+
+/// Overrides the pool's worker count for subsequent parallel calls.
+/// `Some(1)` forces sequential execution; `None` restores the default
+/// (env var, then available parallelism).
+pub fn set_num_threads(n: Option<usize>) {
+    THREAD_OVERRIDE.store(n.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// Effective worker count: [`set_num_threads`] override, else the
+/// `DLB_RAYON_THREADS` environment variable, else the host's available
+/// parallelism. Always ≥ 1.
 pub fn current_num_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("DLB_RAYON_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
 }
 
-/// A "parallel" iterator: a thin wrapper over a sequential iterator that
-/// supports the adapter subset call sites use (`map`, `collect`).
-pub struct ParIter<I> {
-    inner: I,
+// ---------------------------------------------------------------------------
+// The work-stealing executor
+// ---------------------------------------------------------------------------
+
+/// A contiguous run of items, tagged with the index of its first item so
+/// results can be re-assembled in input order.
+struct Chunk<T> {
+    start: usize,
+    items: Vec<T>,
 }
 
-impl<I: Iterator> ParIter<I> {
-    /// Maps each item through `f`.
-    pub fn map<R, F: FnMut(I::Item) -> R>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
-        ParIter {
-            inner: self.inner.map(f),
+/// Maps `items` through `f` on the work-stealing pool, returning results
+/// in input order. The parallel path is taken only when there are enough
+/// items and more than one worker; otherwise runs inline.
+pub fn map_ordered<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = current_num_threads().min(n.max(1));
+    if workers <= 1 || n < MIN_PARALLEL_ITEMS {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Pre-split into chunks and deal them round-robin onto per-worker
+    // deques. Ownership of the items moves with the chunk.
+    let chunk_len = n.div_ceil(workers * CHUNKS_PER_WORKER).max(1);
+    let queues: Vec<Mutex<VecDeque<Chunk<T>>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    {
+        let mut items = items;
+        let mut start = 0usize;
+        let mut w = 0usize;
+        while !items.is_empty() {
+            let take = chunk_len.min(items.len());
+            let rest = items.split_off(take);
+            queues[w % workers]
+                .lock()
+                .unwrap()
+                .push_back(Chunk { start, items });
+            start += take;
+            items = rest;
+            w += 1;
         }
     }
 
-    /// Collects into any `FromIterator` target (covers `Vec` and
-    /// `Result<_, _>` short-circuit collection).
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.inner.collect()
+    let f = &f;
+    let queues = &queues;
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let produced: Vec<Vec<(usize, Vec<R>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|me| {
+                scope.spawn(move || {
+                    let mut done: Vec<(usize, Vec<R>)> = Vec::new();
+                    loop {
+                        // Own work first (LIFO: hottest chunk), then steal
+                        // the oldest chunk from the most loaded peer. The
+                        // own-queue pop is a standalone statement so its
+                        // guard drops before any peer lock is taken —
+                        // holding it across the steal scan deadlocks two
+                        // workers stealing from each other.
+                        let own = queues[me].lock().unwrap().pop_back();
+                        let chunk = own.or_else(|| {
+                            (0..queues.len())
+                                .filter(|&v| v != me)
+                                .max_by_key(|&v| queues[v].lock().unwrap().len())
+                                .and_then(|v| queues[v].lock().unwrap().pop_front())
+                        });
+                        let Some(chunk) = chunk else { break };
+                        let results: Vec<R> = chunk.items.into_iter().map(f).collect();
+                        done.push((chunk.start, results));
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pool worker panicked"))
+            .collect()
+    });
+    for (start, results) in produced.into_iter().flatten() {
+        for (i, r) in results.into_iter().enumerate() {
+            out[start + i] = Some(r);
+        }
+    }
+    out.into_iter()
+        .map(|r| r.expect("work-stealing pool lost an item"))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Parallel iterator facade
+// ---------------------------------------------------------------------------
+
+/// A parallel iterator: items materialised up front, with a mapping
+/// pipeline composed lazily and executed on the pool at `collect` /
+/// `for_each` time. Output order always matches input order.
+pub struct ParIter<T, R, F: Fn(T) -> R> {
+    items: Vec<T>,
+    f: F,
+    _marker: std::marker::PhantomData<fn() -> R>,
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParIter<T, R, F> {
+    /// Maps each item through `g` (composed with any earlier maps; the
+    /// whole pipeline runs once per item on the pool).
+    pub fn map<R2: Send, G: Fn(R) -> R2 + Sync>(
+        self,
+        g: G,
+    ) -> ParIter<T, R2, impl Fn(T) -> R2 + Sync> {
+        let f = self.f;
+        ParIter {
+            items: self.items,
+            f: move |t| g(f(t)),
+            _marker: std::marker::PhantomData,
+        }
     }
 
-    /// Runs `f` on each item.
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.inner.for_each(f)
+    /// Executes the pipeline on the pool and collects into any
+    /// `FromIterator` target (covers `Vec` and `Result<_, _>`
+    /// short-circuit collection: the earliest item's error wins, matching
+    /// a sequential run).
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        map_ordered(self.items, self.f).into_iter().collect()
+    }
+
+    /// Runs the pipeline on the pool for its side effects.
+    pub fn for_each<G: Fn(R) + Sync>(self, g: G) {
+        let f = self.f;
+        map_ordered(self.items, move |t| g(f(t)));
     }
 }
 
 /// `into_par_iter()` for any owned iterable (ranges, vectors, ...).
 pub trait IntoParallelIterator: IntoIterator + Sized {
-    /// Converts into a [`ParIter`].
-    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+    /// Converts into a [`ParIter`], materialising the items.
+    fn into_par_iter(self) -> ParIter<Self::Item, Self::Item, fn(Self::Item) -> Self::Item> {
         ParIter {
-            inner: self.into_iter(),
+            items: self.into_iter().collect(),
+            f: std::convert::identity,
+            _marker: std::marker::PhantomData,
         }
     }
 }
@@ -51,21 +219,24 @@ impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
 
 /// `par_iter()` for any collection iterable by shared reference.
 pub trait IntoParallelRefIterator<'data> {
-    /// The underlying sequential iterator.
-    type Iter: Iterator;
-    /// Borrows the collection as a [`ParIter`].
-    fn par_iter(&'data self) -> ParIter<Self::Iter>;
+    /// The item yielded by reference iteration.
+    type Item: 'data;
+    /// Borrows the collection as a [`ParIter`] over `&item`.
+    #[allow(clippy::type_complexity)]
+    fn par_iter(&'data self) -> ParIter<Self::Item, Self::Item, fn(Self::Item) -> Self::Item>;
 }
 
 impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
 where
     &'data C: IntoIterator,
 {
-    type Iter = <&'data C as IntoIterator>::IntoIter;
+    type Item = <&'data C as IntoIterator>::Item;
 
-    fn par_iter(&'data self) -> ParIter<Self::Iter> {
+    fn par_iter(&'data self) -> ParIter<Self::Item, Self::Item, fn(Self::Item) -> Self::Item> {
         ParIter {
-            inner: self.into_iter(),
+            items: self.into_iter().collect(),
+            f: std::convert::identity,
+            _marker: std::marker::PhantomData,
         }
     }
 }
@@ -79,11 +250,26 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    /// Serialises the tests that touch the global thread-count override
+    /// (the harness runs tests concurrently in one process).
+    static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn range_into_par_iter_collects_in_order() {
         let v: Vec<u64> = (0..10u64).into_par_iter().map(|x| x * 2).collect();
         assert_eq!(v, vec![0, 2, 4, 6, 8, 10, 12, 14, 16, 18]);
+    }
+
+    #[test]
+    fn large_range_is_ordered_and_complete() {
+        let v: Vec<usize> = (0..10_000usize).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(v.len(), 10_000);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i + 1);
+        }
     }
 
     #[test]
@@ -105,7 +291,92 @@ mod tests {
     }
 
     #[test]
+    fn result_collection_yields_earliest_error() {
+        // Sequential left-to-right semantics: the first (by index) failing
+        // item's error is the one returned, regardless of which worker
+        // finishes first.
+        let data: Vec<usize> = (0..1000).collect();
+        let err: Result<Vec<usize>, String> = data
+            .par_iter()
+            .map(|&x| {
+                if x >= 500 {
+                    Err(format!("bad {x}"))
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(err.unwrap_err(), "bad 500");
+    }
+
+    #[test]
+    fn work_actually_runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        if super::current_num_threads() < 2 {
+            return; // single-core host: nothing to assert
+        }
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        (0..256usize).into_par_iter().for_each(|_| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            // Enough work that no single worker can drain every chunk
+            // before the others start.
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        });
+        assert!(
+            seen.lock().unwrap().len() > 1,
+            "expected >1 worker thread to participate"
+        );
+    }
+
+    #[test]
+    fn sequential_fallback_override() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        super::set_num_threads(Some(1));
+        let tid = std::thread::current().id();
+        let tids: Vec<_> = (0..64usize)
+            .into_par_iter()
+            .map(|_| std::thread::current().id())
+            .collect();
+        super::set_num_threads(None);
+        assert!(tids.iter().all(|&t| t == tid), "override must run inline");
+    }
+
+    #[test]
+    fn chained_maps_compose() {
+        let v: Vec<String> = (0..5u32)
+            .into_par_iter()
+            .map(|x| x * 10)
+            .map(|x| format!("v{x}"))
+            .collect();
+        assert_eq!(v, vec!["v0", "v10", "v20", "v30", "v40"]);
+    }
+
+    #[test]
+    fn borrowed_state_is_visible_to_workers() {
+        // Scoped spawn: closures borrow from the caller's stack.
+        let counter = AtomicUsize::new(0);
+        (0..100usize).into_par_iter().for_each(|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
     fn thread_count_positive() {
         assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn repeated_tiny_workloads_do_not_deadlock() {
+        // Regression: the own-queue pop once held its lock across the
+        // steal scan, so two workers with drained queues stealing from
+        // each other deadlocked. Trivial per-item work maximises steal
+        // contention; before the fix this hung within a few iterations.
+        for round in 0..200usize {
+            let v: Vec<usize> = (0..32usize).into_par_iter().map(|x| x + round).collect();
+            assert_eq!(v.len(), 32);
+            assert_eq!(v[0], round);
+        }
     }
 }

@@ -80,6 +80,93 @@ fn corrupt_payloads_fail_item_not_batch() {
 }
 
 #[test]
+fn corrupt_restart_segment_fails_cleanly_and_counts() {
+    // An image encoded with restart intervals whose first restart marker is
+    // rewritten out of order: exactly the corruption the segment-parallel
+    // decode path splits on. The item must fail cleanly — no panic, no
+    // worker left blocked in the pool — on both decode paths, and count in
+    // the corrupt-payload telemetry when run through the engine.
+    let img =
+        dlbooster::codec::synth::generate(48, 48, dlbooster::codec::synth::SynthStyle::Photo, 21);
+    let mut bytes = JpegEncoder::new(85)
+        .unwrap()
+        .with_restart_interval(1)
+        .encode(&img)
+        .unwrap();
+    let rst = bytes
+        .windows(2)
+        .position(|w| w[0] == 0xFF && (0xD0..=0xD7).contains(&w[1]))
+        .expect("interval-1 stream must contain restart markers");
+    bytes[rst + 1] = 0xD5; // RST5 where RST0 is expected
+
+    let dec = JpegDecoder::new();
+    assert!(dec.decode(&bytes).is_err(), "sequential path must reject");
+    assert!(
+        dec.decode_parallel(&bytes).is_err(),
+        "parallel path must reject"
+    );
+
+    // Through the decoder engine with a shared registry: the bad segment
+    // fails its item, the good neighbour still decodes, and the failure
+    // lands in the corrupt-payload counters.
+    let telemetry = Telemetry::with_defaults();
+    let resolver = Arc::new(MapResolver::new());
+    let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
+    device
+        .load_mirror(DecoderMirror::jpeg_paper_config())
+        .unwrap();
+    let engine =
+        DecoderEngine::start_with_telemetry(device, Arc::clone(&resolver) as _, &telemetry)
+            .unwrap();
+    let pool = MemManager::new(PoolConfig {
+        unit_size: 1 << 20,
+        unit_count: 2,
+        phys_base: 0x4_0000_0000,
+    })
+    .unwrap();
+    let corrupt = resolver.put_disk(0, bytes);
+    let valid = resolver.put_disk(1 << 20, good_jpeg(3));
+    let mut unit = pool.get_item().unwrap();
+    let mut cmds = Vec::new();
+    for (i, src) in [corrupt, valid].into_iter().enumerate() {
+        let off = unit.reserve(24 * 24 * 3, i as u64, 24, 24, 3).unwrap();
+        cmds.push(
+            DecodeCmd {
+                cmd_id: i as u64,
+                src,
+                dst_phys: unit.phys_addr() + off as u64,
+                dst_capacity: 24 * 24 * 3,
+                target_w: 24,
+                target_h: 24,
+                format: OutputFormat::Rgb8,
+            }
+            .pack(),
+        );
+    }
+    engine.submit(Submission { unit, cmds }).unwrap();
+    let done = engine.completions().pop().unwrap();
+    assert_eq!(done.finishes.len(), 2);
+    assert!(
+        !done.finishes[0].status.is_ok(),
+        "corrupt restart segment must fail its item"
+    );
+    assert!(
+        done.finishes[1].status.is_ok(),
+        "neighbouring item must be unaffected"
+    );
+    pool.recycle_item(done.unit).unwrap();
+    drop(engine); // quiesce so counters are final
+
+    let snap = telemetry.pipeline_snapshot();
+    assert_eq!(snap.decoder.items_err, 1);
+    assert_eq!(snap.decoder.items_ok, 1);
+    assert_eq!(
+        snap.decoder.items_in,
+        snap.decoder.items_ok + snap.decoder.items_err
+    );
+}
+
+#[test]
 fn reader_counts_item_errors_and_keeps_flowing() {
     // A dataset where half the disk objects are corrupted after manifest
     // creation: the reader keeps producing batches; errors land in stats.
