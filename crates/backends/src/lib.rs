@@ -15,12 +15,17 @@
 //! * [`nvjpeg`] — GPU-side decoding: cheap on host CPU, but advertises a
 //!   device background share that stretches the compute engine's kernels
 //!   (the −30..40 % contention of §5.3).
+//!
+//! [`failover`] is not a baseline: it wraps the DLBooster primary itself
+//! and degrades to the [`cpu`] backend when the FPGA path wedges.
 
 pub mod common;
 pub mod cpu;
+pub mod failover;
 pub mod lmdb;
 pub mod nvjpeg;
 
 pub use cpu::{CpuBackend, CpuBackendConfig};
+pub use failover::{FailoverBackend, FailoverConfig, FallbackFactory};
 pub use lmdb::{LmdbBackend, LmdbBackendConfig};
 pub use nvjpeg::{NvJpegBackend, NvJpegBackendConfig};

@@ -1,0 +1,110 @@
+//! Fault-free overhead of the chaos plane.
+//!
+//! Every stage carries a chaos hook (an `OnceLock`/`Option` probe on the
+//! hot path). This bench quantifies what those hooks cost when no fault
+//! ever fires, in the two shipping configurations:
+//!
+//! * **unarmed** — no injector attached (the production default): the
+//!   probe is a relaxed `OnceLock::get` returning `None`.
+//! * **armed-quiet** — an injector attached with a fire threshold of
+//!   (effectively) zero: every operation pays the splitmix64 hash and
+//!   the threshold compare, but no fault ever fires.
+//!
+//! The measured quantity is end-to-end pipeline throughput (batches
+//! through a live `DlBooster` run), i.e. the overhead is diluted by the
+//! real decode work exactly as it is in production. Results are archived
+//! in `BENCH_chaos.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dlb_chaos::{FaultPlan, Stage, StageSpec};
+use dlb_fpga::{DecoderEngine, DecoderMirror, DeviceSpec, FpgaDevice};
+use dlb_storage::{Dataset, DatasetSpec, NvmeDisk, NvmeSpec};
+use dlb_telemetry::Telemetry;
+use dlbooster_core::{
+    CombinedResolver, DataCollector, DlBooster, DlBoosterConfig, FpgaChannel, PreprocessBackend,
+};
+use std::sync::Arc;
+
+const BATCHES: u64 = 8;
+const BATCH: usize = 4;
+
+/// Runs one full training-shaped pipeline to completion; `armed` attaches
+/// never-firing injectors on the storage and FPGA planes.
+fn run_pipeline(records: &[dlb_storage::Record], disk: &Arc<NvmeDisk>, armed: bool) -> u64 {
+    let telemetry = Telemetry::with_defaults();
+    let plan = if armed {
+        // Rate low enough that no identity hash can clear the threshold:
+        // the hooks do all their work, the faults never fire.
+        let mut p = FaultPlan::disabled();
+        p.seed = 1;
+        p.storage = StageSpec::rate(1e-15);
+        p.fpga = StageSpec::rate(1e-15);
+        Some(p)
+    } else {
+        None
+    };
+    if let Some(p) = &plan {
+        if let Some(inj) = p.injector(Stage::Storage, &telemetry) {
+            disk.attach_chaos(inj);
+        }
+    }
+    let collector = Arc::new(DataCollector::load_from_disk(records, 0));
+    let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
+    device
+        .load_mirror(DecoderMirror::jpeg_paper_config())
+        .unwrap();
+    let engine = DecoderEngine::start_with_telemetry(
+        device,
+        Arc::new(CombinedResolver::disk_only(Arc::clone(disk))),
+        &telemetry,
+    )
+    .unwrap();
+    if let Some(p) = &plan {
+        if let Some(inj) = p.injector(Stage::Fpga, &telemetry) {
+            engine.attach_chaos(inj);
+        }
+    }
+    let channel = FpgaChannel::init_with_telemetry(engine, 0, &telemetry);
+    let mut config = DlBoosterConfig::training(1, BATCH, (32, 32), records.len(), Some(BATCHES));
+    config.cache_bytes = 0;
+    let booster = DlBooster::start_with_telemetry(collector, channel, config, telemetry).unwrap();
+    let mut n = 0;
+    while let Ok(batch) = booster.next_batch(0) {
+        n += 1;
+        booster.recycle(batch.unit);
+    }
+    n
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chaos_overhead");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(BATCHES * BATCH as u64));
+
+    // NOTE: the disk's chaos hook is a OnceLock — once armed it stays
+    // armed for that disk, so each variant gets its own disk + dataset.
+    let disk_off = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));
+    let ds_off = Dataset::build(
+        DatasetSpec::ilsvrc_small(BATCHES as usize * BATCH, 7),
+        &disk_off,
+    )
+    .unwrap();
+    group.bench_function("pipeline_unarmed", |b| {
+        b.iter(|| run_pipeline(&ds_off.records, &disk_off, false))
+    });
+
+    let disk_on = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));
+    let ds_on = Dataset::build(
+        DatasetSpec::ilsvrc_small(BATCHES as usize * BATCH, 7),
+        &disk_on,
+    )
+    .unwrap();
+    group.bench_function("pipeline_armed_quiet", |b| {
+        b.iter(|| run_pipeline(&ds_on.records, &disk_on, true))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -24,6 +24,7 @@ use crate::reader::{FpgaReader, ReaderConfig};
 use dlb_fpga::OutputFormat;
 use dlb_membridge::{BatchUnit, BlockingQueue, MemManager, PoolConfig};
 use dlb_telemetry::{names, Counter, PipelineSnapshot, Telemetry};
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -52,6 +53,9 @@ pub struct DlBoosterConfig {
     /// Total batches to deliver before closing (None = run until the
     /// collector ends or shutdown).
     pub max_batches: Option<u64>,
+    /// Per-submission decode deadline forwarded to the reader's timeout
+    /// watchdog (see [`ReaderConfig::cmd_timeout`]). None disables it.
+    pub cmd_timeout: Option<std::time::Duration>,
 }
 
 impl DlBoosterConfig {
@@ -73,6 +77,7 @@ impl DlBoosterConfig {
             cache_bytes: 2 << 30,
             batches_per_epoch: Some((n_records as u64).div_ceil(batch_size as u64)),
             max_batches,
+            cmd_timeout: None,
         }
     }
 
@@ -88,6 +93,7 @@ impl DlBoosterConfig {
             cache_bytes: 0,
             batches_per_epoch: None,
             max_batches: None,
+            cmd_timeout: None,
         }
     }
 
@@ -103,8 +109,14 @@ impl DlBoosterConfig {
 pub struct DlBooster {
     pool: MemManager,
     slot_queues: Vec<BlockingQueue<HostBatch>>,
-    router: Option<JoinHandle<Option<FpgaReader>>>,
+    full_queue: BlockingQueue<HostBatch>,
+    router: Mutex<Option<JoinHandle<Option<FpgaReader>>>>,
+    /// A reader returned by a quiesced router whose daemon may still be
+    /// parked on `pool.get_item()`; joined at drop, after `pool.close()`
+    /// guarantees the park is released.
+    parked_reader: Mutex<Option<FpgaReader>>,
     stop: Arc<AtomicBool>,
+    quiesced: AtomicBool,
     cache: Arc<EpochCache>,
     router_cpu_nanos: Arc<AtomicU64>,
     reader_cpu_nanos: Arc<AtomicU64>,
@@ -157,6 +169,7 @@ impl DlBooster {
                 target_h: config.target_h,
                 format: config.format,
                 max_batches: None, // the router enforces the delivery bound
+                cmd_timeout: config.cmd_timeout,
             },
             &telemetry,
         );
@@ -183,6 +196,7 @@ impl DlBooster {
             delivered: Arc::clone(&delivered),
             config: config.clone(),
         };
+        let full_queue = reader.full_queue().clone();
         let router = std::thread::Builder::new()
             .name("dlbooster-router".into())
             .spawn(move || run_router(reader, ctx))
@@ -191,8 +205,11 @@ impl DlBooster {
         Ok(Self {
             pool,
             slot_queues,
-            router: Some(router),
+            full_queue,
+            router: Mutex::new(Some(router)),
+            parked_reader: Mutex::new(None),
             stop,
+            quiesced: AtomicBool::new(false),
             cache,
             router_cpu_nanos,
             reader_cpu_nanos,
@@ -225,6 +242,61 @@ impl DlBooster {
     /// The underlying pool (tests verify conservation).
     pub fn pool(&self) -> &MemManager {
         &self.pool
+    }
+
+    /// Like [`PreprocessBackend::next_batch`], but gives up after
+    /// `timeout`. `Ok(None)` means the wait timed out with the pipeline
+    /// still alive — the failover layer's cue that this backend may be
+    /// wedged. `Err(Exhausted)` means the slot queue closed for good.
+    pub fn next_batch_timeout(
+        &self,
+        slot: usize,
+        timeout: std::time::Duration,
+    ) -> Result<Option<HostBatch>, BackendError> {
+        self.slot_queues[slot]
+            .pop_timeout(timeout)
+            .map_err(|_| BackendError::Exhausted)
+    }
+
+    /// Retires a wedged pipeline for failover: stops the router, drains
+    /// the reader's output back into the (still open) pool, and joins the
+    /// router thread so [`DlBooster::delivered`] is final when this
+    /// returns.
+    ///
+    /// Unlike [`PreprocessBackend::shutdown`] the pool stays **open**:
+    /// batches already routed to the slot queues remain poppable, and the
+    /// consumer can still recycle their units normally. The count of
+    /// batches that will *ever* leave this backend is therefore exactly
+    /// `delivered()` — the failover layer sizes its fallback budget off
+    /// that. Idempotent.
+    pub fn quiesce(&self) {
+        if self.quiesced.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake a reader blocked pushing decoded batches and a router
+        // blocked popping them; recycle whatever the reader had finished
+        // but the router never routed (those were never counted
+        // delivered, so the fallback re-produces them — no loss).
+        self.full_queue.close();
+        for stranded in self.full_queue.drain() {
+            let _ = self.pool.recycle_item(stranded.unit);
+        }
+        // Wake a router blocked pushing into a full slot queue; residue
+        // already queued stays drainable (close only stops new pushes).
+        for q in &self.slot_queues {
+            q.close();
+        }
+        let handle = self.router.lock().take();
+        if let Some(h) = handle {
+            if let Ok(Some(reader)) = h.join() {
+                // The reader daemon may still be parked on
+                // `pool.get_item()` waiting for a unit that only frees
+                // once the consumer recycles residue. Park it; drop joins
+                // it after `pool.close()` releases the wait.
+                *self.parked_reader.lock() = Some(reader);
+            }
+        }
     }
 }
 
@@ -267,11 +339,14 @@ impl PreprocessBackend for DlBooster {
 impl Drop for DlBooster {
     fn drop(&mut self) {
         self.shutdown();
-        if let Some(h) = self.router.take() {
+        if let Some(h) = self.router.lock().take() {
             // The router returns the reader (if still live) so its drop
             // joins the daemon cleanly.
             let _ = h.join();
         }
+        // A reader parked by quiesce(): pool.close() above released any
+        // get_item() wait, so joining is now safe.
+        drop(self.parked_reader.lock().take());
     }
 }
 
@@ -294,13 +369,26 @@ fn run_router(reader: FpgaReader, ctx: RouterCtx) -> Option<FpgaReader> {
         .batches_per_epoch
         .filter(|_| ctx.config.cache_bytes > 0);
 
+    // Count a batch delivered only once it actually lands in a slot
+    // queue: on a closed queue (shutdown or quiesce) the batch comes
+    // back and its unit is recycled, so `delivered` stays an exact count
+    // of batches the consumer can still pop — the failover layer sizes
+    // its fallback budget off it.
     let deliver = |mut batch: HostBatch, seq_out: &mut u64| -> bool {
         let slot = (*seq_out % n as u64) as usize;
         batch.sequence = *seq_out;
         batch.unit.seal(*seq_out);
-        *seq_out += 1;
-        ctx.delivered.inc();
-        ctx.slot_queues[slot].push(batch).is_ok()
+        match ctx.slot_queues[slot].push_or_return(batch) {
+            Ok(()) => {
+                *seq_out += 1;
+                ctx.delivered.inc();
+                true
+            }
+            Err(returned) => {
+                let _ = ctx.pool.recycle_item(returned.unit);
+                false
+            }
+        }
     };
 
     let reached_max = |seq_out: u64| ctx.config.max_batches.is_some_and(|m| seq_out >= m);
@@ -366,7 +454,19 @@ fn run_router(reader: FpgaReader, ctx: RouterCtx) -> Option<FpgaReader> {
             break; // should not happen: coverage was checked
         };
         key = (key + 1) % bpe;
-        let Ok(mut unit) = ctx.pool.get_item() else {
+        // Stop-aware acquisition: a plain get_item() could park forever
+        // with every unit captive in the slot queues while quiesce()
+        // waits to join this thread.
+        let unit = loop {
+            if ctx.stop.load(Ordering::SeqCst) {
+                break None;
+            }
+            match ctx.pool.try_get_item() {
+                Some(u) => break Some(u),
+                None => std::thread::sleep(std::time::Duration::from_micros(200)),
+            }
+        };
+        let Some(mut unit) = unit else {
             break;
         };
         let t0 = Instant::now();

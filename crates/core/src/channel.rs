@@ -78,6 +78,23 @@ impl FpgaChannel {
         }
     }
 
+    /// Like [`FpgaChannel::wait_one`], but gives up after `timeout`.
+    /// `Ok(None)` means the wait timed out with the engine still alive —
+    /// the reader's cue to consider a cmd wedged and resubmit it.
+    pub fn wait_one_timeout(
+        &self,
+        timeout: std::time::Duration,
+    ) -> Result<Option<CompletedBatch>, dlb_membridge::QueueClosed> {
+        match self.engine.completions().pop_timeout(timeout)? {
+            Some(b) => {
+                self.drained.inc();
+                self.inflight.dec();
+                Ok(Some(b))
+            }
+            None => Ok(None),
+        }
+    }
+
     /// Batches submitted but not yet drained.
     pub fn in_flight(&self) -> u64 {
         self.inflight.get().max(0) as u64

@@ -13,14 +13,14 @@
 use crate::backend::HostBatch;
 use crate::channel::FpgaChannel;
 use crate::collector::DataCollector;
-use dlb_fpga::{CompletedBatch, DecodeCmd, OutputFormat, Submission};
-use dlb_membridge::{BlockingQueue, MemManager};
+use dlb_fpga::{CompletedBatch, DataRef, DecodeCmd, FpgaError, OutputFormat, Submission};
+use dlb_membridge::{BatchUnit, BlockingQueue, MemManager};
 use dlb_telemetry::{names, Counter, Gauge, Histogram, Telemetry};
-use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Reader configuration.
 #[derive(Debug, Clone)]
@@ -35,6 +35,11 @@ pub struct ReaderConfig {
     pub format: OutputFormat,
     /// Stop after this many batches (None = run until the collector ends).
     pub max_batches: Option<u64>,
+    /// Per-submission completion deadline. When a batch stays in flight
+    /// longer than this, the reader abandons it and resubmits its cmds
+    /// (fresh ids, fresh buffer); the late original is dropped on arrival,
+    /// so no batch is ever lost *or* duplicated. None disables the watchdog.
+    pub cmd_timeout: Option<Duration>,
 }
 
 impl ReaderConfig {
@@ -64,6 +69,13 @@ pub struct ReaderStats {
     pub submit_latency: Arc<Histogram>,
     /// Batches currently in flight on the device.
     pub inflight: Arc<Gauge>,
+    /// Submissions that exceeded the cmd timeout (`retry.cmd_timeouts`).
+    pub cmd_timeouts: Arc<Counter>,
+    /// Submissions re-issued after a timeout (`retry.cmd_resubmits`).
+    pub cmd_resubmits: Arc<Counter>,
+    /// Abandoned originals that completed late and were dropped
+    /// (`retry.late_completions`).
+    pub late_completions: Arc<Counter>,
 }
 
 impl ReaderStats {
@@ -76,6 +88,9 @@ impl ReaderStats {
             cpu_busy_nanos: telemetry.registry.counter(names::READER_CPU_BUSY_NANOS),
             submit_latency: telemetry.registry.histogram(names::READER_SUBMIT_LATENCY),
             inflight: telemetry.registry.gauge(names::READER_INFLIGHT),
+            cmd_timeouts: telemetry.registry.counter(names::RETRY_CMD_TIMEOUTS),
+            cmd_resubmits: telemetry.registry.counter(names::RETRY_CMD_RESUBMITS),
+            late_completions: telemetry.registry.counter(names::RETRY_LATE_COMPLETIONS),
         }
     }
 }
@@ -182,6 +197,193 @@ impl std::fmt::Debug for FpgaReader {
     }
 }
 
+/// One in-flight submission, keyed by its first cmd id. Carries enough to
+/// re-issue the batch after a timeout: sources and labels (geometry comes
+/// from the config).
+struct Pending {
+    arrivals: Vec<u64>,
+    submitted_at: Instant,
+    items: Vec<(DataRef, u64)>,
+}
+
+/// Mutable reader-loop state shared by the submit / complete / resubmit
+/// paths.
+struct ReaderCore<'a> {
+    pool: &'a MemManager,
+    channel: &'a FpgaChannel,
+    config: &'a ReaderConfig,
+    full_queue: &'a BlockingQueue<HostBatch>,
+    stats: &'a ReaderStats,
+    next_cmd_id: u64,
+    next_sequence: u64,
+    /// In-flight submissions by first cmd id.
+    pending: HashMap<u64, Pending>,
+    /// First cmd ids of submissions abandoned after a timeout; their late
+    /// completions are dropped (the resubmission is the live one).
+    abandoned: HashSet<u64>,
+}
+
+impl ReaderCore<'_> {
+    /// Reserves `items` into `unit`, packs cmds with fresh ids, registers
+    /// the submission, and submits. Returns opportunistically-drained
+    /// completions (Alg. 1 lines 13–15).
+    fn submit(
+        &mut self,
+        mut unit: BatchUnit,
+        items: Vec<(DataRef, u64)>,
+        arrivals: Vec<u64>,
+    ) -> Result<Vec<CompletedBatch>, FpgaError> {
+        let t0 = Instant::now();
+        let first_id = self.next_cmd_id;
+        let out_len = self.config.item_bytes();
+        let out_ch = self.config.format.bytes_per_pixel() as u8;
+        let mut cmds = Vec::with_capacity(items.len());
+        for (src, label) in &items {
+            let offset = unit
+                .reserve(
+                    out_len,
+                    *label,
+                    self.config.target_w as u32,
+                    self.config.target_h as u32,
+                    out_ch,
+                )
+                .expect("batch sized to fit unit");
+            cmds.push(
+                DecodeCmd {
+                    cmd_id: self.next_cmd_id,
+                    src: *src,
+                    dst_phys: unit.phys_addr() + offset as u64,
+                    dst_capacity: out_len as u32,
+                    target_w: self.config.target_w,
+                    target_h: self.config.target_h,
+                    format: self.config.format,
+                }
+                .pack(),
+            );
+            self.next_cmd_id += 1;
+        }
+        self.stats
+            .cpu_busy_nanos
+            .add(t0.elapsed().as_nanos() as u64);
+        self.pending.insert(
+            first_id,
+            Pending {
+                arrivals,
+                submitted_at: Instant::now(),
+                items,
+            },
+        );
+        self.channel.submit_cmd(Submission { unit, cmds })
+    }
+
+    /// Routes one completion: abandoned originals are dropped (unit
+    /// recycled), live batches are sealed and pushed. Returns false when
+    /// the full queue is closed (time to stop).
+    fn on_completion(&mut self, done: CompletedBatch) -> bool {
+        let key = done.finishes.first().map(|f| f.cmd_id).unwrap_or(u64::MAX);
+        if self.abandoned.remove(&key) {
+            // The resubmission already carries (or will carry) this data.
+            self.stats.late_completions.inc();
+            let _ = self.pool.recycle_item(done.unit);
+            return true;
+        }
+        let pending = self.pending.remove(&key);
+        let arrivals = pending
+            .as_ref()
+            .map(|p| p.arrivals.clone())
+            .unwrap_or_default();
+        if let Some(p) = &pending {
+            self.stats
+                .submit_latency
+                .record_duration(p.submitted_at.elapsed());
+        }
+        self.stats.inflight.dec();
+        let errors = done.finishes.iter().filter(|f| !f.status.is_ok()).count() as u64;
+        self.stats.item_errors.add(errors);
+        let mut unit = done.unit;
+        unit.seal(self.next_sequence);
+        let batch = HostBatch {
+            unit,
+            sequence: self.next_sequence,
+            ready_at: Instant::now(),
+            arrivals,
+        };
+        self.next_sequence += 1;
+        self.stats.batches_completed.inc();
+        self.full_queue.push(batch).is_ok()
+    }
+
+    /// Timeout watchdog: if the oldest in-flight submission is past the
+    /// deadline and a fresh unit is free, abandon it and re-issue its cmds
+    /// under fresh ids. Returns false when the full queue closed while
+    /// routing the resubmission's opportunistic completions.
+    fn check_timeouts(&mut self, timeout: Duration) -> bool {
+        let Some(key) = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.submitted_at.elapsed() >= timeout)
+            .min_by_key(|(_, p)| p.submitted_at)
+            .map(|(k, _)| *k)
+        else {
+            return true;
+        };
+        // A resubmission needs somewhere to decode into; without a free
+        // unit we keep waiting (the wedged unit is captive on the device).
+        let Some(unit) = self.pool.try_get_item() else {
+            return true;
+        };
+        let p = self.pending.remove(&key).expect("key from pending");
+        self.abandoned.insert(key);
+        self.stats.cmd_timeouts.inc();
+        self.stats.cmd_resubmits.inc();
+        match self.submit(unit, p.items, p.arrivals) {
+            Ok(done_batches) => {
+                for done in done_batches {
+                    if !self.on_completion(done) {
+                        return false;
+                    }
+                }
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Blocking wait for one completion, honouring the cmd timeout: each
+    /// expiry runs the watchdog before waiting again.
+    fn wait_completion(&mut self) -> WaitOutcome {
+        match self.config.cmd_timeout {
+            None => match self.channel.wait_one() {
+                Some(done) => WaitOutcome::Got(done),
+                None => WaitOutcome::EngineGone,
+            },
+            Some(timeout) => loop {
+                match self.channel.wait_one_timeout(timeout) {
+                    Ok(Some(done)) => return WaitOutcome::Got(done),
+                    Ok(None) => {
+                        if !self.check_timeouts(timeout) {
+                            return WaitOutcome::QueueDown;
+                        }
+                        if self.channel.in_flight() == 0 {
+                            return WaitOutcome::Idle;
+                        }
+                    }
+                    Err(_) => return WaitOutcome::EngineGone,
+                }
+            },
+        }
+    }
+}
+
+enum WaitOutcome {
+    Got(CompletedBatch),
+    /// Nothing in flight anymore (everything timed out and was resubmitted
+    /// or drained while waiting).
+    Idle,
+    EngineGone,
+    QueueDown,
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_reader(
     collector: Arc<DataCollector>,
@@ -192,37 +394,16 @@ fn run_reader(
     stats: Arc<ReaderStats>,
     stop: Arc<std::sync::atomic::AtomicBool>,
 ) -> FpgaChannel {
-    let mut next_cmd_id: u64 = 0;
-    let mut next_sequence: u64 = 0;
-    // Arrival timestamps of in-flight submissions, FIFO with completions.
-    let mut pending_arrivals: VecDeque<Vec<u64>> = VecDeque::new();
-    // Submission instants, FIFO with completions (the single orchestrator
-    // thread retires batches in order, so front always matches).
-    let mut pending_submits: VecDeque<Instant> = VecDeque::new();
-
-    let push_completed = |done: CompletedBatch,
-                          pending_arrivals: &mut VecDeque<Vec<u64>>,
-                          pending_submits: &mut VecDeque<Instant>,
-                          next_sequence: &mut u64|
-     -> bool {
-        let arrivals = pending_arrivals.pop_front().unwrap_or_default();
-        if let Some(submitted_at) = pending_submits.pop_front() {
-            stats.submit_latency.record_duration(submitted_at.elapsed());
-        }
-        stats.inflight.dec();
-        let errors = done.finishes.iter().filter(|f| !f.status.is_ok()).count() as u64;
-        stats.item_errors.add(errors);
-        let mut unit = done.unit;
-        unit.seal(*next_sequence);
-        let batch = HostBatch {
-            unit,
-            sequence: *next_sequence,
-            ready_at: Instant::now(),
-            arrivals,
-        };
-        *next_sequence += 1;
-        stats.batches_completed.inc();
-        full_queue.push(batch).is_ok()
+    let mut core = ReaderCore {
+        pool: &pool,
+        channel: &channel,
+        config: &config,
+        full_queue: &full_queue,
+        stats: &stats,
+        next_cmd_id: 0,
+        next_sequence: 0,
+        pending: HashMap::new(),
+        abandoned: HashSet::new(),
     };
 
     'main: while !stop.load(Ordering::SeqCst) {
@@ -239,12 +420,12 @@ fn run_reader(
         if metas.is_empty() {
             // Stream idle: surface any completions, then wait briefly.
             for done in channel.drain_out() {
-                if !push_completed(
-                    done,
-                    &mut pending_arrivals,
-                    &mut pending_submits,
-                    &mut next_sequence,
-                ) {
+                if !core.on_completion(done) {
+                    break 'main;
+                }
+            }
+            if let Some(timeout) = config.cmd_timeout {
+                if !core.check_timeouts(timeout) {
                     break 'main;
                 }
             }
@@ -254,25 +435,21 @@ fn run_reader(
 
         // Lease a holder; while none is free, drain completions (Alg. 1
         // lines 5–9) — this is both back-pressure and forward progress.
-        let mut unit = loop {
+        let unit = loop {
             match pool.try_get_item() {
                 Some(u) => break u,
                 // With work in flight, a completion will free pipeline
                 // capacity soon: wait for it and forward it. With nothing
                 // in flight the only way a unit comes back is a consumer
                 // recycle, so block on the pool itself.
-                None if channel.in_flight() > 0 => match channel.wait_one() {
-                    Some(done) => {
-                        if !push_completed(
-                            done,
-                            &mut pending_arrivals,
-                            &mut pending_submits,
-                            &mut next_sequence,
-                        ) {
+                None if channel.in_flight() > 0 => match core.wait_completion() {
+                    WaitOutcome::Got(done) => {
+                        if !core.on_completion(done) {
                             break 'main;
                         }
                     }
-                    None => break 'main, // engine gone
+                    WaitOutcome::Idle => {}
+                    WaitOutcome::EngineGone | WaitOutcome::QueueDown => break 'main,
                 },
                 None => match pool.get_item() {
                     Ok(u) => break u,
@@ -281,51 +458,15 @@ fn run_reader(
             }
         };
 
-        // Cmd generation (Alg. 1 lines 11–12).
-        let t0 = Instant::now();
-        let mut cmds = Vec::with_capacity(metas.len());
-        let mut arrivals = Vec::with_capacity(metas.len());
-        for meta in &metas {
-            let out_ch = config.format.bytes_per_pixel() as u8;
-            let out_len = config.item_bytes();
-            let offset = unit
-                .reserve(
-                    out_len,
-                    meta.label,
-                    config.target_w as u32,
-                    config.target_h as u32,
-                    out_ch,
-                )
-                .expect("batch sized to fit unit");
-            let cmd = DecodeCmd {
-                cmd_id: next_cmd_id,
-                src: meta.src,
-                dst_phys: unit.phys_addr() + offset as u64,
-                dst_capacity: out_len as u32,
-                target_w: config.target_w,
-                target_h: config.target_h,
-                format: config.format,
-            };
-            next_cmd_id += 1;
-            cmds.push(cmd.pack());
-            arrivals.push(meta.arrival_nanos.unwrap_or(0));
-        }
-        stats.cpu_busy_nanos.add(t0.elapsed().as_nanos() as u64);
-
-        pending_arrivals.push_back(arrivals);
-        pending_submits.push_back(Instant::now());
+        // Cmd generation (Alg. 1 lines 11–12) and async submit.
+        let items: Vec<(DataRef, u64)> = metas.iter().map(|m| (m.src, m.label)).collect();
+        let arrivals: Vec<u64> = metas.iter().map(|m| m.arrival_nanos.unwrap_or(0)).collect();
         stats.batches_submitted.inc();
         stats.inflight.inc();
-        // Async submit; push anything already finished (Alg. 1 lines 13–15).
-        match channel.submit_cmd(Submission { unit, cmds }) {
+        match core.submit(unit, items, arrivals) {
             Ok(done_batches) => {
                 for done in done_batches {
-                    if !push_completed(
-                        done,
-                        &mut pending_arrivals,
-                        &mut pending_submits,
-                        &mut next_sequence,
-                    ) {
+                    if !core.on_completion(done) {
                         break 'main;
                     }
                 }
@@ -336,18 +477,14 @@ fn run_reader(
 
     // Drain everything still in flight, then close (Alg. 1 lines 16–19).
     while channel.in_flight() > 0 {
-        match channel.wait_one() {
-            Some(done) => {
-                if !push_completed(
-                    done,
-                    &mut pending_arrivals,
-                    &mut pending_submits,
-                    &mut next_sequence,
-                ) {
+        match core.wait_completion() {
+            WaitOutcome::Got(done) => {
+                if !core.on_completion(done) {
                     break;
                 }
             }
-            None => break,
+            WaitOutcome::Idle => {}
+            WaitOutcome::EngineGone | WaitOutcome::QueueDown => break,
         }
     }
     // Whatever was submitted but never made it back is a batch error — this
@@ -399,6 +536,7 @@ mod tests {
                 target_h: 64,
                 format: OutputFormat::Rgb8,
                 max_batches,
+                cmd_timeout: None,
             },
         );
         (reader, pool)
@@ -440,6 +578,75 @@ mod tests {
     }
 
     #[test]
+    fn cmd_timeout_resubmits_wedged_batches_without_loss_or_duplication() {
+        use dlb_chaos::{FaultPlan, Stage, StageSpec};
+        let telemetry = Telemetry::with_defaults();
+        let disk = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));
+        let ds = Dataset::build(DatasetSpec::ilsvrc_small(16, 5), &disk).unwrap();
+        let collector = Arc::new(DataCollector::load_from_disk(&ds.records, 0));
+        let mut dev = FpgaDevice::new(DeviceSpec::arria10_ax());
+        dev.load_mirror(DecoderMirror::jpeg_paper_config()).unwrap();
+        let engine = DecoderEngine::start_with_telemetry(
+            dev,
+            Arc::new(CombinedResolver::disk_only(disk)),
+            &telemetry,
+        )
+        .unwrap();
+        // Delay-flavoured FPGA faults wedge individual lanes well past the
+        // reader's deadline; resubmissions draw fresh cmd ids and recover.
+        let mut plan = FaultPlan::disabled();
+        plan.seed = 1;
+        plan.fpga = StageSpec::rate(0.35).with_delay(Duration::from_millis(300));
+        engine.attach_chaos(plan.injector(Stage::Fpga, &telemetry).unwrap());
+        let channel = FpgaChannel::init_with_telemetry(engine, 0, &telemetry);
+        let pool = MemManager::new(PoolConfig {
+            unit_size: 2 << 20,
+            unit_count: 4,
+            phys_base: 0x4_0000_0000,
+        })
+        .unwrap();
+        let reader = FpgaReader::start_with_telemetry(
+            collector,
+            pool.clone(),
+            channel,
+            ReaderConfig {
+                batch_size: 2,
+                target_w: 32,
+                target_h: 32,
+                format: OutputFormat::Rgb8,
+                max_batches: Some(8),
+                cmd_timeout: Some(Duration::from_millis(40)),
+            },
+            &telemetry,
+        );
+        let mut sequences = Vec::new();
+        while let Ok(batch) = reader.full_queue().pop() {
+            assert_eq!(batch.len(), 2);
+            sequences.push(batch.sequence);
+            pool.recycle_item(batch.unit).unwrap();
+        }
+        // Every submitted batch arrived exactly once, in sequence order.
+        assert_eq!(sequences, (0..8).collect::<Vec<u64>>());
+        let resubmits = reader.stats().cmd_resubmits.get();
+        let timeouts = reader.stats().cmd_timeouts.get();
+        assert!(
+            timeouts > 0,
+            "300ms stalls vs a 40ms deadline must time out"
+        );
+        assert_eq!(resubmits, timeouts);
+        let channel = reader.stop();
+        assert_eq!(channel.in_flight(), 0);
+        assert_eq!(
+            pool.free_count(),
+            4,
+            "late completions recycled, not leaked"
+        );
+        // Conservation: submitted == completed (no errors, no duplicates).
+        let snap = telemetry.pipeline_snapshot();
+        assert_eq!(snap.invariant_violations(), Vec::<String>::new());
+    }
+
+    #[test]
     fn config_validation_panics_on_oversized_batch() {
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let disk = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));
@@ -465,6 +672,7 @@ mod tests {
                     target_h: 224,
                     format: OutputFormat::Rgb8,
                     max_batches: Some(1),
+                    cmd_timeout: None,
                 },
             )
         }));

@@ -22,6 +22,7 @@ use crate::cmd::{DataRef, DecodeCmd, FinishSignal, ItemStatus, OutputFormat, CMD
 use crate::device::FpgaDevice;
 use crate::error::FpgaError;
 use crate::mirror::MirrorKind;
+use dlb_chaos::{FaultKind, StageInjector};
 use dlb_codec::pixel::ColorSpace;
 use dlb_codec::resize::{resize, ResizeFilter};
 use dlb_codec::JpegDecoder;
@@ -29,7 +30,7 @@ use dlb_membridge::{BatchUnit, BlockingQueue};
 use dlb_telemetry::{names, Counter, Histogram, Telemetry};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -165,6 +166,7 @@ pub struct DecoderEngine {
     done_q: BlockingQueue<CompletedBatch>,
     orchestrator: Option<JoinHandle<FpgaDevice>>,
     stats: Arc<EngineStats>,
+    chaos: Arc<OnceLock<Arc<StageInjector>>>,
 }
 
 impl DecoderEngine {
@@ -195,13 +197,15 @@ impl DecoderEngine {
         let submit_q: BlockingQueue<Submission> = BlockingQueue::bounded(fifo_depth.max(1));
         let done_q: BlockingQueue<CompletedBatch> = BlockingQueue::unbounded();
         let stats = Arc::new(EngineStats::register(telemetry));
+        let chaos: Arc<OnceLock<Arc<StageInjector>>> = Arc::new(OnceLock::new());
 
         let sq = submit_q.clone();
         let dq = done_q.clone();
         let st = Arc::clone(&stats);
+        let ch = Arc::clone(&chaos);
         let orchestrator = std::thread::Builder::new()
             .name("fpga-orchestrator".into())
-            .spawn(move || run_orchestrator(device, sq, dq, st, resolver, ways, kind))
+            .spawn(move || run_orchestrator(device, sq, dq, st, resolver, ways, kind, ch))
             .expect("spawn orchestrator");
 
         Ok(Self {
@@ -209,7 +213,17 @@ impl DecoderEngine {
             done_q,
             orchestrator: Some(orchestrator),
             stats,
+            chaos,
         })
+    }
+
+    /// Attaches a chaos injector for the FPGA plane: lane stalls
+    /// (cancellable — a wedged lane releases when the plan's cancel token
+    /// fires) and poisoned segments (the cmd fails with a decode error).
+    /// Faults are keyed by `cmd_id`, so replays with the same seed poison
+    /// the same items. One-shot; later calls are ignored.
+    pub fn attach_chaos(&self, injector: Arc<StageInjector>) {
+        let _ = self.chaos.set(injector);
     }
 
     /// Submits a batch; blocks if the cmd FIFO is full (device back-pressure).
@@ -269,6 +283,7 @@ fn run_orchestrator(
     resolver: Arc<dyn DataSourceResolver>,
     ways: usize,
     kind: MirrorKind,
+    chaos: Arc<OnceLock<Arc<StageInjector>>>,
 ) -> FpgaDevice {
     // Lane workers: the N-way Huffman/iDCT/resize unit.
     let (job_tx, job_rx) = crossbeam::channel::unbounded::<LaneJob>();
@@ -279,10 +294,11 @@ fn run_orchestrator(
         let tx = res_tx.clone();
         let resolver = Arc::clone(&resolver);
         let service = Arc::clone(&stats.lane_service);
+        let chaos = Arc::clone(&chaos);
         lanes.push(
             std::thread::Builder::new()
                 .name(format!("fpga-lane-{lane}"))
-                .spawn(move || lane_worker(rx, tx, resolver, kind, service))
+                .spawn(move || lane_worker(rx, tx, resolver, kind, service, chaos))
                 .expect("spawn lane"),
         );
     }
@@ -407,6 +423,7 @@ fn lane_worker(
     resolver: Arc<dyn DataSourceResolver>,
     kind: MirrorKind,
     service: Arc<Histogram>,
+    chaos: Arc<OnceLock<Arc<StageInjector>>>,
 ) {
     let decoder = JpegDecoder::new();
     while let Ok(job) = rx.recv() {
@@ -414,6 +431,26 @@ fn lane_worker(
             break;
         };
         let started = Instant::now();
+        // Chaos: a Delay stalls the lane (cancellable — sliced sleep);
+        // anything else poisons the segment with a decode error.
+        if let Some(inj) = chaos.get() {
+            match inj.decide(cmd.cmd_id) {
+                Some(FaultKind::Delay(d)) => {
+                    inj.sleep(d);
+                }
+                Some(_) => {
+                    service.record_duration(started.elapsed());
+                    let outcome = Err(ItemStatus::DecodeError {
+                        detail: format!("chaos: poisoned segment (cmd {})", cmd.cmd_id),
+                    });
+                    if tx.send(LaneResult { idx, outcome }).is_err() {
+                        break;
+                    }
+                    continue;
+                }
+                None => {}
+            }
+        }
         let outcome = match kind {
             MirrorKind::JpegImage => decode_one(&decoder, &resolver, &cmd),
             MirrorKind::AudioSpectrogram => spectrogram_one(&resolver, &cmd),
@@ -944,6 +981,62 @@ mod tests {
             engine.stats().items_in.get(),
             (n_batches * per_batch) as u64
         );
+    }
+
+    #[test]
+    fn chaos_poisons_segments_without_losing_the_batch() {
+        use dlb_chaos::{FaultPlan, Stage, StageSpec};
+        let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
+        device
+            .load_mirror(DecoderMirror::jpeg_paper_config())
+            .unwrap();
+        let resolver = Arc::new(MapResolver::new());
+        let t = dlb_telemetry::Telemetry::with_defaults();
+        let engine = DecoderEngine::start_with_telemetry(device, resolver.clone(), &t).unwrap();
+        let mut plan = FaultPlan::disabled();
+        plan.seed = 3;
+        plan.fpga = StageSpec::rate(0.5).with_delay(std::time::Duration::from_millis(1));
+        engine.attach_chaos(plan.injector(Stage::Fpga, &t).unwrap());
+        let pool = MemManager::new(PoolConfig {
+            unit_size: 4 << 20,
+            unit_count: 2,
+            phys_base: 0x4_0000_0000,
+        })
+        .unwrap();
+        let n = 24;
+        let mut unit = pool.get_item().unwrap();
+        let mut cmds = Vec::new();
+        for i in 0..n {
+            let src = resolver.put_disk(i as u64 * 1_000_000, jpeg_bytes(i as u64, 48, 48));
+            let off = unit.reserve(16 * 16 * 3, i as u64, 16, 16, 3).unwrap();
+            cmds.push(
+                DecodeCmd {
+                    cmd_id: i as u64,
+                    src,
+                    dst_phys: unit.phys_addr() + off as u64,
+                    dst_capacity: 16 * 16 * 3,
+                    target_w: 16,
+                    target_h: 16,
+                    format: OutputFormat::Rgb8,
+                }
+                .pack(),
+            );
+        }
+        engine.submit(Submission { unit, cmds }).unwrap();
+        let done = engine.completions().pop().unwrap();
+        // The batch always completes: every cmd gets a FINISH signal.
+        assert_eq!(done.finishes.len(), n);
+        let poisoned = done
+            .finishes
+            .iter()
+            .filter(|f| matches!(&f.status, ItemStatus::DecodeError { detail } if detail.contains("chaos")))
+            .count();
+        assert!(poisoned > 0, "a 50% rate must poison some segments");
+        assert!(done.ok_count() > 0, "a 50% rate must pass some segments");
+        assert_eq!(done.ok_count() + poisoned, n);
+        let snap = t.registry.snapshot();
+        assert!(snap.counter("chaos.injected.fpga") > 0);
+        pool.recycle_item(done.unit).unwrap();
     }
 
     #[test]

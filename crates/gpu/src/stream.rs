@@ -9,9 +9,10 @@
 //! examples and tests run fast while preserving relative costs.
 
 use crate::device::DeviceBuffer;
+use dlb_chaos::{FaultKind, StageInjector};
 use dlb_membridge::BatchUnit;
 use parking_lot::{Condvar, Mutex};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -77,6 +78,7 @@ pub struct GpuStream {
     /// modelled time; 0.0 = skip sleeps entirely).
     time_scale: f64,
     name: String,
+    chaos: Arc<OnceLock<Arc<StageInjector>>>,
 }
 
 impl GpuStream {
@@ -96,11 +98,15 @@ impl GpuStream {
         });
         let sh = Arc::clone(&shared);
         let scale = time_scale;
+        let chaos: Arc<OnceLock<Arc<StageInjector>>> = Arc::new(OnceLock::new());
+        let ch = Arc::clone(&chaos);
         let worker = std::thread::Builder::new()
             .name(format!("gpu-stream-{name}"))
             .spawn(move || {
+                let mut ordinal = 0u64;
                 while let Ok(op) = rx.recv() {
-                    let completed = execute(op, scale);
+                    let completed = execute(op, scale, ch.get(), ordinal);
+                    ordinal += 1;
                     let mut st = sh.completed.lock();
                     st.done.push(completed);
                     st.retired += 1;
@@ -117,7 +123,16 @@ impl GpuStream {
             worker: Some(worker),
             time_scale,
             name: name.to_string(),
+            chaos,
         }
+    }
+
+    /// Attaches a chaos injector for the GPU plane: copy-slot delays and
+    /// failed host→device copies (the op completes with an error and both
+    /// resources still return — no unit is ever lost). Faults are keyed by
+    /// the op's position in this stream's submission order. One-shot.
+    pub fn attach_chaos(&self, injector: Arc<StageInjector>) {
+        let _ = self.chaos.set(injector);
     }
 
     /// Stream label.
@@ -178,7 +193,21 @@ impl std::fmt::Debug for GpuStream {
     }
 }
 
-fn execute(op: GpuOp, scale: f64) -> CompletedOp {
+fn execute(op: GpuOp, scale: f64, chaos: Option<&Arc<StageInjector>>, ordinal: u64) -> CompletedOp {
+    // Chaos: copy slots can be delayed (slot contention) or fail outright.
+    // Kernels are left alone — the fault model targets the copy engine.
+    let mut fail_copy = false;
+    if let Some(inj) = chaos {
+        if matches!(op, GpuOp::MemcpyH2D { .. }) {
+            match inj.decide(ordinal) {
+                Some(FaultKind::Delay(d)) => {
+                    inj.sleep(d);
+                }
+                Some(_) => fail_copy = true,
+                None => {}
+            }
+        }
+    }
     match op {
         GpuOp::MemcpyH2D {
             host,
@@ -187,7 +216,9 @@ fn execute(op: GpuOp, scale: f64) -> CompletedOp {
         } => {
             sleep_scaled(duration, scale);
             let n = host.used();
-            let error = if n > dev.len() {
+            let error = if fail_copy {
+                Some("chaos: injected H2D copy failure".to_string())
+            } else if n > dev.len() {
                 Some(format!("device buffer {} < payload {}", dev.len(), n))
             } else {
                 dev.bytes_mut()[..n].copy_from_slice(host.payload());
@@ -367,6 +398,52 @@ mod tests {
         let all = set.synchronize_all();
         assert_eq!(all.len(), 2);
         assert_eq!(all[0].len() + all[1].len(), 2);
+    }
+
+    #[test]
+    fn chaos_fails_copies_without_losing_resources() {
+        use dlb_chaos::{FaultPlan, Stage, StageSpec};
+        let (pool, dev) = pool_and_device();
+        let t = dlb_telemetry::Telemetry::with_defaults();
+        let mut plan = FaultPlan::disabled();
+        plan.seed = 5;
+        plan.gpu = StageSpec::rate(0.5).with_delay(Duration::from_micros(200));
+        let stream = GpuStream::new("chaos", 0.0);
+        stream.attach_chaos(plan.injector(Stage::Gpu, &t).unwrap());
+        let n = 30;
+        for i in 0..n {
+            let mut unit = pool.get_item().unwrap();
+            unit.append(&[i as u8; 16], i as u64, 4, 4, 1).unwrap();
+            let buf = dev.alloc(4096).unwrap();
+            stream.enqueue(GpuOp::MemcpyH2D {
+                host: unit,
+                dev: buf,
+                duration: Duration::ZERO,
+            });
+            // Keep the pool from starving: drain and recycle as we go.
+            for op in stream.synchronize() {
+                match op {
+                    CompletedOp::MemcpyH2D { host, error, .. } => {
+                        if let Some(e) = &error {
+                            assert!(e.contains("chaos"), "{e}");
+                        }
+                        pool.recycle_item(host).unwrap();
+                    }
+                    _ => panic!("wrong op kind"),
+                }
+            }
+        }
+        // Every unit came back regardless of copy outcome.
+        assert_eq!(pool.free_count(), 4);
+        let snap = t.registry.snapshot();
+        assert!(
+            snap.counter("chaos.injected.gpu") > 0,
+            "a 50% rate must inject"
+        );
+        assert!(
+            snap.counter("chaos.injected.gpu") < n,
+            "a 50% rate must pass some copies"
+        );
     }
 
     #[test]

@@ -2,9 +2,10 @@
 //! API from Table 1 (`get_item`, `recycle_item`, `phy2virt`, `virt2phy`).
 
 use crate::queue::{BlockingQueue, QueueClosed};
+use dlb_chaos::{FaultKind, StageInjector};
 use dlb_telemetry::{names, Counter, Gauge, Telemetry};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Errors from pool operations.
@@ -24,6 +25,27 @@ pub enum PoolError {
     },
     /// A unit from a different pool was recycled here.
     ForeignUnit,
+    /// A unit that is already back in the free queue was recycled again.
+    DoubleRecycle {
+        /// The offending unit id.
+        id: u32,
+    },
+    /// A cached payload larger than the unit's capacity was restored.
+    RestoreOverflow {
+        /// Cached payload length in bytes.
+        payload: usize,
+        /// Unit capacity in bytes.
+        capacity: usize,
+    },
+    /// A restore item descriptor points outside the cached payload.
+    RestoreLayout {
+        /// The descriptor's byte offset.
+        offset: usize,
+        /// The descriptor's length.
+        len: usize,
+        /// The cached payload length it must fit inside.
+        payload: usize,
+    },
 }
 
 impl std::fmt::Display for PoolError {
@@ -35,6 +57,23 @@ impl std::fmt::Display for PoolError {
             }
             PoolError::BadConfig { detail } => write!(f, "bad pool config: {detail}"),
             PoolError::ForeignUnit => write!(f, "batch unit belongs to a different pool"),
+            PoolError::DoubleRecycle { id } => {
+                write!(f, "unit {id} is already in the free queue")
+            }
+            PoolError::RestoreOverflow { payload, capacity } => {
+                write!(
+                    f,
+                    "cached payload {payload} exceeds unit capacity {capacity}"
+                )
+            }
+            PoolError::RestoreLayout {
+                offset,
+                len,
+                payload,
+            } => write!(
+                f,
+                "item descriptor {offset}+{len} outside cached payload of {payload} bytes"
+            ),
         }
     }
 }
@@ -236,18 +275,26 @@ impl BatchUnit {
     }
 
     /// Repopulates the unit from a previously captured payload + item
-    /// layout (the epoch-cache replay path). Fails if the payload exceeds
-    /// capacity or the items don't describe it.
-    pub fn restore(&mut self, payload: &[u8], items: &[ItemDesc]) -> Result<(), String> {
+    /// layout (the epoch-cache replay path). Fails with a typed
+    /// [`PoolError`] if the payload exceeds capacity or the items don't
+    /// describe it; the unit is left untouched on failure.
+    pub fn restore(&mut self, payload: &[u8], items: &[ItemDesc]) -> Result<(), PoolError> {
         if payload.len() > self.data.len() {
-            return Err(format!(
-                "cached payload {} exceeds unit capacity {}",
-                payload.len(),
-                self.data.len()
-            ));
+            return Err(PoolError::RestoreOverflow {
+                payload: payload.len(),
+                capacity: self.data.len(),
+            });
         }
-        if items.iter().any(|it| it.offset + it.len > payload.len()) {
-            return Err("item descriptor outside cached payload".into());
+        if let Some(bad) = items.iter().find(|it| {
+            it.offset
+                .checked_add(it.len)
+                .is_none_or(|end| end > payload.len())
+        }) {
+            return Err(PoolError::RestoreLayout {
+                offset: bad.offset,
+                len: bad.len,
+                payload: payload.len(),
+            });
         }
         self.reset();
         self.data[..payload.len()].copy_from_slice(payload);
@@ -310,6 +357,13 @@ struct PoolInner {
     handles: Option<PoolHandles>,
     /// `virt_addr` of each unit by id — the translation table.
     virt_table: Vec<u64>,
+    /// Per-unit "currently in the free queue" flags — detects
+    /// double-recycles as typed errors instead of silent corruption.
+    in_free: Vec<AtomicBool>,
+    /// Optional chaos injector (pool exhaustion / delayed recycling).
+    chaos: OnceLock<Arc<StageInjector>>,
+    /// Ordinal for chaos fault decisions.
+    chaos_ticket: AtomicU64,
 }
 
 /// The pool: pre-allocates all units up front and recycles them through an
@@ -348,6 +402,7 @@ impl MemManager {
         let pool_tag = POOL_TAG.fetch_add(1, Ordering::Relaxed);
         let free = BlockingQueue::unbounded();
         let mut virt_table = Vec::with_capacity(config.unit_count);
+        let mut in_free = Vec::with_capacity(config.unit_count);
         for id in 0..config.unit_count {
             let data = vec![0u8; config.unit_size].into_boxed_slice();
             let unit = BatchUnit {
@@ -360,6 +415,7 @@ impl MemManager {
                 sequence: 0,
             };
             virt_table.push(unit.virt_addr());
+            in_free.push(AtomicBool::new(true));
             free.push(unit).expect("fresh queue is open");
         }
         if let Some(h) = &handles {
@@ -377,11 +433,29 @@ impl MemManager {
                 recycle_ops: AtomicU64::new(0),
                 handles,
                 virt_table,
+                in_free,
+                chaos: OnceLock::new(),
+                chaos_ticket: AtomicU64::new(0),
             }),
         })
     }
 
-    fn note_lease(&self) {
+    /// Attaches a chaos injector for the pool plane (exhaustion = forced
+    /// starvation waits, delayed recycling). One branch on the hot path
+    /// when absent; attach is one-shot (later calls are ignored).
+    pub fn attach_chaos(&self, injector: Arc<StageInjector>) {
+        let _ = self.inner.chaos.set(injector);
+    }
+
+    /// If a chaos fault fires for this pool operation, returns it.
+    fn chaos_fault(&self) -> Option<(Arc<StageInjector>, FaultKind)> {
+        let inj = self.inner.chaos.get()?;
+        let ticket = self.inner.chaos_ticket.fetch_add(1, Ordering::Relaxed);
+        inj.decide(ticket).map(|f| (Arc::clone(inj), f))
+    }
+
+    fn note_lease(&self, unit: &BatchUnit) {
+        self.inner.in_free[unit.id as usize].store(false, Ordering::Release);
         self.inner.leased.fetch_add(1, Ordering::Relaxed);
         self.inner.lease_ops.fetch_add(1, Ordering::Relaxed);
         if let Some(h) = &self.inner.handles {
@@ -393,6 +467,17 @@ impl MemManager {
     /// Table 1 `get_item`: leases a free unit, blocking while none is
     /// available (the back-pressure of Algorithm 1 lines 5–9).
     pub fn get_item(&self) -> Result<BatchUnit, PoolError> {
+        if let Some((inj, fault)) = self.chaos_fault() {
+            // Simulated exhaustion: the lease waits as if the pool were
+            // briefly empty. `Overflow` additionally surfaces as a
+            // starvation event.
+            if fault == FaultKind::Overflow {
+                if let Some(h) = &self.inner.handles {
+                    h.starvations.inc();
+                }
+            }
+            inj.sleep(inj.delay());
+        }
         let unit = match self.inner.free.try_pop() {
             Some(unit) => unit,
             None => {
@@ -409,27 +494,58 @@ impl MemManager {
                 unit
             }
         };
-        self.note_lease();
+        self.note_lease(&unit);
         Ok(unit)
     }
 
     /// Non-blocking variant of [`MemManager::get_item`].
     pub fn try_get_item(&self) -> Option<BatchUnit> {
+        if self.chaos_fault().is_some() {
+            // Simulated exhaustion: report "nothing free right now" and
+            // let the caller take its fallback path.
+            return None;
+        }
         let unit = self.inner.free.try_pop()?;
-        self.note_lease();
+        self.note_lease(&unit);
         Some(unit)
+    }
+
+    /// True when `unit` was leased from this pool. A failover layer uses
+    /// this to route recycles between a retired primary pool and its
+    /// fallback without consuming the unit on a
+    /// [`PoolError::ForeignUnit`].
+    pub fn owns(&self, unit: &BatchUnit) -> bool {
+        unit.pool_tag == self.inner.pool_tag
     }
 
     /// Table 1 `recycle_item`: clears the unit and returns it to the free
     /// queue for the next batch.
+    ///
+    /// Typed failure modes: [`PoolError::ForeignUnit`] for a unit from
+    /// another pool, [`PoolError::DoubleRecycle`] for a unit already in
+    /// the free queue, [`PoolError::Closed`] after shutdown. Stats are
+    /// only updated on success (a failed recycle drops the unit, which
+    /// leak detection in [`PoolStats::leased`] then reports).
     pub fn recycle_item(&self, mut unit: BatchUnit) -> Result<(), PoolError> {
         if unit.pool_tag != self.inner.pool_tag {
             return Err(PoolError::ForeignUnit);
         }
+        let id = unit.id;
+        if self.inner.in_free[id as usize].swap(true, Ordering::AcqRel) {
+            return Err(PoolError::DoubleRecycle { id });
+        }
+        if let Some((inj, _)) = self.chaos_fault() {
+            // Delayed recycling: the unit lingers before re-entering the
+            // free queue, starving downstream leases.
+            inj.sleep(inj.delay());
+        }
         unit.reset();
+        if let Err(closed) = self.inner.free.push(unit) {
+            self.inner.in_free[id as usize].store(false, Ordering::Release);
+            return Err(closed.into());
+        }
         self.inner.leased.fetch_sub(1, Ordering::Relaxed);
         self.inner.recycle_ops.fetch_add(1, Ordering::Relaxed);
-        self.inner.free.push(unit)?;
         if let Some(h) = &self.inner.handles {
             h.recycles.inc();
             h.free_units.inc();
@@ -611,9 +727,17 @@ mod tests {
     fn restore_rejects_oversized_or_inconsistent() {
         let pool = small_pool();
         let mut unit = pool.get_item().unwrap();
-        // Payload larger than capacity.
-        assert!(unit.restore(&vec![0u8; 4096], &[]).is_err());
-        // Item descriptor outside the payload.
+        // Payload larger than capacity → typed overflow error, unit intact.
+        unit.append(&[9, 9], 1, 1, 1, 1).unwrap();
+        assert_eq!(
+            unit.restore(&vec![0u8; 4096], &[]),
+            Err(PoolError::RestoreOverflow {
+                payload: 4096,
+                capacity: 1024
+            })
+        );
+        assert_eq!(unit.used(), 2, "failed restore must not clobber the unit");
+        // Item descriptor outside the payload → typed layout error.
         let bad_item = ItemDesc {
             offset: 8,
             len: 8,
@@ -622,8 +746,93 @@ mod tests {
             height: 1,
             channels: 1,
         };
-        assert!(unit.restore(&[0u8; 10], &[bad_item]).is_err());
+        assert_eq!(
+            unit.restore(&[0u8; 10], &[bad_item]),
+            Err(PoolError::RestoreLayout {
+                offset: 8,
+                len: 8,
+                payload: 10
+            })
+        );
+        // Offset+len overflowing usize must error, not panic.
+        let huge_item = ItemDesc {
+            offset: usize::MAX,
+            len: 2,
+            label: 0,
+            width: 1,
+            height: 1,
+            channels: 1,
+        };
+        assert!(matches!(
+            unit.restore(&[0u8; 10], &[huge_item]),
+            Err(PoolError::RestoreLayout { .. })
+        ));
         pool.recycle_item(unit).unwrap();
+    }
+
+    #[test]
+    fn double_recycle_rejected_with_typed_error() {
+        let pool = small_pool();
+        let unit = pool.get_item().unwrap();
+        let id = unit.id();
+        // Forge a duplicate lease of the same unit (same-module access to
+        // private fields stands in for a hypothetical ownership bug).
+        let forged = BatchUnit {
+            id,
+            pool_tag: unit.pool_tag,
+            phys_addr: unit.phys_addr,
+            data: vec![0u8; 16].into_boxed_slice(),
+            used: 0,
+            items: Vec::new(),
+            sequence: 0,
+        };
+        pool.recycle_item(unit).unwrap();
+        assert_eq!(
+            pool.recycle_item(forged),
+            Err(PoolError::DoubleRecycle { id })
+        );
+        // The real unit is still leasable afterwards.
+        let unit = pool.get_item().unwrap();
+        pool.recycle_item(unit).unwrap();
+    }
+
+    #[test]
+    fn recycle_after_close_rejected_with_typed_error() {
+        let pool = small_pool();
+        let unit = pool.get_item().unwrap();
+        let leased_before = pool.stats().leased;
+        pool.close();
+        assert_eq!(pool.recycle_item(unit), Err(PoolError::Closed));
+        // The unit is gone (dropped), which leak detection reports.
+        assert_eq!(pool.stats().leased, leased_before);
+        assert_eq!(pool.stats().recycle_ops, 0, "failed recycle not counted");
+    }
+
+    #[test]
+    fn chaos_faults_delay_but_conserve_units() {
+        let t = dlb_telemetry::Telemetry::with_defaults();
+        let pool = MemManager::with_telemetry(
+            PoolConfig {
+                unit_size: 64,
+                unit_count: 2,
+                phys_base: 0,
+            },
+            &t,
+        )
+        .unwrap();
+        let mut plan = dlb_chaos::FaultPlan::disabled();
+        plan.pool = dlb_chaos::StageSpec::rate(1.0).with_delay(std::time::Duration::from_millis(1));
+        pool.attach_chaos(plan.injector(dlb_chaos::Stage::Pool, &t).unwrap());
+        for _ in 0..10 {
+            let unit = pool.get_item().unwrap();
+            pool.recycle_item(unit).unwrap();
+        }
+        // try_get_item under a firing injector reports exhaustion.
+        assert!(pool.try_get_item().is_none());
+        assert_eq!(pool.free_count(), 2, "latency faults never lose units");
+        let snap = t.pipeline_snapshot();
+        assert!(snap.chaos.injected_pool >= 20);
+        assert_eq!(snap.chaos.injected_pool, snap.chaos.faults_total);
     }
 
     #[test]

@@ -178,6 +178,33 @@ impl<T> BlockingQueue<T> {
         Ok(())
     }
 
+    /// Like [`BlockingQueue::push`], but hands the item back instead of
+    /// dropping it when the queue is closed. Callers that own scarce
+    /// resources inside the item (pool units) can recycle them rather
+    /// than leak them at shutdown.
+    pub fn push_or_return(&self, item: T) -> Result<(), T> {
+        let mut st = self.inner.queue.lock();
+        if st.items.len() >= self.inner.capacity && !st.closed {
+            let blocked = Instant::now();
+            while st.items.len() >= self.inner.capacity && !st.closed {
+                self.inner.not_full.wait(&mut st);
+            }
+            if let Some(h) = self.inner.hooks.get() {
+                h.blocked_push_nanos
+                    .add(blocked.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+            }
+        }
+        if st.closed {
+            return Err(item);
+        }
+        st.items.push_back(item);
+        st.pushed += 1;
+        self.inner.note_push(&st);
+        drop(st);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+
     /// Non-blocking push; `Ok(false)` when full.
     pub fn try_push(&self, item: T) -> Result<bool, QueueClosed> {
         let mut st = self.inner.queue.lock();

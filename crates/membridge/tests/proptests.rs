@@ -1,7 +1,9 @@
 //! Property tests: the pool never double-leases, always conserves units,
-//! and address translation is a bijection over the pool's range.
+//! address translation is a bijection over the pool's range, and every
+//! misuse path (recycle-after-close, bad restore input) fails with a
+//! typed error instead of a panic.
 
-use dlb_membridge::{MemManager, PoolConfig};
+use dlb_membridge::{ItemDesc, MemManager, PoolConfig, PoolError};
 use proptest::prelude::*;
 use std::collections::HashSet;
 
@@ -83,6 +85,141 @@ proptest! {
             }
             prop_assert_eq!(unit.used(), expected_used);
             prop_assert!(unit.used() <= unit.capacity());
+        }
+        pool.recycle_item(unit).unwrap();
+    }
+
+    /// Random get/recycle/close interleavings conserve units: at every
+    /// step `free + held + destroyed == unit_count`, leases round-trip
+    /// through the phys↔virt tables, and operations after close fail
+    /// with typed errors instead of panicking.
+    #[test]
+    fn random_interleavings_conserve_free_count(
+        unit_count in 1usize..12,
+        ops in prop::collection::vec((any::<u8>(), any::<prop::sample::Index>()), 1..200),
+        close_at in any::<prop::sample::Index>(),
+    ) {
+        let pool = MemManager::new(PoolConfig {
+            unit_size: 128,
+            unit_count,
+            phys_base: 0x3_0000_0000,
+        }).unwrap();
+        let close_step = close_at.index(ops.len());
+        let mut held: Vec<_> = Vec::new();
+        let mut destroyed = 0usize;
+        let mut closed = false;
+        for (step, (sel, idx)) in ops.into_iter().enumerate() {
+            if step == close_step {
+                pool.close();
+                closed = true;
+            }
+            if sel % 2 == 0 {
+                match pool.try_get_item() {
+                    Some(u) => {
+                        // Leases stay translation-consistent.
+                        let virt = pool.phy2virt(u.phys_addr()).unwrap();
+                        prop_assert_eq!(virt, u.virt_addr());
+                        prop_assert_eq!(pool.virt2phy(virt).unwrap(), u.phys_addr());
+                        held.push(u);
+                    }
+                    None => prop_assert!(closed || held.len() + destroyed == unit_count),
+                }
+            } else if !held.is_empty() {
+                let u = held.remove(idx.index(held.len()));
+                match pool.recycle_item(u) {
+                    Ok(()) => prop_assert!(!closed, "recycle cannot succeed after close"),
+                    Err(e) => {
+                        prop_assert_eq!(e, PoolError::Closed);
+                        prop_assert!(closed);
+                        destroyed += 1; // failed recycle drops the unit
+                    }
+                }
+            }
+            prop_assert!(
+                pool.free_count() + held.len() + destroyed == unit_count,
+                "conservation broke at step {}",
+                step
+            );
+        }
+    }
+
+    /// The same conservation law holds under genuinely concurrent
+    /// lease/recycle traffic from multiple threads.
+    #[test]
+    fn concurrent_interleavings_conserve_free_count(
+        unit_count in 2usize..8,
+        rounds in 10usize..80,
+    ) {
+        let pool = MemManager::new(PoolConfig {
+            unit_size: 64,
+            unit_count,
+            phys_base: 0x5_0000_0000,
+        }).unwrap();
+        let threads: Vec<_> = (0..3)
+            .map(|t| {
+                let pool = pool.clone();
+                std::thread::spawn(move || {
+                    for i in 0..rounds {
+                        if let Some(mut u) = pool.try_get_item() {
+                            u.append(&[t as u8, i as u8], i as u64, 1, 1, 1);
+                            pool.recycle_item(u).unwrap();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        prop_assert_eq!(pool.free_count(), unit_count);
+        prop_assert_eq!(pool.stats().leased, 0);
+        prop_assert_eq!(pool.stats().lease_ops, pool.stats().recycle_ops);
+    }
+
+    /// `restore` never panics: any payload/descriptor input either
+    /// succeeds consistently or fails with a typed restore error.
+    #[test]
+    fn restore_is_total_over_arbitrary_inputs(
+        payload in prop::collection::vec(any::<u8>(), 0..300),
+        descs in prop::collection::vec(
+            (any::<usize>(), any::<usize>()),
+            0..8
+        ),
+    ) {
+        let pool = MemManager::new(PoolConfig {
+            unit_size: 256,
+            unit_count: 1,
+            phys_base: 0,
+        }).unwrap();
+        let mut unit = pool.get_item().unwrap();
+        let items: Vec<ItemDesc> = descs
+            .into_iter()
+            .map(|(offset, len)| ItemDesc {
+                offset,
+                len,
+                label: 0,
+                width: 1,
+                height: 1,
+                channels: 1,
+            })
+            .collect();
+        match unit.restore(&payload, &items) {
+            Ok(()) => {
+                prop_assert!(payload.len() <= unit.capacity());
+                prop_assert_eq!(unit.used(), payload.len());
+                for it in unit.items() {
+                    prop_assert!(it.offset + it.len <= payload.len());
+                }
+            }
+            Err(PoolError::RestoreOverflow { payload: p, capacity }) => {
+                prop_assert_eq!(p, payload.len());
+                prop_assert!(p > capacity);
+            }
+            Err(PoolError::RestoreLayout { offset, len, payload: p }) => {
+                prop_assert_eq!(p, payload.len());
+                prop_assert!(offset.checked_add(len).map_or(true, |end| end > p));
+            }
+            Err(other) => prop_assert!(false, "unexpected error {:?}", other),
         }
         pool.recycle_item(unit).unwrap();
     }

@@ -1,12 +1,14 @@
 //! NIC RX engine: 40 Gbps wire model + host-memory payload placement.
 
 use crate::framing::{Frame, FrameError};
+use dlb_chaos::{FaultKind, StageInjector};
 use dlb_simcore::queueing::SerialPipe;
 use dlb_simcore::SimTime;
 use dlb_telemetry::{names, Counter, Registry};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Default RX descriptor ring capacity. Real NICs post descriptors into a
@@ -98,6 +100,11 @@ pub struct NicRx {
     drop_counter: Option<Arc<Counter>>,
     /// Telemetry: frames rejected by the parser (`net.frames_bad`).
     bad_counter: Option<Arc<Counter>>,
+    /// Optional chaos injector (wire corruption / forced ring overflow).
+    chaos: Option<Arc<StageInjector>>,
+    /// Frames offered so far — the identity key for deterministic chaos
+    /// draws (frames arrive from a single producer in a stable order).
+    chaos_ticket: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -134,6 +141,8 @@ impl NicRx {
             }),
             drop_counter: None,
             bad_counter: None,
+            chaos: None,
+            chaos_ticket: AtomicU64::new(0),
         }
     }
 
@@ -142,6 +151,15 @@ impl NicRx {
     pub fn with_telemetry(mut self, registry: &Arc<Registry>) -> Self {
         self.drop_counter = Some(registry.counter(names::NET_RX_DROPS));
         self.bad_counter = Some(registry.counter(names::NET_FRAMES_BAD));
+        self
+    }
+
+    /// Injects chaos at the wire: corrupted frames (take the bad-frame
+    /// path) and forced ring overflows (take the drop path). Faults are
+    /// keyed by frame arrival ordinal, so a replay with the same seed and
+    /// the same frame sequence injects at the same frames.
+    pub fn with_chaos(mut self, injector: Arc<StageInjector>) -> Self {
+        self.chaos = Some(injector);
         self
     }
 
@@ -160,6 +178,40 @@ impl NicRx {
     /// arriving to a full descriptor ring are dropped and counted — the
     /// backpressure signal the serving layer's drain loop responds to.
     pub fn deliver(&self, wire_bytes: &[u8], arrival_nanos: u64) -> Result<RxDescriptor, RxError> {
+        let mut corrupted: Vec<u8>;
+        let mut wire_bytes = wire_bytes;
+        if let Some(inj) = &self.chaos {
+            let ordinal = self.chaos_ticket.fetch_add(1, Ordering::Relaxed);
+            match inj.decide(ordinal) {
+                Some(FaultKind::Overflow) => {
+                    // Forced ring overflow: the frame is dropped at the
+                    // wire exactly as if the host had stalled.
+                    self.state.lock().frames_dropped += 1;
+                    if let Some(c) = &self.drop_counter {
+                        c.inc();
+                    }
+                    return Err(RxError::RingFull {
+                        capacity: self.ring_capacity,
+                    });
+                }
+                Some(FaultKind::Delay(d)) => {
+                    inj.sleep(d);
+                }
+                Some(_) => {
+                    // Wire corruption: damage a copy of the frame bytes so
+                    // the parser rejects it through the normal bad-frame
+                    // path (or, for payload-only damage, downstream decode
+                    // sees garbage — both are realistic bit-flip outcomes).
+                    corrupted = wire_bytes.to_vec();
+                    if !corrupted.is_empty() {
+                        let idx = (ordinal as usize) % corrupted.len();
+                        corrupted[idx] ^= 0xA5;
+                    }
+                    wire_bytes = &corrupted;
+                }
+                None => {}
+            }
+        }
         let frame = match Frame::decode(wire_bytes) {
             Ok(f) => f,
             Err(e) => {
@@ -361,6 +413,43 @@ mod tests {
         let snap = registry.snapshot();
         assert_eq!(snap.counter(dlb_telemetry::names::NET_RX_DROPS), 1);
         assert_eq!(snap.counter(dlb_telemetry::names::NET_FRAMES_BAD), 1);
+    }
+
+    #[test]
+    fn chaos_corrupts_or_drops_frames_deterministically() {
+        use dlb_chaos::{FaultPlan, Stage, StageSpec};
+        let run = |seed: u64| -> Vec<u8> {
+            let t = dlb_telemetry::Telemetry::with_defaults();
+            let mut plan = FaultPlan::disabled();
+            plan.seed = seed;
+            plan.net = StageSpec::rate(0.5);
+            let nic = NicRx::new(NicSpec::forty_gbps(), 0)
+                .with_chaos(plan.injector(Stage::Net, &t).unwrap());
+            let mut outcomes = Vec::new();
+            for i in 0..60u64 {
+                outcomes.push(match nic.deliver(&frame(i, 32), i) {
+                    Ok(d) => {
+                        // Delivered payload is either intact or a
+                        // corrupted copy — never a lost buffer.
+                        assert_eq!(nic.fetch(d.phys_addr, d.len).unwrap().len(), 32);
+                        0u8
+                    }
+                    Err(RxError::Frame(_)) => 1,
+                    Err(RxError::RingFull { .. }) => 2,
+                });
+            }
+            let (ok, bad, _) = nic.counters();
+            assert_eq!(ok + bad + nic.dropped(), 60, "every frame accounted");
+            assert_eq!(
+                t.registry.snapshot().counter("chaos.injected.net"),
+                t.registry.snapshot().counter("chaos.faults_total")
+            );
+            outcomes
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "same seed, same frame sequence → same faults");
+        assert!(a.iter().any(|&o| o != 0), "a 50% rate must inject");
+        assert!(a.iter().any(|&o| o == 0), "a 50% rate must pass frames");
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! NVMe disk model: a flat object store with Optane-class timing.
 
+use dlb_chaos::{FaultKind, StageInjector};
 use dlb_simcore::queueing::SerialPipe;
 use dlb_simcore::SimTime;
-use parking_lot::RwLock;
-use std::collections::BTreeMap;
-use std::sync::Arc;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, OnceLock};
 
 /// Static device characteristics.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +51,11 @@ struct Directory {
 pub struct NvmeDisk {
     spec: NvmeSpec,
     dir: RwLock<Directory>,
+    /// Optional chaos injector (read errors / slow reads).
+    chaos: OnceLock<Arc<StageInjector>>,
+    /// Reads observed per offset — gives each retry of the same object a
+    /// fresh, still-deterministic fault draw.
+    read_attempts: Mutex<HashMap<u64, u64>>,
 }
 
 impl NvmeDisk {
@@ -58,7 +64,16 @@ impl NvmeDisk {
         Self {
             spec,
             dir: RwLock::new(Directory::default()),
+            chaos: OnceLock::new(),
+            read_attempts: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Attaches a chaos injector for the storage plane (read errors and
+    /// slow reads). One branch on the read path when absent; attach is
+    /// one-shot (later calls are ignored).
+    pub fn attach_chaos(&self, injector: Arc<StageInjector>) {
+        let _ = self.chaos.set(injector);
     }
 
     /// Device characteristics.
@@ -90,6 +105,28 @@ impl NvmeDisk {
     /// Reads an exact object by its descriptor. The cheap `Arc` clone
     /// mirrors DMA semantics: no payload copy on the host path.
     pub fn read(&self, offset: u64, len: u32) -> Result<Arc<Vec<u8>>, String> {
+        if let Some(inj) = self.chaos.get() {
+            let attempt = {
+                let mut m = self.read_attempts.lock();
+                let c = m.entry(offset).or_insert(0);
+                let a = *c;
+                *c += 1;
+                a
+            };
+            let identity = offset.wrapping_add(attempt.wrapping_mul(0x00C2_B2AE_3D27_D4EB));
+            match inj.decide(identity) {
+                Some(FaultKind::Delay(d)) => {
+                    // Slow read: the payload arrives late but intact.
+                    inj.sleep(d);
+                }
+                Some(_) => {
+                    return Err(format!(
+                        "chaos: injected read error at offset {offset} (attempt {attempt})"
+                    ));
+                }
+                None => {}
+            }
+        }
         let dir = self.dir.read();
         let obj = dir
             .objects
@@ -173,6 +210,36 @@ mod tests {
         let disk = NvmeDisk::new(spec);
         assert!(disk.append(vec![0; 8_000]).is_ok());
         assert!(disk.append(vec![0; 4_000]).is_err());
+    }
+
+    #[test]
+    fn chaos_read_faults_are_transient_per_attempt() {
+        use dlb_chaos::{FaultPlan, Stage, StageSpec};
+        let disk = NvmeDisk::new(NvmeSpec::optane_900p());
+        let (off, len) = disk.append(vec![3; 64]).unwrap();
+        let t = dlb_telemetry::Telemetry::with_defaults();
+        let mut plan = FaultPlan::disabled();
+        plan.seed = 11;
+        plan.storage = StageSpec::rate(0.5).with_delay(std::time::Duration::from_millis(1));
+        disk.attach_chaos(plan.injector(Stage::Storage, &t).unwrap());
+        // With a 50% rate, repeated attempts on the same offset must both
+        // fail sometimes and succeed sometimes (fresh draw per attempt).
+        let mut ok = 0;
+        let mut err = 0;
+        for _ in 0..40 {
+            match disk.read(off, len) {
+                Ok(bytes) => {
+                    assert_eq!(bytes.as_slice(), &[3; 64]);
+                    ok += 1;
+                }
+                Err(e) => {
+                    assert!(e.contains("chaos"), "{e}");
+                    err += 1;
+                }
+            }
+        }
+        assert!(ok > 0, "some attempts must succeed");
+        assert!(err > 0, "some attempts must fail");
     }
 
     #[test]

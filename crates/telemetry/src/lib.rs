@@ -30,8 +30,9 @@ pub mod watchdog;
 pub use json::Json;
 pub use metrics::{default_latency_bounds, Counter, Gauge, Histogram, HistogramSnapshot};
 pub use pipeline::{
-    names, ChannelMetrics, DecoderMetrics, DispatcherMetrics, EngineMetrics, PipelineSnapshot,
-    PoolMetrics, QueueMetrics, ReaderMetrics, ServingMetrics, Telemetry, TenantServingMetrics,
+    names, ChannelMetrics, ChaosMetrics, DecoderMetrics, DispatcherMetrics, EngineMetrics,
+    PipelineSnapshot, PoolMetrics, QueueMetrics, ReaderMetrics, ServingMetrics, Telemetry,
+    TenantServingMetrics,
 };
 pub use registry::{MetricValue, Registry, RegistrySnapshot};
 pub use watchdog::{Heartbeat, StallReport, Watchdog};

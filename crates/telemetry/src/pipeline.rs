@@ -122,6 +122,36 @@ pub mod names {
     /// NIC: frames rejected by the wire parser.
     pub const NET_FRAMES_BAD: &str = "net.frames_bad";
 
+    /// Chaos: total faults injected across every stage.
+    pub const CHAOS_FAULTS_TOTAL: &str = "chaos.faults_total";
+    /// Chaos: faults injected into storage reads.
+    pub const CHAOS_INJECTED_STORAGE: &str = "chaos.injected.storage";
+    /// Chaos: faults injected into NIC RX delivery.
+    pub const CHAOS_INJECTED_NET: &str = "chaos.injected.net";
+    /// Chaos: faults injected into FPGA decode lanes.
+    pub const CHAOS_INJECTED_FPGA: &str = "chaos.injected.fpga";
+    /// Chaos: faults injected into the batch pool.
+    pub const CHAOS_INJECTED_POOL: &str = "chaos.injected.pool";
+    /// Chaos: faults injected into GPU copy slots.
+    pub const CHAOS_INJECTED_GPU: &str = "chaos.injected.gpu";
+    /// Chaos: primary→fallback backend failovers performed.
+    pub const CHAOS_FAILOVER_TOTAL: &str = "chaos.failover_total";
+
+    /// Retry: operation attempts (first tries included).
+    pub const RETRY_ATTEMPTS: &str = "retry.attempts";
+    /// Retry: retries performed after a transient failure.
+    pub const RETRY_RETRIES: &str = "retry.retries";
+    /// Retry: operations that exhausted their attempt budget.
+    pub const RETRY_GIVEUPS: &str = "retry.giveups";
+    /// Retry: nanoseconds of backoff scheduled between attempts.
+    pub const RETRY_BACKOFF_NANOS: &str = "retry.backoff_nanos";
+    /// Retry: reader cmd batches that exceeded their completion timeout.
+    pub const RETRY_CMD_TIMEOUTS: &str = "retry.cmd_timeouts";
+    /// Retry: reader cmd batches re-submitted after a timeout.
+    pub const RETRY_CMD_RESUBMITS: &str = "retry.cmd_resubmits";
+    /// Retry: late completions of timed-out batches, drained and dropped.
+    pub const RETRY_LATE_COMPLETIONS: &str = "retry.late_completions";
+
     /// Prefix for per-queue metrics (`queue.<name>.depth` etc.).
     pub const QUEUE_PREFIX: &str = "queue.";
 }
@@ -301,6 +331,51 @@ impl ServingMetrics {
     }
 }
 
+/// Chaos/fault-plane view: injected faults per stage plus the recovery
+/// policy's retry/failover accounting.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosMetrics {
+    /// Total faults injected across every stage.
+    pub faults_total: u64,
+    /// Faults injected into storage reads.
+    pub injected_storage: u64,
+    /// Faults injected into NIC RX delivery.
+    pub injected_net: u64,
+    /// Faults injected into FPGA decode lanes.
+    pub injected_fpga: u64,
+    /// Faults injected into the batch pool.
+    pub injected_pool: u64,
+    /// Faults injected into GPU copy slots.
+    pub injected_gpu: u64,
+    /// Primary→fallback backend failovers performed.
+    pub failovers: u64,
+    /// Operation attempts made under a retry policy.
+    pub retry_attempts: u64,
+    /// Retries performed after transient failures.
+    pub retry_retries: u64,
+    /// Operations that exhausted their attempt budget.
+    pub retry_giveups: u64,
+    /// Nanoseconds of backoff scheduled between attempts.
+    pub retry_backoff_nanos: u64,
+    /// Reader cmd batches that exceeded their completion timeout.
+    pub cmd_timeouts: u64,
+    /// Reader cmd batches re-submitted after a timeout.
+    pub cmd_resubmits: u64,
+    /// Late completions of timed-out batches, drained and dropped.
+    pub late_completions: u64,
+}
+
+impl ChaosMetrics {
+    /// True when neither the fault plane nor the retry policy recorded
+    /// anything into this registry.
+    pub fn is_empty(&self) -> bool {
+        self.faults_total == 0
+            && self.failovers == 0
+            && self.retry_attempts == 0
+            && self.cmd_timeouts == 0
+    }
+}
+
 /// One instrumented queue's view.
 #[derive(Debug, Clone, Default)]
 pub struct QueueMetrics {
@@ -340,6 +415,8 @@ pub struct PipelineSnapshot {
     pub router_delivered: u64,
     /// SLO-aware serving layer (admission, shedding, dynamic batching).
     pub serving: ServingMetrics,
+    /// Chaos fault plane + retry/failover recovery accounting.
+    pub chaos: ChaosMetrics,
     /// Instrumented queues (slot queues, trans queues, ...).
     pub queues: Vec<QueueMetrics>,
     /// Stages flagged as stalled at capture time.
@@ -360,6 +437,22 @@ impl PipelineSnapshot {
         use names::*;
         let queues = collect_queues(&raw);
         let serving = collect_serving(&raw);
+        let chaos = ChaosMetrics {
+            faults_total: raw.counter(CHAOS_FAULTS_TOTAL),
+            injected_storage: raw.counter(CHAOS_INJECTED_STORAGE),
+            injected_net: raw.counter(CHAOS_INJECTED_NET),
+            injected_fpga: raw.counter(CHAOS_INJECTED_FPGA),
+            injected_pool: raw.counter(CHAOS_INJECTED_POOL),
+            injected_gpu: raw.counter(CHAOS_INJECTED_GPU),
+            failovers: raw.counter(CHAOS_FAILOVER_TOTAL),
+            retry_attempts: raw.counter(RETRY_ATTEMPTS),
+            retry_retries: raw.counter(RETRY_RETRIES),
+            retry_giveups: raw.counter(RETRY_GIVEUPS),
+            retry_backoff_nanos: raw.counter(RETRY_BACKOFF_NANOS),
+            cmd_timeouts: raw.counter(RETRY_CMD_TIMEOUTS),
+            cmd_resubmits: raw.counter(RETRY_CMD_RESUBMITS),
+            late_completions: raw.counter(RETRY_LATE_COMPLETIONS),
+        };
         Self {
             reader: ReaderMetrics {
                 batches_submitted: raw.counter(READER_BATCHES_SUBMITTED),
@@ -404,6 +497,7 @@ impl PipelineSnapshot {
             },
             router_delivered: raw.counter(ROUTER_DELIVERED),
             serving,
+            chaos,
             queues,
             stalls,
             raw,
@@ -477,6 +571,32 @@ impl PipelineSnapshot {
                 v.push(format!(
                     "serving goodput exceeds completions: good {} > completed {}",
                     s.good, s.completed
+                ));
+            }
+        }
+        if !self.chaos.is_empty() {
+            let c = &self.chaos;
+            if c.retry_retries + c.retry_giveups > c.retry_attempts {
+                v.push(format!(
+                    "retry conservation: retries {} + giveups {} > attempts {}",
+                    c.retry_retries, c.retry_giveups, c.retry_attempts
+                ));
+            }
+            if c.cmd_resubmits > c.cmd_timeouts {
+                v.push(format!(
+                    "reader resubmits exceed timeouts: {} > {}",
+                    c.cmd_resubmits, c.cmd_timeouts
+                ));
+            }
+            let per_stage = c.injected_storage
+                + c.injected_net
+                + c.injected_fpga
+                + c.injected_pool
+                + c.injected_gpu;
+            if per_stage != c.faults_total {
+                v.push(format!(
+                    "chaos conservation: per-stage sum {} != faults_total {}",
+                    per_stage, c.faults_total
                 ));
             }
         }
@@ -602,6 +722,25 @@ impl PipelineSnapshot {
                                 .collect(),
                         ),
                     ),
+                ]),
+            ),
+            (
+                "chaos",
+                Json::object(vec![
+                    ("faults_total", self.chaos.faults_total.into()),
+                    ("injected_storage", self.chaos.injected_storage.into()),
+                    ("injected_net", self.chaos.injected_net.into()),
+                    ("injected_fpga", self.chaos.injected_fpga.into()),
+                    ("injected_pool", self.chaos.injected_pool.into()),
+                    ("injected_gpu", self.chaos.injected_gpu.into()),
+                    ("failovers", self.chaos.failovers.into()),
+                    ("retry_attempts", self.chaos.retry_attempts.into()),
+                    ("retry_retries", self.chaos.retry_retries.into()),
+                    ("retry_giveups", self.chaos.retry_giveups.into()),
+                    ("retry_backoff_nanos", self.chaos.retry_backoff_nanos.into()),
+                    ("cmd_timeouts", self.chaos.cmd_timeouts.into()),
+                    ("cmd_resubmits", self.chaos.cmd_resubmits.into()),
+                    ("late_completions", self.chaos.late_completions.into()),
                 ]),
             ),
             (
@@ -735,6 +874,31 @@ impl PipelineSnapshot {
                     t.tenant, t.admitted, t.completed, t.shed, t.goodput
                 );
             }
+        }
+        if !self.chaos.is_empty() {
+            let c = &self.chaos;
+            let _ = writeln!(
+                out,
+                "  chaos      faults={} (storage {} / net {} / fpga {} / pool {} / gpu {}) failovers={}",
+                c.faults_total,
+                c.injected_storage,
+                c.injected_net,
+                c.injected_fpga,
+                c.injected_pool,
+                c.injected_gpu,
+                c.failovers
+            );
+            let _ = writeln!(
+                out,
+                "  retry      attempts={} retries={} giveups={} backoff={:.1}ms timeouts={} resubmits={} late={}",
+                c.retry_attempts,
+                c.retry_retries,
+                c.retry_giveups,
+                c.retry_backoff_nanos as f64 / 1e6,
+                c.cmd_timeouts,
+                c.cmd_resubmits,
+                c.late_completions
+            );
         }
         for q in &self.queues {
             let _ = writeln!(
@@ -929,6 +1093,43 @@ mod tests {
         assert!(snap.serving.is_empty());
         assert!(!snap.to_text().contains("serving"));
         assert!(snap.invariant_violations().is_empty());
+    }
+
+    #[test]
+    fn chaos_metrics_collected_and_checked() {
+        let t = Telemetry::with_defaults();
+        t.registry.counter(names::CHAOS_FAULTS_TOTAL).add(5);
+        t.registry.counter(names::CHAOS_INJECTED_STORAGE).add(3);
+        t.registry.counter(names::CHAOS_INJECTED_FPGA).add(2);
+        t.registry.counter(names::CHAOS_FAILOVER_TOTAL).add(1);
+        t.registry.counter(names::RETRY_ATTEMPTS).add(6);
+        t.registry.counter(names::RETRY_RETRIES).add(2);
+        t.registry.counter(names::RETRY_GIVEUPS).add(1);
+        let snap = t.pipeline_snapshot();
+        assert_eq!(snap.chaos.faults_total, 5);
+        assert_eq!(snap.chaos.injected_storage, 3);
+        assert_eq!(snap.chaos.failovers, 1);
+        assert!(
+            snap.invariant_violations().is_empty(),
+            "{:?}",
+            snap.invariant_violations()
+        );
+        assert!(snap.to_text().contains("chaos      faults=5"));
+        assert_eq!(snap.to_json()["chaos"]["failovers"], 1u64);
+        // Quiet registries hide the section entirely.
+        let quiet = Telemetry::with_defaults().pipeline_snapshot();
+        assert!(quiet.chaos.is_empty());
+        assert!(!quiet.to_text().contains("chaos"));
+    }
+
+    #[test]
+    fn chaos_conservation_violations_detected() {
+        let t = Telemetry::with_defaults();
+        t.registry.counter(names::CHAOS_FAULTS_TOTAL).add(4);
+        t.registry.counter(names::CHAOS_INJECTED_NET).add(1);
+        let v = t.pipeline_snapshot().invariant_violations();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("chaos conservation"));
     }
 
     #[test]

@@ -19,8 +19,11 @@
 //!   paper-expected values alongside measured ones.
 //! * [`economics`] — the cost model of §5.4.
 //! * [`report`] — plain-text table rendering and JSON export.
+//! * [`chaos`] — beyond-paper degraded-mode runs: seeded FPGA wedges with
+//!   failover to the CPU backend, reported as a batch-budget-split figure.
 
 pub mod calibration;
+pub mod chaos;
 pub mod economics;
 pub mod figures;
 pub mod inference;
@@ -28,6 +31,7 @@ pub mod report;
 pub mod training;
 
 pub use calibration::{BackendKind, Calibration, Workload};
+pub use chaos::{degraded_mode_figure, ChaosOutcome, ChaosParams};
 pub use inference::{
     DriveMode, InferenceOutcome, InferenceParams, InferenceSim, OverloadPoint, ServingOutcome,
 };

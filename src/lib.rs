@@ -50,6 +50,7 @@
 //!
 //! | module | crate | role |
 //! |---|---|---|
+//! | [`chaos`] | `dlb-chaos` | seeded fault injection + retry/backoff policies |
 //! | [`codec`] | `dlb-codec` | from-scratch baseline JPEG + resize + augment |
 //! | [`simcore`] | `dlb-simcore` | deterministic DES engine, queueing, stats |
 //! | [`membridge`] | `dlb-membridge` | HugePage batch pool + blocking queues |
@@ -65,6 +66,7 @@
 //! | [`workflows`] | `dlb-workflows` | figure-regenerating experiment DES |
 
 pub use dlb_backends as backends;
+pub use dlb_chaos as chaos;
 pub use dlb_codec as codec;
 pub use dlb_engines as engines;
 pub use dlb_fpga as fpga;
@@ -81,8 +83,11 @@ pub use dlbooster_core as core;
 /// The names almost every user of the library needs.
 pub mod prelude {
     pub use dlb_backends::{
-        CpuBackend, CpuBackendConfig, LmdbBackend, LmdbBackendConfig, NvJpegBackend,
-        NvJpegBackendConfig,
+        CpuBackend, CpuBackendConfig, FailoverBackend, FailoverConfig, LmdbBackend,
+        LmdbBackendConfig, NvJpegBackend, NvJpegBackendConfig,
+    };
+    pub use dlb_chaos::{
+        CancelToken, FaultKind, FaultPlan, Retrier, RetryPolicy, Stage, StageSpec,
     };
     pub use dlb_codec::{ColorSpace, Image, JpegDecoder, JpegEncoder};
     pub use dlb_engines::{InferenceConfig, InferenceSession, TrainingConfig, TrainingSession};

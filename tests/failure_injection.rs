@@ -361,6 +361,125 @@ fn nic_rejects_malformed_frames_without_poisoning_stream() {
 }
 
 #[test]
+fn killed_fpga_fails_over_to_cpu_and_completes_the_run() {
+    // Kill the FPGA mid-run: chaos wedges every other lane job for 60 s,
+    // far past the failover deadline. The run must still deliver exactly
+    // the configured number of batches — the first few from the FPGA
+    // primary, the rest from the CPU fallback — with per-batch accounting
+    // intact and exactly one failover recorded.
+    use dlbooster::chaos::Stage;
+    use std::time::Duration;
+
+    let total: u64 = 10;
+    let batch = 4usize;
+    let telemetry = Telemetry::with_defaults();
+    let disk = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));
+    let dataset =
+        Dataset::build(DatasetSpec::ilsvrc_small(total as usize * batch, 51), &disk).unwrap();
+    let records = dataset.records.clone();
+    let collector = Arc::new(DataCollector::load_from_disk(&dataset.records, 0));
+    let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
+    device
+        .load_mirror(DecoderMirror::jpeg_paper_config())
+        .unwrap();
+    let engine = DecoderEngine::start_with_telemetry(
+        device,
+        Arc::new(CombinedResolver::disk_only(Arc::clone(&disk))),
+        &telemetry,
+    )
+    .unwrap();
+
+    let mut plan = FaultPlan::disabled();
+    plan.seed = 23;
+    plan.fpga = StageSpec::rate(0.5).with_delay(Duration::from_secs(60));
+    let cancel = plan.cancel_token();
+    engine.attach_chaos(plan.injector(Stage::Fpga, &telemetry).unwrap());
+
+    let channel = FpgaChannel::init_with_telemetry(engine, 0, &telemetry);
+    let mut config =
+        DlBoosterConfig::training(1, batch, (32, 32), total as usize * batch, Some(total));
+    config.cache_bytes = 0;
+    let primary = Arc::new(
+        DlBooster::start_with_telemetry(collector, channel, config, Arc::clone(&telemetry))
+            .unwrap(),
+    );
+
+    let t2 = Arc::clone(&telemetry);
+    let backend = FailoverBackend::new(
+        Arc::clone(&primary),
+        Box::new(move |remaining| {
+            let collector = Arc::new(DataCollector::load_from_disk(&records, 0));
+            CpuBackend::start_with_telemetry(
+                collector,
+                Arc::new(CombinedResolver::disk_only(disk)),
+                CpuBackendConfig {
+                    n_engines: 1,
+                    batch_size: batch,
+                    target_w: 32,
+                    target_h: 32,
+                    workers: 2,
+                    max_batches: Some(remaining),
+                },
+                t2,
+            )
+            .map(|b| Box::new(b) as Box<dyn PreprocessBackend>)
+        }),
+        dlbooster::backends::FailoverConfig {
+            total_batches: total,
+            deadline: Duration::from_millis(200),
+            chaos_cancel: Some(cancel),
+        },
+        &telemetry,
+    );
+
+    let mut from_primary = 0u64;
+    let mut from_fallback = 0u64;
+    let mut primary_seqs = std::collections::HashSet::new();
+    loop {
+        match backend.next_batch(0) {
+            Ok(b) => {
+                assert_eq!(b.len(), batch, "every batch arrives full");
+                if primary.pool().owns(&b.unit) {
+                    from_primary += 1;
+                    assert!(
+                        primary_seqs.insert(b.sequence),
+                        "duplicated primary batch {}",
+                        b.sequence
+                    );
+                } else {
+                    from_fallback += 1;
+                }
+                backend.recycle(b.unit);
+            }
+            Err(dlbooster::core::BackendError::Exhausted) => break,
+            Err(e) => panic!("run must complete cleanly, got {e}"),
+        }
+    }
+    assert!(
+        backend.failed_over(),
+        "the wedged FPGA must trigger failover"
+    );
+    assert_eq!(
+        from_primary + from_fallback,
+        total,
+        "no lost or duplicated batches (primary {from_primary} + fallback {from_fallback})"
+    );
+    assert_eq!(from_primary, primary.delivered());
+    assert!(from_fallback > 0, "CPU fallback must carry the remainder");
+    backend.shutdown();
+    drop(backend);
+    drop(primary); // join the pipeline threads so counters are final
+
+    let snap = telemetry.pipeline_snapshot();
+    assert_eq!(snap.chaos.failovers, 1, "exactly one failover recorded");
+    assert!(
+        snap.invariant_violations().is_empty(),
+        "violations: {:?}",
+        snap.invariant_violations()
+    );
+}
+
+#[test]
 fn pool_exhaustion_applies_backpressure_not_failure() {
     // One unit, slow consumer: the reader must block (not error, not drop)
     // and resume when the unit is recycled.
