@@ -8,12 +8,13 @@
 //! is genuine CPU time, measured and reported through `cpu_busy_nanos`.
 
 use crate::common::PoolScaffold;
+use dlb_cache::{CachedSample, SampleCache};
 use dlb_codec::resize::{resize, ResizeFilter};
 use dlb_codec::JpegDecoder;
 use dlb_fpga::DataSourceResolver;
 use dlb_membridge::BatchUnit;
 use dlb_telemetry::{names, Telemetry};
-use dlbooster_core::{BackendError, DataCollector, HostBatch, PreprocessBackend};
+use dlbooster_core::{sample_key, BackendError, DataCollector, HostBatch, PreprocessBackend};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -34,6 +35,10 @@ pub struct CpuBackendConfig {
     pub workers: usize,
     /// Total batches to deliver (None = until the collector ends).
     pub max_batches: Option<u64>,
+    /// Optional decoded-sample cache: hits skip fetch + decode + resize
+    /// entirely, misses are inserted with their measured decode cost
+    /// (`huffman_ns + idct_ns`) as the eviction signal.
+    pub sample_cache: Option<Arc<SampleCache>>,
 }
 
 impl CpuBackendConfig {
@@ -123,8 +128,10 @@ fn cpu_worker(
     telemetry: Option<Arc<Telemetry>>,
 ) {
     // Stage timing costs per-block timestamp reads; only pay for it when
-    // somebody is collecting the counters.
-    let decoder = JpegDecoder::new().with_stage_timing(telemetry.is_some());
+    // somebody is collecting the counters — or when the cache needs the
+    // per-image decode cost as its eviction signal.
+    let decoder =
+        JpegDecoder::new().with_stage_timing(telemetry.is_some() || config.sample_cache.is_some());
     'produce: while !scaffold.stop.load(Ordering::SeqCst) {
         if !scaffold.router.claim() {
             break;
@@ -145,6 +152,38 @@ fn cpu_worker(
             break;
         };
         let t0 = Instant::now();
+        // Whole-batch cache bypass: if every sample in the batch is
+        // resident, fill the unit straight from the cache and skip
+        // fetch + decode + resize. A partial hit decodes live (mixing
+        // cached and decoded items would serialise the worker on the
+        // slowest miss anyway).
+        if let Some(cache) = &config.sample_cache {
+            let cached: Option<Vec<CachedSample>> = metas
+                .iter()
+                .map(|m| sample_key(&m.src).and_then(|k| cache.lookup(&k)))
+                .collect();
+            if let Some(samples) = cached {
+                let mut arrivals = Vec::with_capacity(metas.len());
+                for (meta, sample) in metas.iter().zip(&samples) {
+                    arrivals.push(meta.arrival_nanos.unwrap_or(0));
+                    unit.append(
+                        &sample.data,
+                        sample.label,
+                        sample.width,
+                        sample.height,
+                        sample.channels,
+                    );
+                }
+                cache.note_bypass_batch();
+                scaffold
+                    .cpu_busy_nanos
+                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                if !scaffold.router.deliver(unit, arrivals) {
+                    break;
+                }
+                continue;
+            }
+        }
         let mut arrivals = Vec::with_capacity(metas.len());
         // Fetch the whole batch, then decode it as one pool submission —
         // images in a batch decode concurrently on the work-stealing pool
@@ -165,7 +204,9 @@ fn cpu_worker(
         let mut idct_ns = 0u64;
         let mut resize_ns = 0u64;
         for (meta, result) in metas.iter().zip(decoded) {
+            let mut image_cost = 0u64;
             let resized = result.ok().and_then(|(img, stats)| {
+                image_cost = stats.huffman_ns + stats.idct_ns;
                 huffman_ns += stats.huffman_ns;
                 idct_ns += stats.idct_ns;
                 let r0 = Instant::now();
@@ -182,14 +223,33 @@ fn cpu_worker(
             });
             match resized {
                 Some(img) => {
+                    if let (Some(cache), Some(key)) = (&config.sample_cache, sample_key(&meta.src))
+                    {
+                        cache.insert(
+                            key,
+                            CachedSample {
+                                data: Arc::new(img.data().to_vec()),
+                                label: meta.label,
+                                width: config.target_w,
+                                height: config.target_h,
+                                channels: 3,
+                            },
+                            image_cost,
+                        );
+                    }
                     // The per-datum small copy of §5.2 — inherent to the
                     // CPU path: every image is decoded elsewhere and copied
                     // into the transfer buffer.
                     unit.append(img.data(), meta.label, config.target_w, config.target_h, 3);
                 }
                 None => {
-                    // Failed decode: reserve a zeroed slot so the batch
-                    // layout stays rectangular.
+                    // Failed fetch or decode: quarantine the key so the
+                    // sample can never be admitted, and reserve a zeroed
+                    // slot so the batch layout stays rectangular.
+                    if let (Some(cache), Some(key)) = (&config.sample_cache, sample_key(&meta.src))
+                    {
+                        cache.poison(key);
+                    }
                     unit.reserve(
                         config.target_w as usize * config.target_h as usize * 3,
                         meta.label,
@@ -277,6 +337,7 @@ mod tests {
                 target_h: 32,
                 workers,
                 max_batches: max,
+                sample_cache: None,
             },
         )
         .unwrap()
@@ -351,6 +412,7 @@ mod tests {
                 target_h: 32,
                 workers: 2,
                 max_batches: Some(3),
+                sample_cache: None,
             },
             Arc::clone(&telemetry),
         )
@@ -362,6 +424,45 @@ mod tests {
         assert!(snap.counter(names::CODEC_HUFFMAN_NANOS) > 0);
         assert!(snap.counter(names::CODEC_IDCT_NANOS) > 0);
         assert!(snap.counter(names::CODEC_RESIZE_NANOS) > 0);
+    }
+
+    #[test]
+    fn sample_cache_serves_second_epoch_without_decode() {
+        // 8 images, batch 4 ⇒ 2 batches/epoch; 4 batches = 2 epochs. One
+        // worker serialises production, and the CPU path inserts inline
+        // during decode, so epoch 2 is guaranteed fully resident.
+        let disk = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));
+        let ds = Dataset::build(DatasetSpec::ilsvrc_small(8, 5), &disk).unwrap();
+        let collector = Arc::new(DataCollector::load_from_disk(&ds.records, 0));
+        let cache = SampleCache::new(64 << 20);
+        let b = CpuBackend::start(
+            collector,
+            Arc::new(CombinedResolver::disk_only(disk)),
+            CpuBackendConfig {
+                n_engines: 1,
+                batch_size: 4,
+                target_w: 32,
+                target_h: 32,
+                workers: 1,
+                max_batches: Some(4),
+                sample_cache: Some(Arc::clone(&cache)),
+            },
+        )
+        .unwrap();
+        let mut payloads = Vec::new();
+        while let Ok(batch) = b.next_batch(0) {
+            assert_eq!(batch.len(), 4);
+            payloads.push(batch.unit.payload().to_vec());
+            b.recycle(batch.unit);
+        }
+        assert_eq!(payloads.len(), 4);
+        // Epoch 2 replays epoch 1 bit-for-bit, straight from the cache.
+        assert_eq!(payloads[0], payloads[2]);
+        assert_eq!(payloads[1], payloads[3]);
+        assert_eq!(cache.bypass_batches(), 2);
+        let (lookups, hits, misses) = cache.lookup_stats();
+        assert_eq!(hits + misses, lookups);
+        assert_eq!(hits, 8, "both epoch-2 batches served fully from cache");
     }
 
     #[test]
@@ -379,6 +480,7 @@ mod tests {
                 target_h: 16,
                 workers: 0,
                 max_batches: None,
+                sample_cache: None,
             },
         )
         .is_err());

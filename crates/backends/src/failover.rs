@@ -284,6 +284,7 @@ mod tests {
                     target_h: SIDE as u32,
                     workers: 2,
                     max_batches: Some(remaining),
+                    sample_cache: None,
                 },
                 t2,
             )

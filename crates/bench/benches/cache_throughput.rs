@@ -1,0 +1,97 @@
+//! Decoded-sample cache: epoch-over-epoch training speedup.
+//!
+//! The cache's reason to exist is that epoch 2 of a training run repeats
+//! epoch 1's decode work byte for byte. Two variants of the same
+//! one-epoch pipeline quantify the win:
+//!
+//! * **epoch1_cold** — a fresh (empty) cache every iteration: every
+//!   image misses and decodes on the device, plus the admission cost of
+//!   inserting each decoded sample.
+//! * **epoch2_warm** — a cache pre-warmed with the whole corpus, shared
+//!   across iterations: every batch is fully resident and bypasses the
+//!   device entirely, which is exactly what epoch 2 of a real run sees
+//!   when the cache is at least corpus-sized.
+//!
+//! Results are archived in `BENCH_cache.json`; the target is a ≥ 2×
+//! warm-over-cold speedup.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dlb_cache::SampleCache;
+use dlb_fpga::{DecoderEngine, DecoderMirror, DeviceSpec, FpgaDevice};
+use dlb_storage::{Dataset, DatasetSpec, NvmeDisk, NvmeSpec};
+use dlb_telemetry::Telemetry;
+use dlbooster_core::{
+    CombinedResolver, DataCollector, DlBooster, DlBoosterConfig, FpgaChannel, PreprocessBackend,
+};
+use std::sync::Arc;
+
+const BATCHES: u64 = 8;
+const BATCH: usize = 4;
+
+/// Runs one epoch through a live `DlBooster` with `cache` attached and
+/// returns the batches delivered.
+fn run_epoch(
+    records: &[dlb_storage::Record],
+    disk: &Arc<NvmeDisk>,
+    cache: Arc<SampleCache>,
+) -> u64 {
+    let telemetry = Telemetry::with_defaults();
+    let collector = Arc::new(DataCollector::load_from_disk(records, 0));
+    let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
+    device
+        .load_mirror(DecoderMirror::jpeg_paper_config())
+        .unwrap();
+    let engine = DecoderEngine::start_with_telemetry(
+        device,
+        Arc::new(CombinedResolver::disk_only(Arc::clone(disk))),
+        &telemetry,
+    )
+    .unwrap();
+    let channel = FpgaChannel::init_with_telemetry(engine, 0, &telemetry);
+    let mut config = DlBoosterConfig::training(1, BATCH, (32, 32), records.len(), Some(BATCHES));
+    config.cache_bytes = 0; // isolate the sample cache from the batch cache
+    let booster = DlBooster::start_with_telemetry(collector, channel, config, telemetry).unwrap();
+    booster.attach_sample_cache(cache);
+    let mut n = 0;
+    while let Ok(batch) = booster.next_batch(0) {
+        n += 1;
+        booster.recycle(batch.unit);
+    }
+    n
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_throughput");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(BATCHES * BATCH as u64));
+
+    let disk = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));
+    let dataset = Dataset::build(
+        DatasetSpec::ilsvrc_small(BATCHES as usize * BATCH, 7),
+        &disk,
+    )
+    .unwrap();
+
+    // Cold: a fresh, empty cache per iteration — decode-bound epoch 1.
+    group.bench_function("epoch1_cold", |b| {
+        b.iter(|| run_epoch(&dataset.records, &disk, SampleCache::new(256 << 20)))
+    });
+
+    // Warm: one corpus-sized cache filled by a throwaway epoch, then
+    // shared — every batch bypasses the device, as in epoch 2+.
+    let warm = SampleCache::new(256 << 20);
+    run_epoch(&dataset.records, &disk, Arc::clone(&warm));
+    assert_eq!(
+        warm.len(),
+        BATCHES as usize * BATCH,
+        "warm-up must make the whole corpus resident"
+    );
+    group.bench_function("epoch2_warm", |b| {
+        b.iter(|| run_epoch(&dataset.records, &disk, Arc::clone(&warm)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -21,12 +21,13 @@ use crate::cache::{CachedBatch, EpochCache};
 use crate::channel::FpgaChannel;
 use crate::collector::DataCollector;
 use crate::reader::{FpgaReader, ReaderConfig};
+use dlb_cache::SampleCache;
 use dlb_fpga::OutputFormat;
 use dlb_membridge::{BatchUnit, BlockingQueue, MemManager, PoolConfig};
 use dlb_telemetry::{names, Counter, PipelineSnapshot, Telemetry};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -47,6 +48,14 @@ pub struct DlBoosterConfig {
     pub pool_units: usize,
     /// Memory-cache budget in bytes (0 disables the hybrid cache).
     pub cache_bytes: u64,
+    /// Decoded-sample cache budget in bytes (0 disables it). Unlike the
+    /// batch-indexed hybrid cache above, this one is keyed per *sample*
+    /// (disk offset), evicts cheapest-to-redecode entries first, and
+    /// quarantines sources whose decode failed. Hits bypass the FPGA
+    /// entirely at the reader. An externally built cache (e.g. a
+    /// per-tenant partitioned one) can be attached instead via
+    /// [`DlBooster::attach_sample_cache`].
+    pub sample_cache_bytes: u64,
     /// Batches per epoch (dataset mode; None for streaming — disables the
     /// cache).
     pub batches_per_epoch: Option<u64>,
@@ -75,6 +84,7 @@ impl DlBoosterConfig {
             format: OutputFormat::Rgb8,
             pool_units: (n_engines * 3).max(4),
             cache_bytes: 2 << 30,
+            sample_cache_bytes: 0,
             batches_per_epoch: Some((n_records as u64).div_ceil(batch_size as u64)),
             max_batches,
             cmd_timeout: None,
@@ -91,6 +101,7 @@ impl DlBoosterConfig {
             format: OutputFormat::Rgb8,
             pool_units: (n_engines * 3).max(4),
             cache_bytes: 0,
+            sample_cache_bytes: 0,
             batches_per_epoch: None,
             max_batches: None,
             cmd_timeout: None,
@@ -118,6 +129,7 @@ pub struct DlBooster {
     stop: Arc<AtomicBool>,
     quiesced: AtomicBool,
     cache: Arc<EpochCache>,
+    sample_cache_cell: Arc<OnceLock<Arc<SampleCache>>>,
     router_cpu_nanos: Arc<AtomicU64>,
     reader_cpu_nanos: Arc<AtomicU64>,
     delivered: Arc<Counter>,
@@ -173,6 +185,13 @@ impl DlBooster {
             },
             &telemetry,
         );
+        let sample_cache_cell = reader.sample_cache_cell();
+        if config.sample_cache_bytes > 0 {
+            let _ = sample_cache_cell.set(SampleCache::with_telemetry(
+                config.sample_cache_bytes,
+                &telemetry,
+            ));
+        }
         let reader_cpu_nanos = Arc::new(AtomicU64::new(0));
         let slot_queues: Vec<BlockingQueue<HostBatch>> = (0..config.n_engines)
             .map(|i| {
@@ -211,6 +230,7 @@ impl DlBooster {
             stop,
             quiesced: AtomicBool::new(false),
             cache,
+            sample_cache_cell,
             router_cpu_nanos,
             reader_cpu_nanos,
             delivered,
@@ -221,6 +241,20 @@ impl DlBooster {
     /// The hybrid cache (inspection).
     pub fn cache(&self) -> &EpochCache {
         &self.cache
+    }
+
+    /// Attaches a decoded-sample cache to the reader (first attach wins,
+    /// mirroring the `attach_chaos` hooks; a no-op when
+    /// `sample_cache_bytes` already built one). Use this to share one
+    /// cache across backends — e.g. primary and CPU fallback in a
+    /// failover pair — or to attach a per-tenant partitioned cache.
+    pub fn attach_sample_cache(&self, cache: Arc<SampleCache>) {
+        let _ = self.sample_cache_cell.set(cache);
+    }
+
+    /// The attached decoded-sample cache, if any.
+    pub fn sample_cache(&self) -> Option<Arc<SampleCache>> {
+        self.sample_cache_cell.get().cloned()
     }
 
     /// The pipeline telemetry registry every stage records into.

@@ -13,14 +13,35 @@
 use crate::backend::HostBatch;
 use crate::channel::FpgaChannel;
 use crate::collector::DataCollector;
+use dlb_cache::{CachedSample, SampleCache, SampleKey};
 use dlb_fpga::{CompletedBatch, DataRef, DecodeCmd, FpgaError, OutputFormat, Submission};
 use dlb_membridge::{BatchUnit, BlockingQueue, MemManager};
 use dlb_telemetry::{names, Counter, Gauge, Histogram, Telemetry};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// The cache identity of a decode source. NIC ring descriptors have none:
+/// RX rings reuse physical addresses, so a `(phys, len)` pair aliases
+/// different payloads over time and must never be used as a cache key.
+pub fn sample_key(src: &DataRef) -> Option<SampleKey> {
+    match src {
+        DataRef::Disk { offset, len } => Some(SampleKey::Disk {
+            offset: *offset,
+            len: *len,
+        }),
+        DataRef::HostMem { .. } => None,
+    }
+}
+
+/// Compressed payload size — the FPGA path's relative redecode-cost signal.
+fn src_len(src: &DataRef) -> u64 {
+    match src {
+        DataRef::Disk { len, .. } | DataRef::HostMem { len, .. } => *len as u64,
+    }
+}
 
 /// Reader configuration.
 #[derive(Debug, Clone)]
@@ -101,6 +122,7 @@ pub struct FpgaReader {
     full_queue: BlockingQueue<HostBatch>,
     stats: Arc<ReaderStats>,
     stop: Arc<std::sync::atomic::AtomicBool>,
+    cache_cell: Arc<OnceLock<Arc<SampleCache>>>,
 }
 
 impl FpgaReader {
@@ -143,19 +165,38 @@ impl FpgaReader {
         full_queue.instrument(telemetry, "reader_full");
         let stats = Arc::new(ReaderStats::register(telemetry));
         let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let cache_cell: Arc<OnceLock<Arc<SampleCache>>> = Arc::new(OnceLock::new());
         let fq = full_queue.clone();
         let st = Arc::clone(&stats);
         let sp = Arc::clone(&stop);
+        let cc = Arc::clone(&cache_cell);
         let handle = std::thread::Builder::new()
             .name("fpga-reader".into())
-            .spawn(move || run_reader(collector, pool, channel, config, fq, st, sp))
+            .spawn(move || run_reader(collector, pool, channel, config, fq, st, sp, cc))
             .expect("spawn reader");
         Self {
             handle: Some(handle),
             full_queue,
             stats,
             stop,
+            cache_cell,
         }
+    }
+
+    /// Attaches a decoded-sample cache: batches whose every item is
+    /// resident are filled from memory and never submitted to the device,
+    /// successful decodes are admitted with their compressed size as the
+    /// redecode-cost signal, and failed decodes poison their key. First
+    /// attach wins (mirrors the chaos `attach_chaos` hooks); the daemon
+    /// probes the cell per batch, so attaching mid-run is safe.
+    pub fn attach_sample_cache(&self, cache: Arc<SampleCache>) {
+        let _ = self.cache_cell.set(cache);
+    }
+
+    /// The shared attach cell (the booster keeps a clone so it can attach
+    /// after the reader has moved into the router thread).
+    pub fn sample_cache_cell(&self) -> Arc<OnceLock<Arc<SampleCache>>> {
+        Arc::clone(&self.cache_cell)
     }
 
     /// The `Full_Batch_Queue` this reader fills.
@@ -214,6 +255,7 @@ struct ReaderCore<'a> {
     config: &'a ReaderConfig,
     full_queue: &'a BlockingQueue<HostBatch>,
     stats: &'a ReaderStats,
+    cache: &'a OnceLock<Arc<SampleCache>>,
     next_cmd_id: u64,
     next_sequence: u64,
     /// In-flight submissions by first cmd id.
@@ -301,6 +343,32 @@ impl ReaderCore<'_> {
         let errors = done.finishes.iter().filter(|f| !f.status.is_ok()).count() as u64;
         self.stats.item_errors.add(errors);
         let mut unit = done.unit;
+        // Admission boundary: successful decodes enter the sample cache
+        // (compressed size as the redecode-cost signal — FINISH signals
+        // carry no per-item timing, and entropy bits scale with payload
+        // size); failed decodes poison their key so a corrupt source is
+        // never admitted, now or on a later epoch.
+        if let (Some(cache), Some(p)) = (self.cache.get(), &pending) {
+            for (i, (finish, (src, label))) in done.finishes.iter().zip(&p.items).enumerate() {
+                let Some(key) = sample_key(src) else { continue };
+                if finish.status.is_ok() {
+                    let item = unit.items()[i].clone();
+                    cache.insert(
+                        key,
+                        CachedSample {
+                            data: Arc::new(unit.item_bytes(i).to_vec()),
+                            label: *label,
+                            width: item.width,
+                            height: item.height,
+                            channels: item.channels,
+                        },
+                        src_len(src),
+                    );
+                } else {
+                    cache.poison(key);
+                }
+            }
+        }
         unit.seal(self.next_sequence);
         let batch = HostBatch {
             unit,
@@ -393,6 +461,7 @@ fn run_reader(
     full_queue: BlockingQueue<HostBatch>,
     stats: Arc<ReaderStats>,
     stop: Arc<std::sync::atomic::AtomicBool>,
+    cache_cell: Arc<OnceLock<Arc<SampleCache>>>,
 ) -> FpgaChannel {
     let mut core = ReaderCore {
         pool: &pool,
@@ -400,15 +469,21 @@ fn run_reader(
         config: &config,
         full_queue: &full_queue,
         stats: &stats,
+        cache: &cache_cell,
         next_cmd_id: 0,
         next_sequence: 0,
         pending: HashMap::new(),
         abandoned: HashSet::new(),
     };
+    // Batches delivered straight from cache. They never touch
+    // `batches_submitted`/`batches_completed` (those count decode-path
+    // conservation: submitted == completed + errors), but they do count
+    // toward `max_batches` so a bounded reader still stops on time.
+    let mut bypassed: u64 = 0;
 
     'main: while !stop.load(Ordering::SeqCst) {
         if let Some(max) = config.max_batches {
-            if stats.batches_submitted.get() >= max {
+            if stats.batches_submitted.get() + bypassed >= max {
                 break;
             }
         }
@@ -458,9 +533,59 @@ fn run_reader(
             }
         };
 
+        let arrivals: Vec<u64> = metas.iter().map(|m| m.arrival_nanos.unwrap_or(0)).collect();
+
+        // Batch-granular cache bypass: when *every* item in the batch is
+        // resident (all-or-nothing keeps item order and unit layout
+        // identical to a decoded batch), skip the device entirely. A
+        // partially-resident batch decodes live as a whole — the FPGA
+        // decodes a full batch in one submission anyway, so partial hits
+        // save nothing there. Looked up *after* the lease: completions
+        // drained while waiting may have just inserted this batch.
+        let cached: Option<Vec<CachedSample>> = cache_cell.get().and_then(|cache| {
+            metas
+                .iter()
+                .map(|m| sample_key(&m.src).and_then(|k| cache.lookup(&k)))
+                .collect()
+        });
+
+        // Every item resident: fill the unit from memory and push — the
+        // batch recycles through the same `Free_Batch_Queue` as a decoded
+        // one, only the decode work disappears.
+        if let Some(samples) = cached {
+            let mut unit = unit;
+            let t0 = Instant::now();
+            for sample in &samples {
+                unit.append(
+                    &sample.data,
+                    sample.label,
+                    sample.width,
+                    sample.height,
+                    sample.channels,
+                );
+            }
+            unit.seal(core.next_sequence);
+            let batch = HostBatch {
+                unit,
+                sequence: core.next_sequence,
+                ready_at: Instant::now(),
+                arrivals,
+            };
+            core.next_sequence += 1;
+            bypassed += 1;
+            cache_cell
+                .get()
+                .expect("cached implies cache")
+                .note_bypass_batch();
+            stats.cpu_busy_nanos.add(t0.elapsed().as_nanos() as u64);
+            if full_queue.push(batch).is_err() {
+                break 'main;
+            }
+            continue;
+        }
+
         // Cmd generation (Alg. 1 lines 11–12) and async submit.
         let items: Vec<(DataRef, u64)> = metas.iter().map(|m| (m.src, m.label)).collect();
-        let arrivals: Vec<u64> = metas.iter().map(|m| m.arrival_nanos.unwrap_or(0)).collect();
         stats.batches_submitted.inc();
         stats.inflight.inc();
         match core.submit(unit, items, arrivals) {
@@ -575,6 +700,77 @@ mod tests {
         }
         assert_eq!(seen, 5);
         drop(reader);
+    }
+
+    #[test]
+    fn sample_cache_bypass_replays_later_epochs_without_decode() {
+        // 8 images, batch 4 ⇒ 2 batches/epoch; 6 batches = 3 epochs. A
+        // single pool unit serialises the reader behind the consumer, so
+        // every epoch-1 completion lands in the cache before any epoch-2
+        // lookup fires.
+        let disk = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));
+        let ds = Dataset::build(DatasetSpec::ilsvrc_small(8, 21), &disk).unwrap();
+        let collector = Arc::new(DataCollector::load_from_disk(&ds.records, 3));
+        let mut dev = FpgaDevice::new(DeviceSpec::arria10_ax());
+        dev.load_mirror(DecoderMirror::jpeg_paper_config()).unwrap();
+        let engine =
+            DecoderEngine::start(dev, Arc::new(CombinedResolver::disk_only(disk))).unwrap();
+        let channel = FpgaChannel::init(engine, 0);
+        let pool = MemManager::new(PoolConfig {
+            unit_size: 2 << 20,
+            unit_count: 1,
+            phys_base: 0x4_0000_0000,
+        })
+        .unwrap();
+        let reader = FpgaReader::start(
+            collector,
+            pool.clone(),
+            channel,
+            ReaderConfig {
+                batch_size: 4,
+                target_w: 64,
+                target_h: 64,
+                format: OutputFormat::Rgb8,
+                max_batches: Some(6),
+                cmd_timeout: None,
+            },
+        );
+        let cache = SampleCache::new(64 << 20);
+        reader.attach_sample_cache(Arc::clone(&cache));
+        // Pixel bytes per label, recorded on first sight: a cache hit must
+        // reproduce the decode bit-for-bit even though the collector
+        // reshuffles every epoch (sample keys are order-independent —
+        // unlike the batch-indexed hybrid cache).
+        let mut by_label: std::collections::HashMap<u64, Vec<u8>> = Default::default();
+        let mut delivered = 0;
+        while let Ok(batch) = reader.full_queue().pop() {
+            assert_eq!(batch.len(), 4);
+            for (i, item) in batch.unit.items().iter().enumerate() {
+                let pixels = batch.unit.item_bytes(i).to_vec();
+                match by_label.entry(item.label) {
+                    std::collections::hash_map::Entry::Occupied(prev) => {
+                        assert_eq!(prev.get(), &pixels, "label {} diverged", item.label);
+                    }
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert(pixels);
+                    }
+                }
+            }
+            delivered += 1;
+            pool.recycle_item(batch.unit).unwrap();
+        }
+        assert_eq!(delivered, 6);
+        // Decode-path + bypass-path batches account for every delivery.
+        let submitted = reader.stats().batches_submitted.get();
+        assert_eq!(submitted + cache.bypass_batches(), 6);
+        assert!(
+            cache.bypass_batches() >= 2,
+            "epochs 2-3 must come from cache, bypassed = {}",
+            cache.bypass_batches()
+        );
+        let channel = reader.stop();
+        assert_eq!(channel.in_flight(), 0);
+        assert_eq!(pool.free_count(), 1);
     }
 
     #[test]

@@ -263,6 +263,7 @@ mod tests {
                     target_h: 28,
                     workers: 2,
                     max_batches: Some(max),
+                    sample_cache: None,
                 },
             )
             .unwrap(),

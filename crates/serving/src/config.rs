@@ -131,6 +131,18 @@ impl ServingConfig {
     pub fn total_load_share(&self) -> f64 {
         self.tenants.iter().map(|t| t.load_share.max(0.0)).sum()
     }
+
+    /// `(tenant id, weight)` pairs for carving a per-tenant
+    /// decoded-sample cache (`SampleCache::partitioned`): capacity is
+    /// allotted proportionally to WFQ weight, so a tenant's cache share
+    /// tracks its service share and one tenant's working set can never
+    /// evict another's.
+    pub fn cache_partitions(&self) -> Vec<(u32, u32)> {
+        self.tenants
+            .iter()
+            .map(|t| (t.id, t.weight.max(1)))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -168,5 +180,23 @@ mod tests {
         let cfg = ServingConfig::five_clients(4, SimTime::from_millis(10), ShedPolicy::DropOldest);
         assert_eq!(cfg.tenants.len(), 5);
         assert!((cfg.total_load_share() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_partitions_follow_wfq_weights() {
+        let cfg = ServingConfig::single_tenant(4, SimTime::from_millis(10), ShedPolicy::DropNewest)
+            .with_tenants(vec![
+                TenantClass {
+                    id: 7,
+                    weight: 3,
+                    load_share: 0.5,
+                },
+                TenantClass {
+                    id: 9,
+                    weight: 0, // degenerate weight is clamped to 1
+                    load_share: 0.5,
+                },
+            ]);
+        assert_eq!(cfg.cache_partitions(), vec![(7, 3), (9, 1)]);
     }
 }

@@ -109,6 +109,37 @@ pub mod names {
     /// (`serving.tenant.<id>.admitted|completed|shed|goodput`).
     pub const SERVING_TENANT_PREFIX: &str = "serving.tenant.";
 
+    /// Cache: sample lookups against the decoded-sample cache.
+    pub const CACHE_LOOKUPS: &str = "cache.lookups";
+    /// Cache: lookups that found a resident decoded sample.
+    pub const CACHE_HITS: &str = "cache.hits";
+    /// Cache: lookups that missed (redecode required).
+    pub const CACHE_MISSES: &str = "cache.misses";
+    /// Cache: samples admitted.
+    pub const CACHE_INSERTIONS: &str = "cache.insertions";
+    /// Cache: bytes admitted (sum of admitted sample sizes).
+    pub const CACHE_INSERTED_BYTES: &str = "cache.inserted_bytes";
+    /// Cache: admissions refused (quarantined key or oversized sample).
+    pub const CACHE_REJECTED: &str = "cache.rejected";
+    /// Cache: samples evicted (cost-aware policy or quarantine removal).
+    pub const CACHE_EVICTIONS: &str = "cache.evictions";
+    /// Cache: bytes evicted.
+    pub const CACHE_EVICTED_BYTES: &str = "cache.evicted_bytes";
+    /// Cache: failed-decode observations that poisoned a key.
+    pub const CACHE_QUARANTINED: &str = "cache.quarantined";
+    /// Cache: whole batches delivered straight from cache (decode skipped).
+    pub const CACHE_BYPASS_BATCHES: &str = "cache.bypass_batches";
+    /// Cache: bytes resident right now (gauge; high-water must stay ≤
+    /// capacity).
+    pub const CACHE_RESIDENT_BYTES: &str = "cache.resident_bytes";
+    /// Cache: entries resident right now (gauge).
+    pub const CACHE_RESIDENT_ENTRIES: &str = "cache.resident_entries";
+    /// Cache: configured capacity in bytes (gauge, set at construction).
+    pub const CACHE_CAPACITY_BYTES: &str = "cache.capacity_bytes";
+    /// Prefix for per-tenant cache partitions
+    /// (`cache.tenant.<id>.hits|misses|evictions|resident_bytes`).
+    pub const CACHE_TENANT_PREFIX: &str = "cache.tenant.";
+
     /// Codec: wall nanoseconds in Huffman entropy decoding (summed across
     /// decode workers, so it can exceed wall time).
     pub const CODEC_HUFFMAN_NANOS: &str = "codec.huffman_ns";
@@ -331,6 +362,64 @@ impl ServingMetrics {
     }
 }
 
+/// One tenant partition's cache view.
+#[derive(Debug, Clone, Default)]
+pub struct TenantCacheMetrics {
+    /// Tenant id as registered (the `<id>` in `cache.tenant.<id>.*`).
+    pub tenant: String,
+    /// Lookup hits in this tenant's partition.
+    pub hits: u64,
+    /// Lookup misses in this tenant's partition.
+    pub misses: u64,
+    /// Evictions from this tenant's partition.
+    pub evictions: u64,
+    /// Bytes resident in this tenant's partition.
+    pub resident_bytes: i64,
+}
+
+/// Decoded-sample cache view (`dlb-cache`): admission, eviction,
+/// quarantine and residency accounting.
+#[derive(Debug, Clone, Default)]
+pub struct CacheMetrics {
+    /// Sample lookups.
+    pub lookups: u64,
+    /// Lookups served from a resident sample.
+    pub hits: u64,
+    /// Lookups that required a redecode.
+    pub misses: u64,
+    /// Samples admitted.
+    pub insertions: u64,
+    /// Bytes admitted.
+    pub inserted_bytes: u64,
+    /// Admissions refused (quarantine or oversized).
+    pub rejected: u64,
+    /// Samples evicted.
+    pub evictions: u64,
+    /// Bytes evicted.
+    pub evicted_bytes: u64,
+    /// Failed-decode observations that poisoned a key.
+    pub quarantined: u64,
+    /// Whole batches delivered straight from cache.
+    pub bypass_batches: u64,
+    /// Bytes resident at snapshot time.
+    pub resident_bytes: i64,
+    /// Highest residency ever observed.
+    pub resident_bytes_high_water: i64,
+    /// Entries resident at snapshot time.
+    pub resident_entries: i64,
+    /// Configured capacity in bytes.
+    pub capacity_bytes: i64,
+    /// Per-tenant partition breakdown (`DriveMode::Served`).
+    pub tenants: Vec<TenantCacheMetrics>,
+}
+
+impl CacheMetrics {
+    /// True when no sample cache recorded anything into this registry.
+    pub fn is_empty(&self) -> bool {
+        self.lookups == 0 && self.insertions == 0 && self.capacity_bytes == 0
+    }
+}
+
 /// Chaos/fault-plane view: injected faults per stage plus the recovery
 /// policy's retry/failover accounting.
 #[derive(Debug, Clone, Default)]
@@ -415,6 +504,8 @@ pub struct PipelineSnapshot {
     pub router_delivered: u64,
     /// SLO-aware serving layer (admission, shedding, dynamic batching).
     pub serving: ServingMetrics,
+    /// Decoded-sample cache (admission, eviction, quarantine, residency).
+    pub cache: CacheMetrics,
     /// Chaos fault plane + retry/failover recovery accounting.
     pub chaos: ChaosMetrics,
     /// Instrumented queues (slot queues, trans queues, ...).
@@ -437,6 +528,7 @@ impl PipelineSnapshot {
         use names::*;
         let queues = collect_queues(&raw);
         let serving = collect_serving(&raw);
+        let cache = collect_cache(&raw);
         let chaos = ChaosMetrics {
             faults_total: raw.counter(CHAOS_FAULTS_TOTAL),
             injected_storage: raw.counter(CHAOS_INJECTED_STORAGE),
@@ -497,6 +589,7 @@ impl PipelineSnapshot {
             },
             router_delivered: raw.counter(ROUTER_DELIVERED),
             serving,
+            cache,
             chaos,
             queues,
             stalls,
@@ -572,6 +665,42 @@ impl PipelineSnapshot {
                     "serving goodput exceeds completions: good {} > completed {}",
                     s.good, s.completed
                 ));
+            }
+        }
+        if !self.cache.is_empty() {
+            let c = &self.cache;
+            if c.hits + c.misses != c.lookups {
+                v.push(format!(
+                    "cache lookup conservation: hits {} + misses {} != lookups {}",
+                    c.hits, c.misses, c.lookups
+                ));
+            }
+            if c.resident_bytes_high_water > c.capacity_bytes {
+                v.push(format!(
+                    "cache capacity exceeded: resident high-water {} > capacity {}",
+                    c.resident_bytes_high_water, c.capacity_bytes
+                ));
+            }
+            if c.inserted_bytes != c.resident_bytes.max(0) as u64 + c.evicted_bytes {
+                v.push(format!(
+                    "cache byte conservation: inserted {} != resident {} + evicted {}",
+                    c.inserted_bytes, c.resident_bytes, c.evicted_bytes
+                ));
+            }
+            if c.insertions != c.resident_entries.max(0) as u64 + c.evictions {
+                v.push(format!(
+                    "cache entry conservation: insertions {} != resident {} + evictions {}",
+                    c.insertions, c.resident_entries, c.evictions
+                ));
+            }
+            if !c.tenants.is_empty() {
+                let tenant_resident: i64 = c.tenants.iter().map(|t| t.resident_bytes).sum();
+                if tenant_resident != c.resident_bytes {
+                    v.push(format!(
+                        "cache partition conservation: tenant residency sum {} != resident {}",
+                        tenant_resident, c.resident_bytes
+                    ));
+                }
             }
         }
         if !self.chaos.is_empty() {
@@ -717,6 +846,46 @@ impl PipelineSnapshot {
                                         ("completed", t.completed.into()),
                                         ("shed", t.shed.into()),
                                         ("goodput", t.goodput.into()),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            (
+                "cache",
+                Json::object(vec![
+                    ("lookups", self.cache.lookups.into()),
+                    ("hits", self.cache.hits.into()),
+                    ("misses", self.cache.misses.into()),
+                    ("insertions", self.cache.insertions.into()),
+                    ("inserted_bytes", self.cache.inserted_bytes.into()),
+                    ("rejected", self.cache.rejected.into()),
+                    ("evictions", self.cache.evictions.into()),
+                    ("evicted_bytes", self.cache.evicted_bytes.into()),
+                    ("quarantined", self.cache.quarantined.into()),
+                    ("bypass_batches", self.cache.bypass_batches.into()),
+                    ("resident_bytes", self.cache.resident_bytes.into()),
+                    (
+                        "resident_bytes_high_water",
+                        self.cache.resident_bytes_high_water.into(),
+                    ),
+                    ("resident_entries", self.cache.resident_entries.into()),
+                    ("capacity_bytes", self.cache.capacity_bytes.into()),
+                    (
+                        "tenants",
+                        Json::Array(
+                            self.cache
+                                .tenants
+                                .iter()
+                                .map(|t| {
+                                    Json::object(vec![
+                                        ("tenant", t.tenant.as_str().into()),
+                                        ("hits", t.hits.into()),
+                                        ("misses", t.misses.into()),
+                                        ("evictions", t.evictions.into()),
+                                        ("resident_bytes", t.resident_bytes.into()),
                                     ])
                                 })
                                 .collect(),
@@ -875,6 +1044,32 @@ impl PipelineSnapshot {
                 );
             }
         }
+        if !self.cache.is_empty() {
+            let c = &self.cache;
+            let _ = writeln!(
+                out,
+                "  cache      lookups={} hits={} misses={} bypass_batches={} quarantined={}",
+                c.lookups, c.hits, c.misses, c.bypass_batches, c.quarantined
+            );
+            let _ = writeln!(
+                out,
+                "  cache      resident={}B (hw {}B / cap {}B) entries={} inserted={} evicted={} rejected={}",
+                c.resident_bytes,
+                c.resident_bytes_high_water,
+                c.capacity_bytes,
+                c.resident_entries,
+                c.insertions,
+                c.evictions,
+                c.rejected
+            );
+            for t in &c.tenants {
+                let _ = writeln!(
+                    out,
+                    "  cache tnt {:<8} hits={} misses={} evictions={} resident={}B",
+                    t.tenant, t.hits, t.misses, t.evictions, t.resident_bytes
+                );
+            }
+        }
         if !self.chaos.is_empty() {
             let c = &self.chaos;
             let _ = writeln!(
@@ -968,6 +1163,50 @@ fn collect_serving(raw: &RegistrySnapshot) -> ServingMetrics {
         batches_closed_linger: raw.counter(SERVING_BATCH_LINGER),
         batch_size: raw.histogram(SERVING_BATCH_SIZE).cloned(),
         queue_delay: raw.histogram(SERVING_QUEUE_DELAY).cloned(),
+        tenants,
+    }
+}
+
+fn collect_cache(raw: &RegistrySnapshot) -> CacheMetrics {
+    use names::*;
+    let mut tenant_ids: Vec<String> = raw
+        .metrics
+        .keys()
+        .filter_map(|k| {
+            let rest = k.strip_prefix(CACHE_TENANT_PREFIX)?;
+            let (id, field) = rest.rsplit_once('.')?;
+            (field == "resident_bytes").then(|| id.to_string())
+        })
+        .collect();
+    tenant_ids.dedup();
+    let tenants = tenant_ids
+        .into_iter()
+        .map(|id| {
+            let key = |field: &str| format!("{CACHE_TENANT_PREFIX}{id}.{field}");
+            TenantCacheMetrics {
+                hits: raw.counter(&key("hits")),
+                misses: raw.counter(&key("misses")),
+                evictions: raw.counter(&key("evictions")),
+                resident_bytes: raw.gauge(&key("resident_bytes")),
+                tenant: id,
+            }
+        })
+        .collect();
+    CacheMetrics {
+        lookups: raw.counter(CACHE_LOOKUPS),
+        hits: raw.counter(CACHE_HITS),
+        misses: raw.counter(CACHE_MISSES),
+        insertions: raw.counter(CACHE_INSERTIONS),
+        inserted_bytes: raw.counter(CACHE_INSERTED_BYTES),
+        rejected: raw.counter(CACHE_REJECTED),
+        evictions: raw.counter(CACHE_EVICTIONS),
+        evicted_bytes: raw.counter(CACHE_EVICTED_BYTES),
+        quarantined: raw.counter(CACHE_QUARANTINED),
+        bypass_batches: raw.counter(CACHE_BYPASS_BATCHES),
+        resident_bytes: raw.gauge(CACHE_RESIDENT_BYTES),
+        resident_bytes_high_water: raw.gauge_high_water(CACHE_RESIDENT_BYTES),
+        resident_entries: raw.gauge(CACHE_RESIDENT_ENTRIES),
+        capacity_bytes: raw.gauge(CACHE_CAPACITY_BYTES),
         tenants,
     }
 }
@@ -1093,6 +1332,84 @@ mod tests {
         assert!(snap.serving.is_empty());
         assert!(!snap.to_text().contains("serving"));
         assert!(snap.invariant_violations().is_empty());
+    }
+
+    #[test]
+    fn cache_metrics_collected_and_conserved() {
+        let t = Telemetry::with_defaults();
+        t.registry.counter(names::CACHE_LOOKUPS).add(10);
+        t.registry.counter(names::CACHE_HITS).add(6);
+        t.registry.counter(names::CACHE_MISSES).add(4);
+        t.registry.counter(names::CACHE_INSERTIONS).add(4);
+        t.registry.counter(names::CACHE_INSERTED_BYTES).add(400);
+        t.registry.counter(names::CACHE_EVICTIONS).add(1);
+        t.registry.counter(names::CACHE_EVICTED_BYTES).add(100);
+        t.registry.gauge(names::CACHE_RESIDENT_BYTES).set(300);
+        t.registry.gauge(names::CACHE_RESIDENT_ENTRIES).set(3);
+        t.registry.gauge(names::CACHE_CAPACITY_BYTES).set(1024);
+        t.registry.counter("cache.tenant.0.hits").add(6);
+        t.registry.gauge("cache.tenant.0.resident_bytes").set(300);
+        let snap = t.pipeline_snapshot();
+        assert_eq!(snap.cache.lookups, 10);
+        assert_eq!(snap.cache.hits, 6);
+        assert_eq!(snap.cache.resident_bytes, 300);
+        assert_eq!(snap.cache.tenants.len(), 1);
+        assert_eq!(snap.cache.tenants[0].hits, 6);
+        assert!(
+            snap.invariant_violations().is_empty(),
+            "{:?}",
+            snap.invariant_violations()
+        );
+        assert!(snap.to_text().contains("cache      lookups=10 hits=6"));
+        assert_eq!(snap.to_json()["cache"]["hits"], 6u64);
+        assert_eq!(
+            snap.to_json()["cache"]["tenants"][0]["resident_bytes"],
+            300u64
+        );
+        // Quiet registries hide the section entirely.
+        let quiet = Telemetry::with_defaults().pipeline_snapshot();
+        assert!(quiet.cache.is_empty());
+        assert!(!quiet.to_text().contains("cache"));
+    }
+
+    #[test]
+    fn cache_conservation_violations_detected() {
+        // Lookup law: hits + misses must equal lookups.
+        let t = Telemetry::with_defaults();
+        t.registry.counter(names::CACHE_LOOKUPS).add(5);
+        t.registry.counter(names::CACHE_HITS).add(3);
+        let v = t.pipeline_snapshot().invariant_violations();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("cache lookup conservation"));
+
+        // Capacity law: residency may never have exceeded capacity.
+        let t = Telemetry::with_defaults();
+        t.registry.counter(names::CACHE_LOOKUPS).add(1);
+        t.registry.counter(names::CACHE_MISSES).add(1);
+        let g = t.registry.gauge(names::CACHE_RESIDENT_BYTES);
+        g.set(2048); // high-water records the spike...
+        g.set(100); // ...even after it settles back under capacity
+        t.registry.gauge(names::CACHE_CAPACITY_BYTES).set(1024);
+        t.registry.counter(names::CACHE_INSERTED_BYTES).add(100);
+        t.registry.gauge(names::CACHE_RESIDENT_ENTRIES).set(0);
+        let v = t.pipeline_snapshot().invariant_violations();
+        assert!(
+            v.iter().any(|m| m.contains("cache capacity exceeded")),
+            "{v:?}"
+        );
+
+        // Byte law: every inserted byte is resident or was evicted.
+        let t = Telemetry::with_defaults();
+        t.registry.counter(names::CACHE_INSERTIONS).add(2);
+        t.registry.counter(names::CACHE_INSERTED_BYTES).add(200);
+        t.registry.gauge(names::CACHE_RESIDENT_BYTES).set(100);
+        t.registry.gauge(names::CACHE_RESIDENT_ENTRIES).set(2);
+        t.registry.gauge(names::CACHE_CAPACITY_BYTES).set(1024);
+        let v = t.pipeline_snapshot().invariant_violations();
+        assert!(
+            v.iter().any(|m| m.contains("cache byte conservation")),
+            "{v:?}"
+        );
     }
 
     #[test]

@@ -144,6 +144,7 @@ pub fn run_degraded_training(params: &ChaosParams) -> Result<ChaosOutcome, Strin
                     target_h: side as u32,
                     workers,
                     max_batches: Some(remaining),
+                    sample_cache: None,
                 },
                 t2,
             )

@@ -76,6 +76,7 @@ fn functional_run_cpu(iterations: u64) {
                 target_h: 64,
                 workers: 3,
                 max_batches: Some(iterations * 2),
+                sample_cache: None,
             },
         )
         .unwrap(),

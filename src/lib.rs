@@ -50,6 +50,7 @@
 //!
 //! | module | crate | role |
 //! |---|---|---|
+//! | [`cache`] | `dlb-cache` | decoded-sample cache: cost-aware eviction, quarantine, tenant partitions |
 //! | [`chaos`] | `dlb-chaos` | seeded fault injection + retry/backoff policies |
 //! | [`codec`] | `dlb-codec` | from-scratch baseline JPEG + resize + augment |
 //! | [`simcore`] | `dlb-simcore` | deterministic DES engine, queueing, stats |
@@ -66,6 +67,7 @@
 //! | [`workflows`] | `dlb-workflows` | figure-regenerating experiment DES |
 
 pub use dlb_backends as backends;
+pub use dlb_cache as cache;
 pub use dlb_chaos as chaos;
 pub use dlb_codec as codec;
 pub use dlb_engines as engines;
@@ -86,6 +88,7 @@ pub mod prelude {
         CpuBackend, CpuBackendConfig, FailoverBackend, FailoverConfig, LmdbBackend,
         LmdbBackendConfig, NvJpegBackend, NvJpegBackendConfig,
     };
+    pub use dlb_cache::{CachedSample, SampleCache, SampleKey};
     pub use dlb_chaos::{
         CancelToken, FaultKind, FaultPlan, Retrier, RetryPolicy, Stage, StageSpec,
     };

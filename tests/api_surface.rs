@@ -137,6 +137,7 @@ fn backend_trait_is_object_safe_and_uniform() {
             target_h: 16,
             workers: 1,
             max_batches: Some(1),
+            sample_cache: None,
         },
     )
     .unwrap();

@@ -72,6 +72,7 @@ fn cpu_pixels(f: &Fixture) -> HashMap<u64, Vec<u8>> {
             target_h: TARGET,
             workers: 2,
             max_batches: Some((N_IMAGES / BATCH) as u64),
+            sample_cache: None,
         },
     )
     .unwrap();

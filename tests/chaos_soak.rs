@@ -227,6 +227,95 @@ fn served_inference_survives_all_fault_planes_across_seeds() {
     assert!(total_faults > 0, "faults must actually fire across 8 seeds");
 }
 
+/// Sample-cache × chaos interaction: a decode the FPGA plane poisons
+/// quarantines its source key, and a quarantined source is never resident
+/// in the cache — so however many epochs replay, corrupt pixels can never
+/// be served from memory. Runs the full fault battery over three epochs
+/// with the decoded-sample cache armed, across the same 8-seed matrix.
+#[test]
+fn corrupted_samples_are_quarantined_and_never_admitted() {
+    let mut total_quarantined = 0;
+    for seed in seeds() {
+        let telemetry = Telemetry::with_defaults();
+        let mut plan = dlbooster::chaos::FaultPlan::uniform(seed, FAULT_RATE);
+        plan.storage = plan.storage.with_delay(Duration::from_millis(1));
+        plan.fpga = plan.fpga.with_delay(Duration::from_millis(1));
+        plan.pool = plan.pool.with_delay(Duration::from_millis(1));
+
+        let disk = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));
+        let dataset = Dataset::build(
+            DatasetSpec::ilsvrc_small(TRAIN_BATCHES as usize * BATCH, 13),
+            &disk,
+        )
+        .unwrap();
+        disk.attach_chaos(plan.injector(Stage::Storage, &telemetry).unwrap());
+        let collector = Arc::new(DataCollector::load_from_disk(&dataset.records, 0));
+        let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
+        device
+            .load_mirror(DecoderMirror::jpeg_paper_config())
+            .unwrap();
+        let engine = DecoderEngine::start_with_telemetry(
+            device,
+            Arc::new(CombinedResolver::disk_only(Arc::clone(&disk))),
+            &telemetry,
+        )
+        .unwrap();
+        engine.attach_chaos(plan.injector(Stage::Fpga, &telemetry).unwrap());
+        let channel = FpgaChannel::init_with_telemetry(engine, 0, &telemetry);
+        let mut config = DlBoosterConfig::training(
+            1,
+            BATCH,
+            (32, 32),
+            TRAIN_BATCHES as usize * BATCH,
+            Some(3 * TRAIN_BATCHES), // three epochs: quarantine must hold on replay
+        );
+        config.cache_bytes = 0;
+        config.sample_cache_bytes = 256 << 20;
+        let booster =
+            DlBooster::start_with_telemetry(collector, channel, config, Arc::clone(&telemetry))
+                .unwrap();
+        booster
+            .pool()
+            .attach_chaos(plan.injector(Stage::Pool, &telemetry).unwrap());
+
+        while let Ok(batch) = booster.next_batch(0) {
+            assert_eq!(batch.len(), BATCH, "failed items still occupy slots");
+            booster.recycle(batch.unit);
+        }
+        let cache = booster.sample_cache().expect("sample cache armed");
+        drop(booster); // join daemons so counters are final
+
+        // A source observed to fail decode must never be admitted — not in
+        // the epoch that failed it, not in any later one.
+        for r in &dataset.records {
+            let key = SampleKey::Disk {
+                offset: r.disk_offset,
+                len: r.len,
+            };
+            assert!(
+                !(cache.contains(&key) && cache.is_quarantined(&key)),
+                "seed {seed}: quarantined source {key:?} is resident in the cache"
+            );
+        }
+        let snap = telemetry.pipeline_snapshot();
+        let (_, _, _, quarantined) = cache.churn_stats();
+        assert_eq!(
+            quarantined, snap.reader.item_errors,
+            "seed {seed}: every failed decode must quarantine its key exactly once"
+        );
+        assert!(
+            snap.invariant_violations().is_empty(),
+            "seed {seed}: {:?}",
+            snap.invariant_violations()
+        );
+        total_quarantined += quarantined;
+    }
+    assert!(
+        total_quarantined > 0,
+        "the fpga plane's poison flavour must corrupt at least one decode across 8 seeds"
+    );
+}
+
 #[test]
 fn seed_replay_is_deterministic() {
     for seed in seeds().into_iter().take(3) {

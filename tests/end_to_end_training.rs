@@ -167,6 +167,79 @@ fn pipeline_snapshot_accounts_for_every_stage() {
 }
 
 #[test]
+fn sample_cache_eliminates_epoch2_decode_with_identical_batches() {
+    // Two identical 2-epoch runs (8 images, batch 4, unshuffled), one with
+    // the decoded-sample cache and one without. The cached run must decode
+    // each image exactly once — epoch 2 is served wholly from cache — and
+    // still deliver bitwise-identical batches. `pool_units: 1` serialises
+    // the reader behind the consumer so every epoch-1 insert lands before
+    // any epoch-2 lookup.
+    let run = |sample_cache_bytes: u64| {
+        let telemetry = Telemetry::with_defaults();
+        let disk = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));
+        let dataset = Dataset::build(DatasetSpec::ilsvrc_small(8, 77), &disk).unwrap();
+        let collector = Arc::new(DataCollector::load_from_disk(&dataset.records, 0));
+        let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
+        device
+            .load_mirror(DecoderMirror::jpeg_paper_config())
+            .unwrap();
+        let engine = DecoderEngine::start_with_telemetry(
+            device,
+            Arc::new(CombinedResolver::disk_only(Arc::clone(&disk))),
+            &telemetry,
+        )
+        .unwrap();
+        let channel = FpgaChannel::init_with_telemetry(engine, 0, &telemetry);
+        let mut config = DlBoosterConfig::training(1, 4, (32, 32), 8, Some(4));
+        config.cache_bytes = 0; // isolate from the batch-indexed hybrid cache
+        config.sample_cache_bytes = sample_cache_bytes;
+        config.pool_units = 1;
+        let booster =
+            DlBooster::start_with_telemetry(collector, channel, config, Arc::clone(&telemetry))
+                .unwrap();
+        let mut payloads = Vec::new();
+        while let Ok(batch) = booster.next_batch(0) {
+            payloads.push(batch.unit.payload().to_vec());
+            booster.recycle(batch.unit);
+        }
+        let cache = booster.sample_cache();
+        drop(booster); // join reader + router → quiescent counters
+        (payloads, telemetry.pipeline_snapshot(), cache)
+    };
+
+    let (cached_payloads, snap, cache) = run(64 << 20);
+    let (live_payloads, _, no_cache) = run(0);
+    assert!(no_cache.is_none());
+    assert_eq!(cached_payloads.len(), 4);
+    // Bitwise-identical batches, cache on or off.
+    assert_eq!(cached_payloads, live_payloads);
+    let cache = cache.expect("sample_cache_bytes > 0 builds a cache");
+    // Epoch 2 never touched the FPGA: only epoch 1's two batches were
+    // submitted and only its 8 images decoded. The reader is a
+    // free-running producer (the router enforces the delivery bound), so
+    // it may fill one extra cache batch before the stop flag lands —
+    // hence lower bounds on the bypass/hit counters, exact decode counts.
+    assert!(
+        cache.bypass_batches() >= 2,
+        "epoch 2 must bypass the device"
+    );
+    let (_, hits, misses) = cache.lookup_stats();
+    assert!(hits >= 8, "epoch-2 lookups must all hit, hits = {hits}");
+    assert!(misses <= 2, "only epoch 1 may miss, misses = {misses}");
+    assert_eq!(snap.batches_in(), 2, "only epoch 1 submitted to the FPGA");
+    assert_eq!(snap.decoder.items_ok, 8, "each image decoded exactly once");
+    assert!(snap.cache.hits >= 8);
+    assert!(snap.cache.bypass_batches >= 2);
+    assert!(snap.cache.capacity_bytes > 0);
+    // Every cache.* conservation law holds in the final snapshot.
+    assert!(
+        snap.invariant_violations().is_empty(),
+        "violations: {:?}",
+        snap.invariant_violations()
+    );
+}
+
+#[test]
 fn hybrid_cache_serves_later_epochs_in_full_pipeline() {
     let disk = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));
     let n_images = 8;

@@ -419,6 +419,7 @@ fn killed_fpga_fails_over_to_cpu_and_completes_the_run() {
                     target_h: 32,
                     workers: 2,
                     max_batches: Some(remaining),
+                    sample_cache: None,
                 },
                 t2,
             )
@@ -469,6 +470,141 @@ fn killed_fpga_fails_over_to_cpu_and_completes_the_run() {
     backend.shutdown();
     drop(backend);
     drop(primary); // join the pipeline threads so counters are final
+
+    let snap = telemetry.pipeline_snapshot();
+    assert_eq!(snap.chaos.failovers, 1, "exactly one failover recorded");
+    assert!(
+        snap.invariant_violations().is_empty(),
+        "violations: {:?}",
+        snap.invariant_violations()
+    );
+}
+
+#[test]
+fn failover_shares_the_sample_cache_with_the_cpu_fallback() {
+    // Same kill-the-FPGA scenario, but with one decoded-sample cache
+    // shared across the failover pair: whatever the FPGA primary decoded
+    // before dying stays warm, so the CPU fallback re-serves those
+    // samples from memory instead of re-decoding them — and whole
+    // cache-hit batches bypass decode entirely on later epochs. The
+    // delivery accounting must stay exact with bypass batches in the mix.
+    use dlbooster::chaos::Stage;
+    use std::time::Duration;
+
+    let total: u64 = 12;
+    let batch = 4usize;
+    let per_epoch = 4usize; // 16 images / batch 4 → three epochs in 12 batches
+    let telemetry = Telemetry::with_defaults();
+    let disk = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));
+    let dataset = Dataset::build(DatasetSpec::ilsvrc_small(per_epoch * batch, 51), &disk).unwrap();
+    let records = dataset.records.clone();
+    let collector = Arc::new(DataCollector::load_from_disk(&dataset.records, 0));
+    let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
+    device
+        .load_mirror(DecoderMirror::jpeg_paper_config())
+        .unwrap();
+    let engine = DecoderEngine::start_with_telemetry(
+        device,
+        Arc::new(CombinedResolver::disk_only(Arc::clone(&disk))),
+        &telemetry,
+    )
+    .unwrap();
+
+    let mut plan = FaultPlan::disabled();
+    plan.seed = 23;
+    plan.fpga = StageSpec::rate(0.5).with_delay(Duration::from_secs(60));
+    let cancel = plan.cancel_token();
+    engine.attach_chaos(plan.injector(Stage::Fpga, &telemetry).unwrap());
+
+    let channel = FpgaChannel::init_with_telemetry(engine, 0, &telemetry);
+    let mut config = DlBoosterConfig::training(1, batch, (32, 32), per_epoch * batch, Some(total));
+    config.cache_bytes = 0;
+    let primary = Arc::new(
+        DlBooster::start_with_telemetry(collector, channel, config, Arc::clone(&telemetry))
+            .unwrap(),
+    );
+    let cache = SampleCache::with_telemetry(64 << 20, &telemetry);
+    primary.attach_sample_cache(Arc::clone(&cache));
+
+    let t2 = Arc::clone(&telemetry);
+    let shared = Arc::clone(&cache);
+    let backend = FailoverBackend::new(
+        Arc::clone(&primary),
+        Box::new(move |remaining| {
+            let collector = Arc::new(DataCollector::load_from_disk(&records, 0));
+            CpuBackend::start_with_telemetry(
+                collector,
+                Arc::new(CombinedResolver::disk_only(disk)),
+                CpuBackendConfig {
+                    n_engines: 1,
+                    batch_size: batch,
+                    target_w: 32,
+                    target_h: 32,
+                    workers: 2,
+                    max_batches: Some(remaining),
+                    sample_cache: Some(Arc::clone(&shared)),
+                },
+                t2,
+            )
+            .map(|b| Box::new(b) as Box<dyn PreprocessBackend>)
+        }),
+        dlbooster::backends::FailoverConfig {
+            total_batches: total,
+            deadline: Duration::from_millis(200),
+            chaos_cancel: Some(cancel),
+        },
+        &telemetry,
+    );
+
+    let mut from_primary = 0u64;
+    let mut from_fallback = 0u64;
+    loop {
+        match backend.next_batch(0) {
+            Ok(b) => {
+                assert_eq!(b.len(), batch, "every batch arrives full");
+                if primary.pool().owns(&b.unit) {
+                    from_primary += 1;
+                } else {
+                    from_fallback += 1;
+                }
+                backend.recycle(b.unit);
+            }
+            Err(dlbooster::core::BackendError::Exhausted) => break,
+            Err(e) => panic!("run must complete cleanly, got {e}"),
+        }
+    }
+    assert!(
+        backend.failed_over(),
+        "the wedged FPGA must trigger failover"
+    );
+    assert_eq!(from_primary + from_fallback, total, "no lost batches");
+    assert!(from_fallback > 0, "CPU fallback must carry the remainder");
+    backend.shutdown();
+    drop(backend);
+    drop(primary); // join both pipelines so counters are final
+
+    // The shared cache did real work across the failover boundary: 12
+    // delivered batches cover three passes over 16 records, so whichever
+    // side served a record's second sighting must have hit.
+    let (_, hits, _) = cache.lookup_stats();
+    assert!(hits > 0, "repeat sightings must hit the shared cache");
+    assert!(
+        cache.bypass_batches() >= 1,
+        "a fully-resident batch must bypass decode"
+    );
+    // Batches wedged in flight at kill time surface as failed finishes,
+    // and the reader conservatively quarantines their keys. Quarantine
+    // must still exclude residency for every source.
+    for r in &dataset.records {
+        let key = SampleKey::Disk {
+            offset: r.disk_offset,
+            len: r.len,
+        };
+        assert!(
+            !(cache.contains(&key) && cache.is_quarantined(&key)),
+            "quarantined source {key:?} is resident in the shared cache"
+        );
+    }
 
     let snap = telemetry.pipeline_snapshot();
     assert_eq!(snap.chaos.failovers, 1, "exactly one failover recorded");
