@@ -1,0 +1,59 @@
+//! Cluster degradation sweep: the 8-node shard router under 3× overload,
+//! healthy and with nodes chaos-killed mid-run.
+//!
+//! Two quantities matter here:
+//!
+//! * **Simulation throughput** — wall-clock per full `ClusterSim` run
+//!   (6 000 requests through ring + quotas + hedging + failover), i.e.
+//!   what a sweep costs to regenerate.
+//! * **Goodput retention** — the model-level result: in-SLO goodput with
+//!   1..3 of 8 nodes killed, as a fraction of the same-seed no-kill run.
+//!   The acceptance bar (≥ 85 % with one node down) is archived in
+//!   `BENCH_cluster.json` and enforced by `tests/cluster_soak.rs`.
+//!
+//! A ring microbench rides along: routing cost is per-request overhead
+//! at the cluster door, so it must stay in the tens of nanoseconds.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dlb_cluster::HashRing;
+use dlb_workflows::cluster::{ClusterParams, ClusterSim};
+
+const NODES: u32 = 8;
+const OVERLOAD: f64 = 3.0;
+const SEED: u64 = 11;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_sweep");
+    group.sample_size(10);
+    let requests = ClusterParams::baseline(NODES, OVERLOAD, SEED).requests;
+    group.throughput(Throughput::Elements(requests));
+    for kills in 0..=3u32 {
+        group.bench_function(format!("kills_{kills}"), |b| {
+            b.iter(|| {
+                let params =
+                    ClusterParams::baseline(NODES, OVERLOAD, SEED).with_spread_kills(kills);
+                ClusterSim::run(params).goodput
+            })
+        });
+    }
+    group.finish();
+
+    let mut ring_group = c.benchmark_group("cluster_ring");
+    let ring = HashRing::with_nodes(0xD1B0_0057, 256, 0..NODES);
+    ring_group.throughput(Throughput::Elements(1024));
+    ring_group.bench_function("route_1k_keys", |b| {
+        b.iter(|| {
+            let mut owned = 0u64;
+            for k in 0..1024u64 {
+                if ring.route(k).is_some() {
+                    owned += 1;
+                }
+            }
+            owned
+        })
+    });
+    ring_group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

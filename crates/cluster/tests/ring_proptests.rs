@@ -1,0 +1,117 @@
+//! Property tests for the consistent-hash ring.
+//!
+//! Two properties anchor the cluster design:
+//!
+//! 1. **Purity** — placement is a function of `(seed, membership)` only.
+//!    Any sequence of add/remove operations arriving at the same
+//!    membership routes every key identically to a ring built fresh.
+//! 2. **Minimal movement** — removing (or adding) one node moves only
+//!    the keys that node owned (or now owns): everything else stays
+//!    put, and the moved fraction stays near 1/N.
+//!
+//! Case count honours `PROPTEST_CASES` (CI pins it for determinism).
+
+use dlb_cluster::HashRing;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const VNODES: u32 = 64;
+const KEYS: u64 = 2048;
+
+fn routes(ring: &HashRing) -> Vec<Option<u32>> {
+    (0..KEYS).map(|k| ring.route(k)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Same membership → same routing, regardless of construction order.
+    #[test]
+    fn placement_is_pure_function_of_seed_and_membership(
+        seed in any::<u64>(),
+        raw_nodes in prop::collection::vec(0u32..64, 1..12),
+        ops in prop::collection::vec((0u32..64, any::<bool>()), 0..24),
+    ) {
+        let nodes: BTreeSet<u32> = raw_nodes.into_iter().collect();
+        let reference = HashRing::with_nodes(seed, VNODES, nodes.iter().copied());
+        // Apply a random op sequence, then reconcile back to the
+        // reference membership: the detour must leave no trace.
+        let mut ring = HashRing::with_nodes(seed, VNODES, nodes.iter().copied());
+        for (node, add) in ops {
+            if add { ring.add(node); } else { ring.remove(node); }
+        }
+        for n in 0..64u32 {
+            if nodes.contains(&n) { ring.add(n); } else { ring.remove(n); }
+        }
+        prop_assert_eq!(routes(&reference), routes(&ring));
+        // The seed genuinely participates in placement: a different seed
+        // must reshuffle at least one key (≥ 2 nodes so there is choice).
+        if nodes.len() >= 2 {
+            let other = HashRing::with_nodes(seed ^ 0xDEAD_BEEF, VNODES, nodes.iter().copied());
+            prop_assert!(
+                routes(&reference) != routes(&other),
+                "seed does not influence placement"
+            );
+        }
+    }
+
+    /// Removing one node moves only its own keys; the moved share is
+    /// close to 1/N.
+    #[test]
+    fn removal_moves_about_one_nth_of_keys(
+        seed in any::<u64>(),
+        n in 2u32..16,
+        victim_idx in any::<prop::sample::Index>(),
+    ) {
+        let mut ring = HashRing::with_nodes(seed, VNODES, 0..n);
+        let victim = victim_idx.index(n as usize) as u32;
+        let before = routes(&ring);
+        ring.remove(victim);
+        let after = routes(&ring);
+        let mut moved = 0u64;
+        for (b, a) in before.iter().zip(after.iter()) {
+            if *b == Some(victim) {
+                // The victim's keys must all move, and not to the victim.
+                prop_assert_ne!(*a, Some(victim));
+                moved += 1;
+            } else {
+                // Every other key keeps its owner.
+                prop_assert_eq!(*a, *b);
+            }
+        }
+        // Expected share 1/n of KEYS; allow generous slack for vnode
+        // placement variance at small n.
+        let expected = KEYS as f64 / f64::from(n);
+        prop_assert!(
+            (moved as f64) < 3.5 * expected + 32.0,
+            "removing 1/{} nodes moved {}/{} keys", n, moved, KEYS
+        );
+    }
+
+    /// Adding a node is the mirror image: only keys the newcomer claims
+    /// change owner.
+    #[test]
+    fn addition_moves_only_claimed_keys(
+        seed in any::<u64>(),
+        n in 2u32..16,
+    ) {
+        let mut ring = HashRing::with_nodes(seed, VNODES, 0..n);
+        let before = routes(&ring);
+        ring.add(n); // newcomer
+        let after = routes(&ring);
+        let mut claimed = 0u64;
+        for (b, a) in before.iter().zip(after.iter()) {
+            if *a == Some(n) {
+                claimed += 1;
+            } else {
+                prop_assert_eq!(*a, *b);
+            }
+        }
+        let expected = KEYS as f64 / f64::from(n + 1);
+        prop_assert!(
+            (claimed as f64) < 3.5 * expected + 32.0,
+            "newcomer claimed {}/{} keys on an {}-node ring", claimed, KEYS, n
+        );
+        prop_assert!(claimed > 0, "newcomer claimed nothing on an {}-node ring", n);
+    }
+}

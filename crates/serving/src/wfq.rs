@@ -112,6 +112,24 @@ impl<T> WeightedFairQueue<T> {
         self.tenants.get(&tenant).map_or(0, |t| t.items.len())
     }
 
+    /// The registered weight of `tenant`, or `None` for tenants this
+    /// queue has never seen. Tenants that arrived via
+    /// [`WeightedFairQueue::push`] without registration report their
+    /// fallback weight 1.
+    pub fn tenant_weight(&self, tenant: u32) -> Option<u32> {
+        self.tenants.get(&tenant).map(|t| t.weight)
+    }
+
+    /// Read-only view of every tenant class: `(id, weight, backlog)` in
+    /// ascending id order. This is the hook layers above the queue (e.g.
+    /// cluster-wide quota buckets) use to derive per-tenant shares
+    /// without duplicating tenant state.
+    pub fn tenants(&self) -> impl Iterator<Item = (u32, u32, usize)> + '_ {
+        self.tenants
+            .iter()
+            .map(|(&id, tq)| (id, tq.weight, tq.items.len()))
+    }
+
     /// Enqueues `item` for `tenant` (FIFO within the tenant).
     pub fn push(&mut self, tenant: u32, item: T) {
         let seq = self.seq;
@@ -319,6 +337,25 @@ mod tests {
         q.push(7, "x");
         assert_eq!(q.tenant_len(7), 1);
         assert_eq!(q.pop(), Some("x"));
+    }
+
+    #[test]
+    fn tenant_accessors_expose_weight_and_backlog() {
+        let mut q = WeightedFairQueue::new([(0, 3), (1, 1)]);
+        assert_eq!(q.tenant_weight(0), Some(3));
+        assert_eq!(q.tenant_weight(9), None);
+        q.push(0, "a");
+        q.push(0, "b");
+        q.push(1, "c");
+        q.push(7, "d"); // unregistered → fallback weight 1
+        assert_eq!(q.tenant_weight(7), Some(1));
+        let view: Vec<(u32, u32, usize)> = q.tenants().collect();
+        assert_eq!(view, vec![(0, 3, 2), (1, 1, 1), (7, 1, 1)]);
+        // The view is read-only: service order and tags are unchanged.
+        assert_eq!(q.len(), 4);
+        q.pop().unwrap();
+        let backlog: usize = q.tenants().map(|(_, _, b)| b).sum();
+        assert_eq!(backlog, 3);
     }
 
     #[test]

@@ -140,6 +140,54 @@ pub mod names {
     /// (`cache.tenant.<id>.hits|misses|evictions|resident_bytes`).
     pub const CACHE_TENANT_PREFIX: &str = "cache.tenant.";
 
+    /// Cluster: requests arriving at the shard router's door.
+    pub const CLUSTER_REQUESTS: &str = "cluster.requests";
+    /// Cluster: requests that passed quota + routing (primary dispatched).
+    pub const CLUSTER_ADMITTED: &str = "cluster.admitted";
+    /// Cluster: requests terminally shed (quota, dead ring, or an
+    /// unreplayable loss).
+    pub const CLUSTER_SHED: &str = "cluster.shed";
+    /// Cluster: the subset of sheds denied by a tenant quota bucket.
+    pub const CLUSTER_QUOTA_SHED: &str = "cluster.quota_shed";
+    /// Cluster: copies placed on node queues (primaries + hedges +
+    /// replays).
+    pub const CLUSTER_DISPATCHES: &str = "cluster.dispatches";
+    /// Cluster: hedge copies dispatched after a budget expiry.
+    pub const CLUSTER_HEDGES: &str = "cluster.hedges";
+    /// Cluster: requests whose first completion came from a hedge copy.
+    pub const CLUSTER_HEDGE_WINS: &str = "cluster.hedge_wins";
+    /// Cluster: duplicate completions of already-terminal requests.
+    pub const CLUSTER_HEDGE_DUPS: &str = "cluster.hedge_dups";
+    /// Cluster: replay copies dispatched for work lost to a node kill.
+    pub const CLUSTER_REPLAYS: &str = "cluster.replays";
+    /// Cluster: copies that finished service (wins and duplicates).
+    pub const CLUSTER_COMPLETIONS: &str = "cluster.completions";
+    /// Cluster: completions by primary or hedge copies.
+    pub const CLUSTER_SERVED: &str = "cluster.served";
+    /// Cluster: completions by replay copies.
+    pub const CLUSTER_REPLAYED: &str = "cluster.replayed";
+    /// Cluster: winning completions inside the SLO deadline (goodput).
+    pub const CLUSTER_GOOD: &str = "cluster.good";
+    /// Cluster: copies that died with a killed node.
+    pub const CLUSTER_LOST: &str = "cluster.lost";
+    /// Cluster: lost copies not re-dispatched (stale, covered, or shed).
+    pub const CLUSTER_LOST_UNREPLAYED: &str = "cluster.lost_unreplayed";
+    /// Cluster: nodes chaos-killed.
+    pub const CLUSTER_KILLS: &str = "cluster.kills";
+    /// Cluster: quota rebalances after membership changes.
+    pub const CLUSTER_REBALANCES: &str = "cluster.rebalances";
+    /// Cluster: requests admitted to the door but not yet terminal.
+    pub const CLUSTER_INFLIGHT: &str = "cluster.inflight";
+    /// Cluster: copies dispatched but not yet completed or lost.
+    pub const CLUSTER_NODE_QUEUED: &str = "cluster.node_queued";
+    /// Cluster: live nodes on the ring right now.
+    pub const CLUSTER_NODES_ALIVE: &str = "cluster.nodes_alive";
+    /// Cluster: winning-request arrival→completion latency (ns).
+    pub const CLUSTER_LATENCY: &str = "cluster.latency_nanos";
+    /// Prefix for per-tenant cluster metrics
+    /// (`cluster.tenant.<id>.requests|completed|shed|good`).
+    pub const CLUSTER_TENANT_PREFIX: &str = "cluster.tenant.";
+
     /// Codec: wall nanoseconds in Huffman entropy decoding (summed across
     /// decode workers, so it can exceed wall time).
     pub const CODEC_HUFFMAN_NANOS: &str = "codec.huffman_ns";
@@ -420,6 +468,85 @@ impl CacheMetrics {
     }
 }
 
+/// One tenant's cluster view.
+#[derive(Debug, Clone, Default)]
+pub struct TenantClusterMetrics {
+    /// Tenant id as registered (the `<id>` in `cluster.tenant.<id>.*`).
+    pub tenant: String,
+    /// Requests this tenant offered to the cluster door.
+    pub requests: u64,
+    /// Requests whose first completion arrived (request-level serves).
+    pub completed: u64,
+    /// Requests terminally shed for this tenant.
+    pub shed: u64,
+    /// Completions inside the SLO deadline.
+    pub good: u64,
+}
+
+/// Shard-router view (`dlb-cluster`): consistent-hash routing, tenant
+/// quotas, hedging, and node-kill replay accounting.
+///
+/// Counter semantics: `served`/`replayed` count **copy** completions
+/// (primary/hedge vs replay), including duplicates; `hedge_dups` counts
+/// exactly the duplicate completions. The headline conservation law
+/// `requests + hedge_dups = served + replayed + shed + inflight` is the
+/// ISSUE form `in = served + shed + replayed − hedge_dups` rearranged so
+/// both sides stay unsigned; at quiescence `inflight` is zero.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterMetrics {
+    /// Requests arriving at the router door.
+    pub requests: u64,
+    /// Requests that passed quota + routing.
+    pub admitted: u64,
+    /// Requests terminally shed.
+    pub shed: u64,
+    /// Sheds caused by a dry tenant quota bucket.
+    pub quota_shed: u64,
+    /// Copies placed on node queues.
+    pub dispatches: u64,
+    /// Hedge copies dispatched.
+    pub hedges: u64,
+    /// Requests first completed by a hedge copy.
+    pub hedge_wins: u64,
+    /// Duplicate completions of already-terminal requests.
+    pub hedge_dups: u64,
+    /// Replay copies dispatched after node kills.
+    pub replays: u64,
+    /// Copies that finished service.
+    pub completions: u64,
+    /// Completions by primary/hedge copies (duplicates included).
+    pub served: u64,
+    /// Completions by replay copies (duplicates included).
+    pub replayed: u64,
+    /// Winning completions inside the SLO deadline.
+    pub good: u64,
+    /// Copies that died with a killed node.
+    pub lost: u64,
+    /// Lost copies not re-dispatched.
+    pub lost_unreplayed: u64,
+    /// Nodes chaos-killed.
+    pub kills: u64,
+    /// Quota rebalances performed.
+    pub rebalances: u64,
+    /// Requests not yet terminal at snapshot time.
+    pub inflight: i64,
+    /// Copies on node queues at snapshot time.
+    pub node_queued: i64,
+    /// Live nodes at snapshot time.
+    pub nodes_alive: i64,
+    /// Winning-request arrival→completion latency (ns).
+    pub latency: Option<HistogramSnapshot>,
+    /// Per-tenant breakdown.
+    pub tenants: Vec<TenantClusterMetrics>,
+}
+
+impl ClusterMetrics {
+    /// True when no shard router recorded anything into this registry.
+    pub fn is_empty(&self) -> bool {
+        self.requests == 0 && self.dispatches == 0 && self.kills == 0
+    }
+}
+
 /// Chaos/fault-plane view: injected faults per stage plus the recovery
 /// policy's retry/failover accounting.
 #[derive(Debug, Clone, Default)]
@@ -506,6 +633,8 @@ pub struct PipelineSnapshot {
     pub serving: ServingMetrics,
     /// Decoded-sample cache (admission, eviction, quarantine, residency).
     pub cache: CacheMetrics,
+    /// Shard router (`dlb-cluster`): quotas, hedging, kill replay.
+    pub cluster: ClusterMetrics,
     /// Chaos fault plane + retry/failover recovery accounting.
     pub chaos: ChaosMetrics,
     /// Instrumented queues (slot queues, trans queues, ...).
@@ -529,6 +658,7 @@ impl PipelineSnapshot {
         let queues = collect_queues(&raw);
         let serving = collect_serving(&raw);
         let cache = collect_cache(&raw);
+        let cluster = collect_cluster(&raw);
         let chaos = ChaosMetrics {
             faults_total: raw.counter(CHAOS_FAULTS_TOTAL),
             injected_storage: raw.counter(CHAOS_INJECTED_STORAGE),
@@ -590,6 +720,7 @@ impl PipelineSnapshot {
             router_delivered: raw.counter(ROUTER_DELIVERED),
             serving,
             cache,
+            cluster,
             chaos,
             queues,
             stalls,
@@ -700,6 +831,64 @@ impl PipelineSnapshot {
                         "cache partition conservation: tenant residency sum {} != resident {}",
                         tenant_resident, c.resident_bytes
                     ));
+                }
+            }
+        }
+        if !self.cluster.is_empty() {
+            let c = &self.cluster;
+            if c.requests + c.hedge_dups
+                != c.served + c.replayed + c.shed + c.inflight.max(0) as u64
+            {
+                v.push(format!(
+                    "cluster request conservation: requests {} + hedge_dups {} != served {} + replayed {} + shed {} + inflight {}",
+                    c.requests, c.hedge_dups, c.served, c.replayed, c.shed, c.inflight
+                ));
+            }
+            if c.dispatches != c.admitted + c.hedges + c.replays {
+                v.push(format!(
+                    "cluster dispatch composition: dispatches {} != admitted {} + hedges {} + replays {}",
+                    c.dispatches, c.admitted, c.hedges, c.replays
+                ));
+            }
+            if c.dispatches != c.completions + c.lost + c.node_queued.max(0) as u64 {
+                v.push(format!(
+                    "cluster copy conservation: dispatches {} != completions {} + lost {} + node_queued {}",
+                    c.dispatches, c.completions, c.lost, c.node_queued
+                ));
+            }
+            if c.completions != c.served + c.replayed {
+                v.push(format!(
+                    "cluster completion split: completions {} != served {} + replayed {}",
+                    c.completions, c.served, c.replayed
+                ));
+            }
+            if c.lost != c.replays + c.lost_unreplayed {
+                v.push(format!(
+                    "cluster loss accounting: lost {} != replays {} + unreplayed {}",
+                    c.lost, c.replays, c.lost_unreplayed
+                ));
+            }
+            if c.quota_shed > c.shed || c.hedge_wins > c.hedges || c.hedge_dups > c.completions {
+                v.push(format!(
+                    "cluster hedge/quota bounds: quota_shed {} ≤ shed {}, hedge_wins {} ≤ hedges {}, hedge_dups {} ≤ completions {} must all hold",
+                    c.quota_shed, c.shed, c.hedge_wins, c.hedges, c.hedge_dups, c.completions
+                ));
+            }
+            if !c.tenants.is_empty() {
+                let req_sum: u64 = c.tenants.iter().map(|t| t.requests).sum();
+                if req_sum != c.requests {
+                    v.push(format!(
+                        "cluster tenant conservation: tenant request sum {} != requests {}",
+                        req_sum, c.requests
+                    ));
+                }
+                for t in &c.tenants {
+                    if t.good > t.completed || t.completed + t.shed > t.requests {
+                        v.push(format!(
+                            "cluster tenant {} accounting: completed {} + shed {} ≤ requests {} and good {} ≤ completed must hold",
+                            t.tenant, t.completed, t.shed, t.requests, t.good
+                        ));
+                    }
                 }
             }
         }
@@ -894,6 +1083,50 @@ impl PipelineSnapshot {
                 ]),
             ),
             (
+                "cluster",
+                Json::object(vec![
+                    ("requests", self.cluster.requests.into()),
+                    ("admitted", self.cluster.admitted.into()),
+                    ("shed", self.cluster.shed.into()),
+                    ("quota_shed", self.cluster.quota_shed.into()),
+                    ("dispatches", self.cluster.dispatches.into()),
+                    ("hedges", self.cluster.hedges.into()),
+                    ("hedge_wins", self.cluster.hedge_wins.into()),
+                    ("hedge_dups", self.cluster.hedge_dups.into()),
+                    ("replays", self.cluster.replays.into()),
+                    ("completions", self.cluster.completions.into()),
+                    ("served", self.cluster.served.into()),
+                    ("replayed", self.cluster.replayed.into()),
+                    ("good", self.cluster.good.into()),
+                    ("lost", self.cluster.lost.into()),
+                    ("lost_unreplayed", self.cluster.lost_unreplayed.into()),
+                    ("kills", self.cluster.kills.into()),
+                    ("rebalances", self.cluster.rebalances.into()),
+                    ("inflight", self.cluster.inflight.into()),
+                    ("node_queued", self.cluster.node_queued.into()),
+                    ("nodes_alive", self.cluster.nodes_alive.into()),
+                    ("latency", hist(&self.cluster.latency)),
+                    (
+                        "tenants",
+                        Json::Array(
+                            self.cluster
+                                .tenants
+                                .iter()
+                                .map(|t| {
+                                    Json::object(vec![
+                                        ("tenant", t.tenant.as_str().into()),
+                                        ("requests", t.requests.into()),
+                                        ("completed", t.completed.into()),
+                                        ("shed", t.shed.into()),
+                                        ("good", t.good.into()),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            (
                 "chaos",
                 Json::object(vec![
                     ("faults_total", self.chaos.faults_total.into()),
@@ -1070,6 +1303,35 @@ impl PipelineSnapshot {
                 );
             }
         }
+        if !self.cluster.is_empty() {
+            let c = &self.cluster;
+            let _ = writeln!(
+                out,
+                "  cluster    requests={} admitted={} shed={} (quota {}) served={} replayed={} good={} inflight={}",
+                c.requests, c.admitted, c.shed, c.quota_shed, c.served, c.replayed, c.good, c.inflight
+            );
+            let _ = writeln!(
+                out,
+                "  cluster    dispatches={} hedges={} (wins {} / dups {}) replays={} lost={} kills={} rebalances={} alive={} latency[{}]",
+                c.dispatches,
+                c.hedges,
+                c.hedge_wins,
+                c.hedge_dups,
+                c.replays,
+                c.lost,
+                c.kills,
+                c.rebalances,
+                c.nodes_alive,
+                hist_line(&c.latency)
+            );
+            for t in &c.tenants {
+                let _ = writeln!(
+                    out,
+                    "  cluster tnt {:<7} requests={} completed={} shed={} good={}",
+                    t.tenant, t.requests, t.completed, t.shed, t.good
+                );
+            }
+        }
         if !self.chaos.is_empty() {
             let c = &self.chaos;
             let _ = writeln!(
@@ -1207,6 +1469,57 @@ fn collect_cache(raw: &RegistrySnapshot) -> CacheMetrics {
         resident_bytes_high_water: raw.gauge_high_water(CACHE_RESIDENT_BYTES),
         resident_entries: raw.gauge(CACHE_RESIDENT_ENTRIES),
         capacity_bytes: raw.gauge(CACHE_CAPACITY_BYTES),
+        tenants,
+    }
+}
+
+fn collect_cluster(raw: &RegistrySnapshot) -> ClusterMetrics {
+    use names::*;
+    let mut tenant_ids: Vec<String> = raw
+        .metrics
+        .keys()
+        .filter_map(|k| {
+            let rest = k.strip_prefix(CLUSTER_TENANT_PREFIX)?;
+            let (id, field) = rest.rsplit_once('.')?;
+            (field == "requests").then(|| id.to_string())
+        })
+        .collect();
+    tenant_ids.dedup();
+    let tenants = tenant_ids
+        .into_iter()
+        .map(|id| {
+            let key = |field: &str| format!("{CLUSTER_TENANT_PREFIX}{id}.{field}");
+            TenantClusterMetrics {
+                requests: raw.counter(&key("requests")),
+                completed: raw.counter(&key("completed")),
+                shed: raw.counter(&key("shed")),
+                good: raw.counter(&key("good")),
+                tenant: id,
+            }
+        })
+        .collect();
+    ClusterMetrics {
+        requests: raw.counter(CLUSTER_REQUESTS),
+        admitted: raw.counter(CLUSTER_ADMITTED),
+        shed: raw.counter(CLUSTER_SHED),
+        quota_shed: raw.counter(CLUSTER_QUOTA_SHED),
+        dispatches: raw.counter(CLUSTER_DISPATCHES),
+        hedges: raw.counter(CLUSTER_HEDGES),
+        hedge_wins: raw.counter(CLUSTER_HEDGE_WINS),
+        hedge_dups: raw.counter(CLUSTER_HEDGE_DUPS),
+        replays: raw.counter(CLUSTER_REPLAYS),
+        completions: raw.counter(CLUSTER_COMPLETIONS),
+        served: raw.counter(CLUSTER_SERVED),
+        replayed: raw.counter(CLUSTER_REPLAYED),
+        good: raw.counter(CLUSTER_GOOD),
+        lost: raw.counter(CLUSTER_LOST),
+        lost_unreplayed: raw.counter(CLUSTER_LOST_UNREPLAYED),
+        kills: raw.counter(CLUSTER_KILLS),
+        rebalances: raw.counter(CLUSTER_REBALANCES),
+        inflight: raw.gauge(CLUSTER_INFLIGHT),
+        node_queued: raw.gauge(CLUSTER_NODE_QUEUED),
+        nodes_alive: raw.gauge(CLUSTER_NODES_ALIVE),
+        latency: raw.histogram(CLUSTER_LATENCY).cloned(),
         tenants,
     }
 }
@@ -1408,6 +1721,88 @@ mod tests {
         let v = t.pipeline_snapshot().invariant_violations();
         assert!(
             v.iter().any(|m| m.contains("cache byte conservation")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn cluster_metrics_collected_and_conserved() {
+        let t = Telemetry::with_defaults();
+        // 10 requests: 7 plain serves, 1 hedged (primary wins, hedge
+        // dups), 1 killed-and-replayed, 1 quota-shed.
+        t.registry.counter(names::CLUSTER_REQUESTS).add(10);
+        t.registry.counter(names::CLUSTER_ADMITTED).add(9);
+        t.registry.counter(names::CLUSTER_SHED).add(1);
+        t.registry.counter(names::CLUSTER_QUOTA_SHED).add(1);
+        t.registry.counter(names::CLUSTER_DISPATCHES).add(11); // 9 + 1 hedge + 1 replay
+        t.registry.counter(names::CLUSTER_HEDGES).add(1);
+        t.registry.counter(names::CLUSTER_HEDGE_DUPS).add(1);
+        t.registry.counter(names::CLUSTER_REPLAYS).add(1);
+        t.registry.counter(names::CLUSTER_COMPLETIONS).add(10);
+        t.registry.counter(names::CLUSTER_SERVED).add(9); // 8 wins + 1 dup
+        t.registry.counter(names::CLUSTER_REPLAYED).add(1);
+        t.registry.counter(names::CLUSTER_GOOD).add(8);
+        t.registry.counter(names::CLUSTER_LOST).add(1);
+        t.registry.counter(names::CLUSTER_KILLS).add(1);
+        t.registry.counter(names::CLUSTER_REBALANCES).add(1);
+        t.registry.gauge(names::CLUSTER_NODES_ALIVE).set(7);
+        t.registry.histogram(names::CLUSTER_LATENCY).record(42_000);
+        t.registry.counter("cluster.tenant.0.requests").add(10);
+        t.registry.counter("cluster.tenant.0.completed").add(9);
+        t.registry.counter("cluster.tenant.0.shed").add(1);
+        t.registry.counter("cluster.tenant.0.good").add(8);
+        let snap = t.pipeline_snapshot();
+        assert_eq!(snap.cluster.requests, 10);
+        assert_eq!(snap.cluster.hedge_dups, 1);
+        assert_eq!(snap.cluster.nodes_alive, 7);
+        assert_eq!(snap.cluster.tenants.len(), 1);
+        assert_eq!(snap.cluster.tenants[0].good, 8);
+        // The headline ISSUE law, in its unsigned arrangement.
+        let c = &snap.cluster;
+        assert_eq!(c.requests + c.hedge_dups, c.served + c.replayed + c.shed);
+        assert!(
+            snap.invariant_violations().is_empty(),
+            "{:?}",
+            snap.invariant_violations()
+        );
+        assert!(snap.to_text().contains("cluster    requests=10"));
+        assert_eq!(snap.to_json()["cluster"]["replayed"], 1u64);
+        assert_eq!(snap.to_json()["cluster"]["tenants"][0]["requests"], 10u64);
+        // Quiet registries hide the section entirely.
+        let quiet = Telemetry::with_defaults().pipeline_snapshot();
+        assert!(quiet.cluster.is_empty());
+        assert!(!quiet.to_text().contains("cluster"));
+    }
+
+    #[test]
+    fn cluster_conservation_violations_detected() {
+        // Headline law: a served completion with no matching request.
+        let t = Telemetry::with_defaults();
+        t.registry.counter(names::CLUSTER_REQUESTS).add(2);
+        t.registry.counter(names::CLUSTER_ADMITTED).add(2);
+        t.registry.counter(names::CLUSTER_DISPATCHES).add(2);
+        t.registry.counter(names::CLUSTER_COMPLETIONS).add(3);
+        t.registry.counter(names::CLUSTER_SERVED).add(3);
+        let v = t.pipeline_snapshot().invariant_violations();
+        assert!(
+            v.iter().any(|m| m.contains("cluster request conservation")),
+            "{v:?}"
+        );
+        assert!(
+            v.iter().any(|m| m.contains("cluster copy conservation")),
+            "{v:?}"
+        );
+
+        // Loss law: a lost copy neither replayed nor written off.
+        let t = Telemetry::with_defaults();
+        t.registry.counter(names::CLUSTER_REQUESTS).add(1);
+        t.registry.counter(names::CLUSTER_ADMITTED).add(1);
+        t.registry.counter(names::CLUSTER_DISPATCHES).add(1);
+        t.registry.counter(names::CLUSTER_LOST).add(1);
+        t.registry.counter(names::CLUSTER_SHED).add(1);
+        let v = t.pipeline_snapshot().invariant_violations();
+        assert!(
+            v.iter().any(|m| m.contains("cluster loss accounting")),
             "{v:?}"
         );
     }

@@ -3,8 +3,9 @@
 //! the notes.
 
 use crate::calibration::{BackendKind, Calibration};
+use crate::cluster::cluster_degradation_figure;
 use crate::economics::{analyze, EconomicsInputs};
-use crate::inference::InferenceSim;
+use crate::inference::{InferenceSim, SweepGrid};
 use crate::report::{fmt_cores, fmt_rate, fmt_ratio, goodput_vs_offered_load, FigureReport, Row};
 use crate::training::{TrainBackend, TrainingParams, TrainingSim};
 use dlb_gpu::ModelZoo;
@@ -316,8 +317,7 @@ pub fn sec54_economics() -> FigureReport {
     rep
 }
 
-/// The canonical overload-sweep axis: 0.5×–3× of saturated capacity.
-pub const OVERLOAD_MULTIPLIERS: [f64; 5] = [0.5, 1.0, 1.5, 2.0, 3.0];
+pub use crate::inference::OVERLOAD_MULTIPLIERS;
 
 /// Goodput vs offered load through the SLO-aware serving layer (beyond
 /// the paper: the ROADMAP's "heavy traffic" regime). GoogLeNet on the
@@ -326,13 +326,13 @@ pub const OVERLOAD_MULTIPLIERS: [f64; 5] = [0.5, 1.0, 1.5, 2.0, 3.0];
 pub fn overload_goodput_sweep(cal: &Calibration) -> FigureReport {
     let slo = SimTime::from_millis(50);
     let cfg = ServingConfig::five_clients(32, slo, ShedPolicy::DeadlineAware);
-    let points = InferenceSim::overload_sweep(
+    let points = InferenceSim::overload_sweep_grid(
         cal,
         ModelZoo::GoogLeNet,
         BackendKind::DlBooster,
         32,
         cfg,
-        &OVERLOAD_MULTIPLIERS,
+        &SweepGrid::default(),
         7,
     );
     let mut rep = goodput_vs_offered_load(
@@ -354,6 +354,7 @@ pub fn all_figures(cal: &Calibration) -> Vec<FigureReport> {
         fig9_inference_cpu_cost(cal),
         sec54_economics(),
         overload_goodput_sweep(cal),
+        cluster_degradation_figure(),
     ]
 }
 

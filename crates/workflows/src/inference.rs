@@ -187,6 +187,56 @@ pub struct OverloadPoint {
     pub outcome: InferenceOutcome,
 }
 
+/// The canonical overload-sweep axis: 0.5×–3× of saturated capacity.
+pub const OVERLOAD_MULTIPLIERS: [f64; 5] = [0.5, 1.0, 1.5, 2.0, 3.0];
+
+/// Parameter grid for overload sweeps: the offered-load multiplier axis
+/// plus the per-point run length. The same grid steers the single-node
+/// serving sweep ([`InferenceSim::overload_sweep_grid`]) and the cluster
+/// sweep (`ClusterSim::overload_sweep`), so experiments across the two
+/// layers stay on one axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepGrid {
+    /// Offered load as multiples of measured saturated capacity.
+    pub multipliers: Vec<f64>,
+    /// Batches to complete per sweep point.
+    pub batches: u32,
+    /// Batches to discard as warmup per sweep point.
+    pub warmup: u32,
+}
+
+impl Default for SweepGrid {
+    /// The canonical grid: [`OVERLOAD_MULTIPLIERS`] at the paper's
+    /// 300-batch / 50-warmup run length.
+    fn default() -> Self {
+        Self {
+            multipliers: OVERLOAD_MULTIPLIERS.to_vec(),
+            batches: 300,
+            warmup: 50,
+        }
+    }
+}
+
+impl SweepGrid {
+    /// The canonical run length over a custom multiplier axis.
+    pub fn with_multipliers(multipliers: &[f64]) -> Self {
+        Self {
+            multipliers: multipliers.to_vec(),
+            ..Self::default()
+        }
+    }
+
+    /// A shortened grid for tests and smoke benches: three points at half
+    /// the canonical run length.
+    pub fn quick() -> Self {
+        Self {
+            multipliers: vec![1.0, 2.0, 3.0],
+            batches: 150,
+            warmup: 25,
+        }
+    }
+}
+
 #[doc(hidden)]
 #[derive(Debug, Clone, Copy)]
 pub enum Ev {
@@ -874,17 +924,48 @@ impl InferenceSim {
         multipliers: &[f64],
         seed: u64,
     ) -> Vec<OverloadPoint> {
+        Self::overload_sweep_grid(
+            cal,
+            model,
+            backend,
+            batch_size,
+            cfg,
+            &SweepGrid::with_multipliers(multipliers),
+            seed,
+        )
+    }
+
+    /// [`InferenceSim::overload_sweep`] with the full grid as a parameter:
+    /// the multiplier axis *and* the per-point run length come from
+    /// `grid`, so callers can trade sweep resolution against runtime
+    /// without forking the driver.
+    pub fn overload_sweep_grid(
+        cal: &Calibration,
+        model: ModelZoo,
+        backend: BackendKind,
+        batch_size: u32,
+        cfg: ServingConfig,
+        grid: &SweepGrid,
+        seed: u64,
+    ) -> Vec<OverloadPoint> {
+        assert!(grid.batches > grid.warmup, "warmup eats the sweep budget");
         let capacity = Self::saturated_throughput(cal, model, backend, batch_size);
-        multipliers
+        grid.multipliers
             .iter()
             .map(|&m| {
                 assert!(m > 0.0, "offered-load multiplier must be positive");
                 let rate = capacity * m;
+                let mut params = InferenceParams::paper(model, backend, batch_size);
+                params.mode = DriveMode::Served { rate };
+                params.serving = Some(cfg.clone());
+                params.seed = seed;
+                params.batches = grid.batches;
+                params.warmup = grid.warmup;
                 OverloadPoint {
                     multiplier: m,
                     offered_rate: rate,
                     capacity,
-                    outcome: Self::served(cal, model, backend, batch_size, cfg.clone(), rate, seed),
+                    outcome: Self::run(cal.clone(), params),
                 }
             })
             .collect()
@@ -1081,6 +1162,18 @@ mod tests {
             saved.as_secs_f64() > 0.0 && saved < SimTime::from_millis(5),
             "saved {saved}"
         );
+    }
+
+    #[test]
+    fn sweep_grid_defaults_match_the_canonical_axis() {
+        let grid = SweepGrid::default();
+        assert_eq!(grid.multipliers, OVERLOAD_MULTIPLIERS.to_vec());
+        assert_eq!((grid.batches, grid.warmup), (300, 50));
+        let custom = SweepGrid::with_multipliers(&[1.0, 4.0]);
+        assert_eq!(custom.multipliers, vec![1.0, 4.0]);
+        assert_eq!((custom.batches, custom.warmup), (300, 50));
+        let quick = SweepGrid::quick();
+        assert!(quick.batches < grid.batches && quick.batches > quick.warmup);
     }
 
     #[test]

@@ -21,9 +21,14 @@
 //! * [`report`] — plain-text table rendering and JSON export.
 //! * [`chaos`] — beyond-paper degraded-mode runs: seeded FPGA wedges with
 //!   failover to the CPU backend, reported as a batch-budget-split figure.
+//! * [`cluster`] — beyond-paper scale-out: N simulated preprocessing nodes
+//!   behind the `dlb-cluster` shard router (consistent-hash placement,
+//!   per-tenant quotas, deadline-budget hedging, mid-run chaos kills with
+//!   replay), reported as a goodput/p99-vs-killed-nodes figure.
 
 pub mod calibration;
 pub mod chaos;
+pub mod cluster;
 pub mod economics;
 pub mod figures;
 pub mod inference;
@@ -32,8 +37,10 @@ pub mod training;
 
 pub use calibration::{BackendKind, Calibration, Workload};
 pub use chaos::{degraded_mode_figure, ChaosOutcome, ChaosParams};
+pub use cluster::{cluster_degradation_figure, ClusterOutcome, ClusterParams, ClusterSim};
 pub use inference::{
     DriveMode, InferenceOutcome, InferenceParams, InferenceSim, OverloadPoint, ServingOutcome,
+    SweepGrid, OVERLOAD_MULTIPLIERS,
 };
 pub use report::{goodput_vs_offered_load, FigureReport, Row, TelemetryReport};
 pub use training::{TrainingOutcome, TrainingSim};

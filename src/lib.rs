@@ -52,6 +52,7 @@
 //! |---|---|---|
 //! | [`cache`] | `dlb-cache` | decoded-sample cache: cost-aware eviction, quarantine, tenant partitions |
 //! | [`chaos`] | `dlb-chaos` | seeded fault injection + retry/backoff policies |
+//! | [`cluster`] | `dlb-cluster` | shard router: consistent-hash ring, tenant quotas, hedging, node failover |
 //! | [`codec`] | `dlb-codec` | from-scratch baseline JPEG + resize + augment |
 //! | [`simcore`] | `dlb-simcore` | deterministic DES engine, queueing, stats |
 //! | [`membridge`] | `dlb-membridge` | HugePage batch pool + blocking queues |
@@ -69,6 +70,7 @@
 pub use dlb_backends as backends;
 pub use dlb_cache as cache;
 pub use dlb_chaos as chaos;
+pub use dlb_cluster as cluster;
 pub use dlb_codec as codec;
 pub use dlb_engines as engines;
 pub use dlb_fpga as fpga;
@@ -91,6 +93,9 @@ pub mod prelude {
     pub use dlb_cache::{CachedSample, SampleCache, SampleKey};
     pub use dlb_chaos::{
         CancelToken, FaultKind, FaultPlan, Retrier, RetryPolicy, Stage, StageSpec,
+    };
+    pub use dlb_cluster::{
+        BoosterCluster, ClusterInstruments, DedupLedger, HashRing, HedgeConfig, TenantQuotas,
     };
     pub use dlb_codec::{ColorSpace, Image, JpegDecoder, JpegEncoder};
     pub use dlb_engines::{InferenceConfig, InferenceSession, TrainingConfig, TrainingSession};

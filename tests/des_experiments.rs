@@ -137,7 +137,11 @@ fn all_figures_render_without_panicking() {
     // A full sweep of every figure (the same call the `figures` binary and
     // EXPERIMENTS.md use) must complete and produce non-empty tables.
     let reports = figures::all_figures(&cal());
-    assert_eq!(reports.len(), 8, "7 paper figures + the overload sweep");
+    assert_eq!(
+        reports.len(),
+        9,
+        "7 paper figures + the overload sweep + the cluster degradation sweep"
+    );
     for rep in &reports {
         assert!(!rep.rows.is_empty(), "{} has no rows", rep.id);
         let rendered = rep.render();
