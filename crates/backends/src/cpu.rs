@@ -67,8 +67,8 @@ impl CpuBackend {
 
     /// [`CpuBackend::start`] with the per-stage `codec.*` timers exported
     /// into `telemetry` (`codec.huffman_ns` / `codec.idct_ns` /
-    /// `codec.resize_ns`), at the cost of per-block timestamp reads in
-    /// the decoder.
+    /// `codec.color_ns` / `codec.resize_ns`), at the cost of per-block
+    /// timestamp reads in the decoder.
     pub fn start_with_telemetry(
         collector: Arc<DataCollector>,
         resolver: Arc<dyn DataSourceResolver>,
@@ -202,6 +202,7 @@ fn cpu_worker(
         let decoded = decoder.decode_batch_with_stats(&payloads);
         let mut huffman_ns = 0u64;
         let mut idct_ns = 0u64;
+        let mut color_ns = 0u64;
         let mut resize_ns = 0u64;
         for (meta, result) in metas.iter().zip(decoded) {
             let mut image_cost = 0u64;
@@ -209,6 +210,7 @@ fn cpu_worker(
                 image_cost = stats.huffman_ns + stats.idct_ns;
                 huffman_ns += stats.huffman_ns;
                 idct_ns += stats.idct_ns;
+                color_ns += stats.color_ns;
                 let r0 = Instant::now();
                 let out = resize(
                     &img,
@@ -265,6 +267,7 @@ fn cpu_worker(
                 .counter(names::CODEC_HUFFMAN_NANOS)
                 .add(huffman_ns);
             t.registry.counter(names::CODEC_IDCT_NANOS).add(idct_ns);
+            t.registry.counter(names::CODEC_COLOR_NANOS).add(color_ns);
             t.registry.counter(names::CODEC_RESIZE_NANOS).add(resize_ns);
         }
         scaffold
@@ -423,6 +426,7 @@ mod tests {
         let snap = telemetry.registry.snapshot();
         assert!(snap.counter(names::CODEC_HUFFMAN_NANOS) > 0);
         assert!(snap.counter(names::CODEC_IDCT_NANOS) > 0);
+        assert!(snap.counter(names::CODEC_COLOR_NANOS) > 0);
         assert!(snap.counter(names::CODEC_RESIZE_NANOS) > 0);
     }
 

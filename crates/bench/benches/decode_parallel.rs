@@ -10,6 +10,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dlb_bench::{print_report, save_reports};
+use dlb_codec::simd::{force_scalar, simd_active};
 use dlb_codec::synth::{generate, SynthStyle};
 use dlb_codec::{JpegDecoder, JpegEncoder};
 use dlb_workflows::report::{FigureReport, Row};
@@ -59,18 +60,46 @@ fn report_thread_sweep() -> FigureReport {
     let reference = JpegDecoder::new().with_reference_idct(true);
     let rounds = 4;
 
-    // Baselines: the pre-parallel-plane decoder (sequential + reference
-    // iDCT) and the new sequential fast-iDCT path.
-    let seq_ref = rate(&reference, &corpus8, false, rounds);
-    let seq_fast = rate(&fast, &corpus8, false, rounds);
+    // Baselines: the pre-SIMD decoder (sequential + reference iDCT +
+    // bit-at-a-time entropy + scalar kernels), the fast path pinned to
+    // the scalar kernels, and the full fast path (reservoir Huffman +
+    // SIMD where the host supports it). The three are measured in
+    // interleaved passes so clock/thermal drift on shared CI runners
+    // hits every variant equally instead of penalising whichever one
+    // happens to run last.
+    let variants: [(&JpegDecoder, bool); 3] = [(&reference, true), (&fast, true), (&fast, false)];
+    let mut elapsed = [0f64; 3];
+    for _ in 0..rounds {
+        for (slot, (dec, scalar_only)) in variants.iter().enumerate() {
+            force_scalar(*scalar_only);
+            let t0 = Instant::now();
+            for bytes in &corpus8 {
+                black_box(dec.decode(black_box(bytes)).unwrap());
+            }
+            elapsed[slot] += t0.elapsed().as_secs_f64();
+        }
+    }
+    force_scalar(false);
+    let imgs = (rounds * corpus8.len()) as f64;
+    let [seq_ref, seq_scalar, seq_fast] = elapsed.map(|secs| imgs / secs);
     rep.push_row(Row::new(&[
-        "sequential, reference iDCT (old)".to_string(),
+        "sequential, reference scalar decoder (old)".to_string(),
         "1".to_string(),
         format!("{seq_ref:.1}"),
         "1.00x".to_string(),
     ]));
     rep.push_row(Row::new(&[
-        "sequential, fast iDCT".to_string(),
+        "sequential, fast path, forced scalar".to_string(),
+        "1".to_string(),
+        format!("{seq_scalar:.1}"),
+        format!("{:.2}x", seq_scalar / seq_ref),
+    ]));
+    rep.push_row(Row::new(&[
+        if simd_active() {
+            "sequential, fast path, SIMD".to_string()
+        } else {
+            "sequential, fast path (no SIMD on host)".to_string()
+        },
         "1".to_string(),
         format!("{seq_fast:.1}"),
         format!("{:.2}x", seq_fast / seq_ref),
@@ -103,13 +132,21 @@ fn report_thread_sweep() -> FigureReport {
     rayon::set_num_threads(None);
     rep.note(format!(
         "host cores: {host_cores}; restart interval {CORPUS_RESTART_INTERVAL} MCUs; \
-         speedups relative to the old sequential reference-iDCT path"
+         speedups relative to the old sequential reference scalar decoder"
     ));
 
-    // The fast iDCT must not regress single-thread decode (it should win).
+    // Neither fast-path flavour may regress single-thread decode versus
+    // the old all-scalar reference decoder. On AVX2 hosts the SIMD path
+    // should win by >2x; the forced-scalar path wins modestly (reservoir
+    // Huffman + AAN iDCT) so it gets a noise-tolerant margin — shared CI
+    // runners show double-digit swings even between interleaved passes.
     assert!(
         seq_fast >= seq_ref * 0.95,
-        "sequential fast-iDCT decode regressed: {seq_fast:.1} vs {seq_ref:.1} img/s"
+        "sequential fast-path decode regressed: {seq_fast:.1} vs {seq_ref:.1} img/s"
+    );
+    assert!(
+        seq_scalar >= seq_ref * 0.85,
+        "forced-scalar fast path regressed: {seq_scalar:.1} vs {seq_ref:.1} img/s"
     );
     // The >=2x parallel win needs real cores to show up; a 1-core CI
     // container can only run the sweep for the record.
@@ -154,29 +191,56 @@ fn report_stage_timers() -> FigureReport {
     let mut rep = FigureReport::new(
         "Decode stages",
         "Per-stage decode cost (sequential, one 500x375 image)",
-        &["iDCT", "huffman ns/image", "idct ns/image"],
+        &[
+            "variant",
+            "huffman ns/image",
+            "idct ns/image",
+            "color ns/image",
+        ],
     );
     let corpus = corpus(CORPUS_RESTART_INTERVAL);
-    for (label, dec) in [
-        ("fast AAN", JpegDecoder::new().with_stage_timing(true)),
+    for (label, scalar_only, dec) in [
         (
-            "reference",
+            "fast entropy + SIMD kernels",
+            false,
+            JpegDecoder::new().with_stage_timing(true),
+        ),
+        (
+            "fast entropy, forced scalar",
+            true,
+            JpegDecoder::new().with_stage_timing(true),
+        ),
+        (
+            "reference entropy + fast AAN",
+            false,
+            JpegDecoder::new()
+                .with_stage_timing(true)
+                .with_reference_entropy(true),
+        ),
+        (
+            "reference entropy + reference iDCT",
+            false,
             JpegDecoder::new()
                 .with_stage_timing(true)
                 .with_reference_idct(true),
         ),
     ] {
+        force_scalar(scalar_only);
         let mut huff = 0u64;
         let mut idct = 0u64;
+        let mut color = 0u64;
         for bytes in &corpus {
             let (_, stats) = dec.decode_with_stats(bytes).unwrap();
             huff += stats.huffman_ns;
             idct += stats.idct_ns;
+            color += stats.color_ns;
         }
+        force_scalar(false);
         rep.push_row(Row::new(&[
             label.to_string(),
             (huff / corpus.len() as u64).to_string(),
             (idct / corpus.len() as u64).to_string(),
+            (color / corpus.len() as u64).to_string(),
         ]));
     }
     rep

@@ -88,6 +88,16 @@ pub fn idct_8x8(coeffs: &[f32; BLOCK_LEN], samples: &mut [f32; BLOCK_LEN]) {
 // Fast scaled iDCT (AAN)
 // ---------------------------------------------------------------------------
 
+/// AAN butterfly constant √2 (shared by the scalar and SIMD kernels so both
+/// run the identical IEEE f32 operation sequence).
+pub(crate) const SQRT2: f32 = std::f32::consts::SQRT_2;
+/// 2·cos(π/8).
+pub(crate) const C_A: f32 = 1.847_759_1;
+/// 2·(cos(π/8) − cos(3π/8)).
+pub(crate) const C_B: f32 = 1.082_392_2;
+/// −2·(cos(π/8) + cos(3π/8)).
+pub(crate) const C_C: f32 = -2.613_126;
+
 /// AAN per-frequency scale factors: `1` for DC, `cos(k·π/16)·√2` for AC.
 ///
 /// The AAN factorisation (Arai–Agui–Nakajima, the algorithm behind
@@ -141,12 +151,6 @@ pub fn idct_8x8_dequant(
         samples.fill(quantized[0] as f32 * scale[0]);
         return;
     }
-
-    const SQRT2: f32 = std::f32::consts::SQRT_2;
-    // 2·cos(π/8), 2·(cos(π/8) − cos(3π/8)), −2·(cos(π/8) + cos(3π/8)).
-    const C_A: f32 = 1.847_759_1;
-    const C_B: f32 = 1.082_392_2;
-    const C_C: f32 = -2.613_126;
 
     let mut ws = [0f32; BLOCK_LEN];
 
@@ -245,6 +249,31 @@ pub fn idct_8x8_dequant(
         out[5] = e2 - o5;
         out[4] = e3 + o4;
         out[3] = e3 - o4;
+    }
+}
+
+/// [`idct_8x8_dequant`] fused with the level shift and u8 clamp, dispatching
+/// to the AVX2 kernel when the host supports it (and
+/// `DLB_CODEC_FORCE_SCALAR` is not set). Bit-exact with the scalar sequence
+/// `idct_8x8_dequant` + `clamp_u8(s + 128.0)` — the SIMD lanes execute the
+/// identical IEEE f32 operation order, which the codec proptests pin.
+#[inline]
+pub fn idct_8x8_dequant_u8(
+    quantized: &[i16; BLOCK_LEN],
+    scale: &[f32; BLOCK_LEN],
+    out: &mut [u8; BLOCK_LEN],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::simd_active() {
+        // SAFETY: `simd_active` returns true only after runtime AVX2
+        // detection succeeds.
+        unsafe { crate::simd::idct_8x8_dequant_u8_avx2(quantized, scale, out) };
+        return;
+    }
+    let mut samples = [0f32; BLOCK_LEN];
+    idct_8x8_dequant(quantized, scale, &mut samples);
+    for (o, &s) in out.iter_mut().zip(samples.iter()) {
+        *o = crate::pixel::clamp_u8(s + 128.0);
     }
 }
 

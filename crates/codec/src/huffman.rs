@@ -170,6 +170,133 @@ impl<'a> BitReader<'a> {
     }
 }
 
+/// Width of the primary decode lookup table in bits. Covers every code in the
+/// Annex K tables except the 11..=16-bit AC tail, which falls back to the
+/// canonical walk.
+pub const LOOKUP_BITS: u32 = 10;
+
+/// Branchless 64-bit bit reservoir over an entropy-coded segment.
+///
+/// The reservoir is MSB-aligned: bit 63 of `acc` is the next bit of the
+/// stream. [`BitCursor::refill`] tops it up to ≥ 57 real bits (unless the
+/// segment is exhausted) using 4-byte big-endian bulk loads whenever the next
+/// word contains no `0xFF`, falling back to a stuffing/marker-aware byte loop
+/// otherwise. One refill therefore covers a worst-case Huffman code plus its
+/// magnitude bits (16 + 11 = 27), so the hot decode loop refills once per
+/// coefficient and never branches on reservoir depth in between.
+#[derive(Debug)]
+pub struct BitCursor<'a> {
+    data: &'a [u8],
+    /// Next unread input byte (counts stuffed zero bytes).
+    pos: usize,
+    /// MSB-aligned reservoir; the top `nbits` bits are real stream bits.
+    acc: u64,
+    nbits: u32,
+    /// Set once a marker (or end of data) stops the refill.
+    end: bool,
+}
+
+/// Whether any byte of the big-endian word equals `0xFF` (SWAR zero-byte
+/// test on the complement).
+#[inline]
+fn word_has_ff(w: u32) -> bool {
+    let v = w ^ 0xFFFF_FFFF;
+    v.wrapping_sub(0x0101_0101) & !v & 0x8080_8080 != 0
+}
+
+impl<'a> BitCursor<'a> {
+    /// Wraps an entropy-coded segment (without the trailing marker).
+    pub fn new(data: &'a [u8]) -> Self {
+        Self {
+            data,
+            pos: 0,
+            acc: 0,
+            nbits: 0,
+            end: false,
+        }
+    }
+
+    /// Tops the reservoir up to ≥ 57 real bits, or as far as the segment
+    /// allows. After a refill, `bits_left() < 57` implies the segment is
+    /// exhausted (EOF or marker), which is what [`BitCursor::consume`] relies
+    /// on for its end-of-stream check.
+    #[inline]
+    pub fn refill(&mut self) {
+        // Bulk path: 4 clean bytes at a time. A word without 0xFF can contain
+        // neither stuffing nor a marker prefix.
+        while self.nbits <= 32 && !self.end {
+            let Some(chunk) = self.data.get(self.pos..self.pos + 4) else {
+                break;
+            };
+            let w = u32::from_be_bytes(chunk.try_into().unwrap());
+            if word_has_ff(w) {
+                break;
+            }
+            self.acc |= (w as u64) << (32 - self.nbits);
+            self.nbits += 32;
+            self.pos += 4;
+        }
+        // Byte tail: undo stuffing, stop at markers.
+        while self.nbits <= 56 && !self.end {
+            match self.data.get(self.pos) {
+                None => self.end = true,
+                Some(&0xFF) => match self.data.get(self.pos + 1) {
+                    Some(&0x00) => {
+                        self.acc |= 0xFFu64 << (56 - self.nbits);
+                        self.nbits += 8;
+                        self.pos += 2;
+                    }
+                    // Restart/terminating marker (or dangling 0xFF at EOF).
+                    _ => self.end = true,
+                },
+                Some(&b) => {
+                    self.acc |= (b as u64) << (56 - self.nbits);
+                    self.nbits += 8;
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// The next 64 bits of the stream, MSB-aligned, with 1-fill past the real
+    /// bits (matching [`BitReader::peek_bits`] semantics so a final partial
+    /// code is rejected by table lookup, not a premature EOF).
+    #[inline]
+    pub fn peek(&self) -> u64 {
+        if self.nbits >= 64 {
+            self.acc
+        } else {
+            self.acc | (u64::MAX >> self.nbits)
+        }
+    }
+
+    /// Real bits currently buffered.
+    #[inline]
+    pub fn bits_left(&self) -> u32 {
+        self.nbits
+    }
+
+    /// Consumes `n` previously peeked bits (`n < 64`), erroring if fewer real
+    /// bits remain — after [`BitCursor::refill`], that can only happen at the
+    /// true end of the segment.
+    #[inline]
+    pub fn consume(&mut self, n: u32) -> CodecResult<()> {
+        if self.nbits < n {
+            return Err(CodecError::UnexpectedEof {
+                context: "entropy-coded segment",
+            });
+        }
+        self.acc <<= n;
+        self.nbits -= n;
+        Ok(())
+    }
+
+    /// Byte offset of the next unread input byte (for marker resync).
+    pub fn byte_pos(&self) -> usize {
+        self.pos - (self.nbits as usize).div_ceil(8)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Canonical tables
 // ---------------------------------------------------------------------------
@@ -190,6 +317,11 @@ pub struct HuffTable {
     /// Decoder acceleration: for each 8-bit prefix, (symbol, code length) if
     /// a code of ≤8 bits matches; length 0 otherwise.
     fast: Box<[(u8, u8); 256]>,
+    /// Primary decode table for the reservoir path: indexed by the next
+    /// [`LOOKUP_BITS`] stream bits; low 8 bits = symbol, bits 8..12 = code
+    /// length. Zero means no code of ≤ `LOOKUP_BITS` bits matches (canonical
+    /// fallback).
+    lut: Box<[u16]>,
     /// Canonical decode bounds per length: min code, max code, index of first
     /// symbol. Entries are valid only where `counts > 0`.
     min_code: [i32; MAX_CODE_LEN + 1],
@@ -270,12 +402,32 @@ impl HuffTable {
             code <<= 1;
         }
 
+        // Primary LOOKUP_BITS-wide decode table. Symbol 0 with length 0 is
+        // the "no short code" sentinel; a real entry always has length ≥ 1 in
+        // bits 8..12, so the sentinel is unambiguous.
+        let mut lut = vec![0u16; 1 << LOOKUP_BITS].into_boxed_slice();
+        let mut k = 0usize;
+        let mut code: u32 = 0;
+        for len in 1..=(LOOKUP_BITS as usize) {
+            let n = counts[len - 1] as usize;
+            for _ in 0..n {
+                let prefix = (code << (LOOKUP_BITS as usize - len)) as usize;
+                let fill = 1usize << (LOOKUP_BITS as usize - len);
+                let entry = ((len as u16) << 8) | symbols[k] as u16;
+                lut[prefix..prefix + fill].fill(entry);
+                code += 1;
+                k += 1;
+            }
+            code <<= 1;
+        }
+
         Ok(Self {
             counts,
             symbols: symbols.to_vec(),
             enc_code,
             enc_len,
             fast,
+            lut,
             min_code,
             max_code,
             val_ptr,
@@ -338,6 +490,31 @@ impl HuffTable {
         }
         Err(CodecError::InvalidHuffmanCode)
     }
+
+    /// Resolves one symbol from a 64-bit MSB-aligned reservoir peek,
+    /// returning `(symbol, code_length)` without consuming anything.
+    ///
+    /// The primary [`LOOKUP_BITS`]-wide table covers every code of
+    /// ≤ `LOOKUP_BITS` bits (including all codes in the standard Annex K
+    /// tables except the long AC tail); the canonical walk handles the rest.
+    /// By canonical-prefix uniqueness this returns exactly what
+    /// [`HuffTable::decode`] would for the same bit pattern.
+    #[inline]
+    pub fn resolve(&self, peeked: u64) -> CodecResult<(u8, u32)> {
+        let entry = self.lut[(peeked >> (64 - LOOKUP_BITS)) as usize];
+        if entry != 0 {
+            return Ok(((entry & 0xFF) as u8, (entry >> 8) as u32));
+        }
+        let code = (peeked >> 48) as i32;
+        for len in (LOOKUP_BITS as usize + 1)..=MAX_CODE_LEN {
+            let c = code >> (MAX_CODE_LEN - len);
+            if self.max_code[len] >= 0 && c <= self.max_code[len] && c >= self.min_code[len] {
+                let idx = self.val_ptr[len] + (c - self.min_code[len]) as usize;
+                return Ok((self.symbols[idx], len as u32));
+            }
+        }
+        Err(CodecError::InvalidHuffmanCode)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -374,6 +551,18 @@ pub fn decode_magnitude(bits: u32, ssss: u32) -> i32 {
     } else {
         bits as i32 - (1i32 << ssss) + 1
     }
+}
+
+/// Branchless [`decode_magnitude`] for `ssss` in `1..=15`: the sign test
+/// becomes an arithmetic-shift mask so the hot loop carries no
+/// data-dependent branch per coefficient.
+#[inline]
+pub fn extend_magnitude(bits: u32, ssss: u32) -> i32 {
+    debug_assert!((1..=15).contains(&ssss));
+    let v = bits as i32;
+    let half = 1i32 << (ssss - 1);
+    // v < half  →  mask = -1  →  v - (1 << ssss) + 1; otherwise v unchanged.
+    v + (((v - half) >> 31) & ((-1i32 << ssss) + 1))
 }
 
 // ---------------------------------------------------------------------------
@@ -579,6 +768,102 @@ mod tests {
         assert!(t.code_len(0).is_some());
         assert!(t.code_len(11).is_some());
         assert_eq!(t.code_len(200), None);
+    }
+
+    #[test]
+    fn extend_matches_decode_magnitude() {
+        for ssss in 1u32..=15 {
+            for bits in 0..(1u32 << ssss) {
+                assert_eq!(
+                    extend_magnitude(bits, ssss),
+                    decode_magnitude(bits, ssss),
+                    "bits {bits:#b} ssss {ssss}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_matches_decode_for_all_symbols() {
+        for table in [
+            std_dc_luma(),
+            std_dc_chroma(),
+            std_ac_luma(),
+            std_ac_chroma(),
+        ] {
+            for &s in table.symbols() {
+                let mut w = BitWriter::new();
+                table.encode(&mut w, s).unwrap();
+                let bytes = w.finish();
+                let mut cur = BitCursor::new(&bytes);
+                cur.refill();
+                let (sym, len) = table.resolve(cur.peek()).unwrap();
+                assert_eq!(sym, s);
+                assert_eq!(len, table.code_len(s).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_rejects_absent_code() {
+        let table = std_dc_luma();
+        assert!(matches!(
+            table.resolve(u64::MAX),
+            Err(CodecError::InvalidHuffmanCode)
+        ));
+    }
+
+    #[test]
+    fn cursor_matches_reader_bit_for_bit() {
+        // A stream with stuffed 0xFF bytes, clean runs, and a trailing marker.
+        let mut w = BitWriter::new();
+        for i in 0..200u32 {
+            w.put_bits(i.wrapping_mul(2654435761) & 0x7FF, 11);
+            if i % 7 == 0 {
+                w.put_bits(0xFF, 8); // force stuffing
+            }
+        }
+        let mut bytes = w.finish();
+        bytes.extend_from_slice(&[0xFF, 0xD9]); // terminating marker
+        let mut r = BitReader::new(&bytes);
+        let mut c = BitCursor::new(&bytes);
+        let mut drained = 0u32;
+        loop {
+            c.refill();
+            let want = r.peek_bits(16).unwrap();
+            let got = (c.peek() >> 48) as u32;
+            assert_eq!(got, want, "peek mismatch after {drained} bits");
+            let step = 1 + (drained % 13);
+            if r.get_bits(step).is_err() {
+                assert!(c.consume(step).is_err());
+                break;
+            }
+            c.consume(step).unwrap();
+            drained += step;
+        }
+    }
+
+    #[test]
+    fn cursor_bulk_refill_skips_no_stuffing() {
+        // 0xFF 0x00 pairs must decode as single 0xFF bytes through the bulk
+        // word loads as well as the byte tail.
+        let data = [0x12u8, 0x34, 0x56, 0x78, 0xFF, 0x00, 0x9A, 0xBC, 0xDE];
+        let mut c = BitCursor::new(&data);
+        c.refill();
+        assert_eq!(c.bits_left(), 64);
+        assert_eq!(c.peek(), 0x1234_5678_FF9A_BCDE);
+    }
+
+    #[test]
+    fn cursor_stops_at_marker_and_one_fills() {
+        let data = [0xA5u8, 0xFF, 0xD0];
+        let mut c = BitCursor::new(&data);
+        c.refill();
+        assert_eq!(c.bits_left(), 8);
+        assert_eq!(c.peek() >> 56, 0xA5);
+        assert_eq!(c.peek() & 0x00FF_FFFF_FFFF_FFFF, 0x00FF_FFFF_FFFF_FFFF);
+        c.consume(8).unwrap();
+        assert!(c.consume(1).is_err());
     }
 
     #[test]

@@ -12,13 +12,25 @@
 //! stages without re-running the arithmetic.
 
 use super::{marker, ComponentSpec, FrameInfo};
-use crate::dct::{idct_8x8, idct_8x8_dequant, BLOCK_LEN, ZIGZAG};
+use crate::dct::{idct_8x8, idct_8x8_dequant, idct_8x8_dequant_u8, BLOCK_LEN, ZIGZAG};
 use crate::error::{CodecError, CodecResult};
-use crate::huffman::{decode_magnitude, BitReader, HuffTable};
-use crate::pixel::{clamp_u8, ycbcr_to_rgb, ColorSpace, Image};
+use crate::huffman::{decode_magnitude, extend_magnitude, BitCursor, BitReader, HuffTable};
+use crate::pixel::{clamp_u8, upsample_dup2_row, ycbcr_rows_to_rgb, ColorSpace, Image};
 use crate::quant::QuantTable;
 use rayon::prelude::*;
 use std::time::Instant;
+
+/// Minimum MCUs a parallel decode task should cover. Streams encoded with a
+/// tiny restart interval (the degenerate case: one MCU per segment) produce
+/// hundreds of segments whose per-task overhead — a `Vec` allocation, pool
+/// hand-off, cold scratch — used to outweigh the entropy work. Adjacent
+/// segments are coalesced into chunks of at least this many MCUs; within a
+/// chunk they still decode back-to-back with independent restart state.
+const MIN_PARALLEL_CHUNK_MCUS: u64 = 32;
+
+/// Upper bound on scan components in baseline JPEG as parsed here (1 or 3);
+/// sized to 4 so the DC predictors fit in a stack array.
+const MAX_COMPONENTS: usize = 4;
 
 /// Work statistics gathered during a decode, consumed by the FPGA timing
 /// model (`dlb-fpga::timing`) and — for the `*_ns` stage timers — by the
@@ -42,6 +54,9 @@ pub struct DecodeStats {
     /// Wall nanoseconds in dequantisation + inverse DCT (same caveats as
     /// [`DecodeStats::huffman_ns`]).
     pub idct_ns: u64,
+    /// Wall nanoseconds in chroma upsampling + YCbCr→RGB conversion (the
+    /// image-assembly stage; same caveats as [`DecodeStats::huffman_ns`]).
+    pub color_ns: u64,
 }
 
 impl DecodeStats {
@@ -71,6 +86,7 @@ impl DecodeStats {
 pub struct JpegDecoder {
     collect_timing: bool,
     reference_idct: bool,
+    reference_entropy: bool,
 }
 
 /// Everything parsed from the header section (before the entropy scan).
@@ -102,6 +118,15 @@ impl JpegDecoder {
     /// transform. For benchmarking and accuracy cross-checks only.
     pub fn with_reference_idct(mut self, on: bool) -> Self {
         self.reference_idct = on;
+        self
+    }
+
+    /// Forces the original bit-at-a-time Huffman decoder instead of the
+    /// reservoir + lookup-table fast path. The two are bit-exact on the
+    /// decoded pixels and work counters; this switch exists so equivalence
+    /// tests and benchmarks can compare them.
+    pub fn with_reference_entropy(mut self, on: bool) -> Self {
+        self.reference_entropy = on;
         self
     }
 
@@ -564,27 +589,110 @@ impl SegStats {
         total.huffman_ns += self.huffman_ns;
         total.idct_ns += self.idct_ns;
     }
+
+    fn add(&mut self, other: &SegStats) {
+        self.mcus += other.mcus;
+        self.blocks += other.blocks;
+        self.entropy_bits += other.entropy_bits;
+        self.nonzero_coeffs += other.nonzero_coeffs;
+        self.huffman_ns += other.huffman_ns;
+        self.idct_ns += other.idct_ns;
+    }
 }
+
+/// Block sink shared by the segment decoders: receives
+/// (component index, block x px, block y px, reconstructed samples).
+type BlockSink<'a> = dyn FnMut(usize, u32, u32, &[u8; BLOCK_LEN]) + 'a;
 
 /// Entropy-decodes the MCUs `[mcu_start, mcu_start + mcu_count)` from one
 /// restart segment's bytes, emitting every reconstructed block through
 /// `sink(ci, bx, by, samples)`. Shared by the sequential path (sink
 /// writes straight into the planes) and the parallel path (sink parks
 /// blocks for the scatter) — which is what makes the two bit-exact.
-fn decode_segment<F>(
+/// Dispatches between the reservoir fast path and the reference
+/// bit-at-a-time decoder.
+fn decode_segment(
     seg: &[u8],
     ctx: &[CompCtx<'_>],
     mcu_cols: u64,
     mcu_start: u64,
     mcu_count: u64,
     dec: &JpegDecoder,
-    sink: &mut F,
-) -> CodecResult<SegStats>
-where
-    F: FnMut(usize, u32, u32, &[u8; BLOCK_LEN]),
-{
+    sink: &mut BlockSink<'_>,
+) -> CodecResult<SegStats> {
+    if dec.reference_entropy || dec.reference_idct {
+        decode_segment_ref(seg, ctx, mcu_cols, mcu_start, mcu_count, dec, sink)
+    } else {
+        decode_segment_fast(seg, ctx, mcu_cols, mcu_start, mcu_count, dec, sink)
+    }
+}
+
+/// Fast path: 64-bit bit reservoir, table-driven Huffman resolution with
+/// fused receive/extend, and the u8-producing iDCT (SIMD when available).
+fn decode_segment_fast(
+    seg: &[u8],
+    ctx: &[CompCtx<'_>],
+    mcu_cols: u64,
+    mcu_start: u64,
+    mcu_count: u64,
+    dec: &JpegDecoder,
+    sink: &mut BlockSink<'_>,
+) -> CodecResult<SegStats> {
+    let mut cursor = BitCursor::new(seg);
+    let mut dc_pred = [0i32; MAX_COMPONENTS];
+    let mut stats = SegStats::default();
+    let mut quantized = [0i16; BLOCK_LEN];
+    let mut out = [0u8; BLOCK_LEN];
+
+    for mcu_index in mcu_start..mcu_start + mcu_count {
+        let my = (mcu_index / mcu_cols) as u32;
+        let mx = (mcu_index % mcu_cols) as u32;
+        for (ci, c) in ctx.iter().enumerate() {
+            for vy in 0..c.spec.v {
+                for hx in 0..c.spec.h {
+                    let t0 = dec.collect_timing.then(Instant::now);
+                    decode_block_fast(
+                        &mut cursor,
+                        c.dc,
+                        c.ac,
+                        &mut dc_pred[ci],
+                        &mut quantized,
+                        &mut stats.nonzero_coeffs,
+                    )?;
+                    let t1 = dec.collect_timing.then(Instant::now);
+                    if let (Some(t0), Some(t1)) = (t0, t1) {
+                        stats.huffman_ns += (t1 - t0).as_nanos() as u64;
+                    }
+                    idct_8x8_dequant_u8(&quantized, &c.idct_scale, &mut out);
+                    if let Some(t1) = t1 {
+                        stats.idct_ns += t1.elapsed().as_nanos() as u64;
+                    }
+                    let bx = (mx * c.spec.h as u32 + hx as u32) * 8;
+                    let by = (my * c.spec.v as u32 + vy as u32) * 8;
+                    sink(ci, bx, by, &out);
+                    stats.blocks += 1;
+                }
+            }
+        }
+        stats.mcus += 1;
+    }
+    stats.entropy_bits = cursor.byte_pos() as u64 * 8;
+    Ok(stats)
+}
+
+/// Reference path: the original bit-at-a-time decoder, also used when the
+/// basis-matrix iDCT is requested.
+fn decode_segment_ref(
+    seg: &[u8],
+    ctx: &[CompCtx<'_>],
+    mcu_cols: u64,
+    mcu_start: u64,
+    mcu_count: u64,
+    dec: &JpegDecoder,
+    sink: &mut BlockSink<'_>,
+) -> CodecResult<SegStats> {
     let mut reader = BitReader::new(seg);
-    let mut dc_pred = vec![0i32; ctx.len()];
+    let mut dc_pred = [0i32; MAX_COMPONENTS];
     let mut stats = SegStats::default();
     let mut quantized = [0i16; BLOCK_LEN];
     let mut coeffs = [0f32; BLOCK_LEN];
@@ -613,11 +721,14 @@ where
                     if dec.reference_idct {
                         c.q.dequantize(&quantized, &mut coeffs);
                         idct_8x8(&coeffs, &mut samples);
+                        for (o, &s) in out.iter_mut().zip(samples.iter()) {
+                            *o = clamp_u8(s + 128.0);
+                        }
                     } else {
                         idct_8x8_dequant(&quantized, &c.idct_scale, &mut samples);
-                    }
-                    for (o, &s) in out.iter_mut().zip(samples.iter()) {
-                        *o = clamp_u8(s + 128.0);
+                        for (o, &s) in out.iter_mut().zip(samples.iter()) {
+                            *o = clamp_u8(s + 128.0);
+                        }
                     }
                     if let Some(t1) = t1 {
                         stats.idct_ns += t1.elapsed().as_nanos() as u64;
@@ -722,50 +833,84 @@ fn decode_scan(
         ..DecodeStats::default()
     };
 
-    let go_parallel = parallel && segments.len() >= 2 && rayon::current_num_threads() > 1;
+    // Coalesce adjacent segments into chunks of at least
+    // MIN_PARALLEL_CHUNK_MCUS so a tiny restart interval (ri=1: one MCU per
+    // segment) doesn't drown the pool in sub-millisecond tasks. Each chunk
+    // is one pool task with one parked-block list; restart state still
+    // resets per segment inside the chunk, so bit-exactness is untouched.
+    let chunks: Vec<(usize, usize)> = {
+        let mut chunks = Vec::new();
+        let mut start = 0usize;
+        let mut mcus = 0u64;
+        for si in 0..segments.len() {
+            mcus += seg_mcus(si).1;
+            if mcus >= MIN_PARALLEL_CHUNK_MCUS {
+                chunks.push((start, si + 1));
+                start = si + 1;
+                mcus = 0;
+            }
+        }
+        if start < segments.len() {
+            chunks.push((start, segments.len()));
+        }
+        chunks
+    };
+
+    let go_parallel = parallel && chunks.len() >= 2 && rayon::current_num_threads() > 1;
     if go_parallel {
-        // Decode segments concurrently into parked block lists, then
-        // scatter serially. Collection is index-ordered, so the first
-        // failing segment's error is returned — matching the sequential
-        // walk.
+        // Decode chunks concurrently into parked block lists, then scatter
+        // serially. Collection is index-ordered, so the first failing
+        // segment's error is returned — matching the sequential walk.
         let ctx = &ctx;
-        let results: Vec<CodecResult<(Vec<SegBlock>, SegStats)>> = segments
-            .iter()
-            .enumerate()
-            .collect::<Vec<_>>()
+        let segments = &segments;
+        let results: Vec<CodecResult<(Vec<SegBlock>, SegStats)>> = chunks
             .into_par_iter()
-            .map(|(si, &(s, e))| {
-                let (mcu_start, mcu_count) = seg_mcus(si);
+            .map(|(cs, ce)| {
+                let chunk_mcus: u64 = (cs..ce).map(|si| seg_mcus(si).1).sum();
                 let mut blocks =
-                    Vec::with_capacity(mcu_count as usize * frame.blocks_per_mcu() as usize);
-                let seg_stats = decode_segment(
-                    &scan[s..e],
-                    ctx,
-                    mcu_cols,
-                    mcu_start,
-                    mcu_count,
-                    dec,
-                    &mut |ci, bx, by, samples| {
-                        blocks.push(SegBlock {
-                            ci: ci as u8,
-                            bx,
-                            by,
-                            samples: *samples,
-                        });
-                    },
-                )?;
-                Ok((blocks, seg_stats))
+                    Vec::with_capacity(chunk_mcus as usize * frame.blocks_per_mcu() as usize);
+                let mut chunk_stats = SegStats::default();
+                for si in cs..ce {
+                    let (s, e) = segments[si];
+                    if si + 1 < ce {
+                        // Overlap the next segment's entropy bytes with this
+                        // segment's arithmetic.
+                        crate::simd::prefetch_read(scan, segments[si + 1].0);
+                    }
+                    let (mcu_start, mcu_count) = seg_mcus(si);
+                    let seg_stats = decode_segment(
+                        &scan[s..e],
+                        ctx,
+                        mcu_cols,
+                        mcu_start,
+                        mcu_count,
+                        dec,
+                        &mut |ci, bx, by, samples| {
+                            blocks.push(SegBlock {
+                                ci: ci as u8,
+                                bx,
+                                by,
+                                samples: *samples,
+                            });
+                        },
+                    )?;
+                    chunk_stats.add(&seg_stats);
+                }
+                Ok((blocks, chunk_stats))
             })
             .collect();
         for result in results {
-            let (blocks, seg_stats) = result?;
-            seg_stats.merge_into(&mut stats);
+            let (blocks, chunk_stats) = result?;
+            chunk_stats.merge_into(&mut stats);
             for b in &blocks {
                 write_block(&mut planes[b.ci as usize], b.bx, b.by, &b.samples);
             }
         }
     } else {
         for (si, &(s, e)) in segments.iter().enumerate() {
+            if si + 1 < segments.len() {
+                crate::simd::prefetch_read(scan, segments[si + 1].0);
+            }
             let (mcu_start, mcu_count) = seg_mcus(si);
             let planes = &mut planes;
             let seg_stats = decode_segment(
@@ -781,11 +926,15 @@ fn decode_scan(
         }
     }
 
+    let t0 = dec.collect_timing.then(Instant::now);
     let image = assemble_image(
         frame,
         &ctx.iter().map(|c| c.spec).collect::<Vec<_>>(),
         &planes,
     )?;
+    if let Some(t0) = t0 {
+        stats.color_ns = t0.elapsed().as_nanos() as u64;
+    }
     Ok((image, stats))
 }
 
@@ -844,6 +993,76 @@ fn decode_block(
     Ok(())
 }
 
+/// Fast-path block decode: one [`BitCursor::refill`] per symbol covers the
+/// longest possible code (16 bits) *and* its magnitude bits (≤11 for DC,
+/// ≤10 for AC), so code resolution and receive/extend happen on a single
+/// peeked word with a single bounds check. Produces identical coefficients,
+/// `nonzero_coeffs` accounting and error classes as [`decode_block`].
+fn decode_block_fast(
+    cur: &mut BitCursor<'_>,
+    dc_table: &HuffTable,
+    ac_table: &HuffTable,
+    dc_pred: &mut i32,
+    out: &mut [i16; BLOCK_LEN],
+    nonzero_coeffs: &mut u64,
+) -> CodecResult<()> {
+    out.fill(0);
+    // DC.
+    cur.refill();
+    let peeked = cur.peek();
+    let (sym, len) = dc_table.resolve(peeked)?;
+    let ssss = sym as u32;
+    if ssss > 11 {
+        return Err(CodecError::MalformedSegment {
+            detail: format!("DC category {ssss}"),
+        });
+    }
+    let diff = if ssss > 0 {
+        // Magnitude bits sit right after the code in the same peeked word.
+        let bits = ((peeked << len) >> (64 - ssss)) as u32;
+        cur.consume(len + ssss)?;
+        extend_magnitude(bits, ssss)
+    } else {
+        cur.consume(len)?;
+        0
+    };
+    *dc_pred += diff;
+    out[0] = *dc_pred as i16;
+    if *dc_pred != 0 {
+        *nonzero_coeffs += 1;
+    }
+
+    // AC.
+    let mut k = 1usize;
+    while k < BLOCK_LEN {
+        cur.refill();
+        let peeked = cur.peek();
+        let (rs, len) = ac_table.resolve(peeked)?;
+        let run = (rs >> 4) as usize;
+        let size = (rs & 0x0F) as u32;
+        if size == 0 {
+            cur.consume(len)?;
+            if run == 15 {
+                k += 16; // ZRL
+                continue;
+            }
+            break; // EOB
+        }
+        k += run;
+        if k >= BLOCK_LEN {
+            return Err(CodecError::MalformedSegment {
+                detail: format!("AC run overflows block at k={k}"),
+            });
+        }
+        let bits = ((peeked << len) >> (64 - size)) as u32;
+        cur.consume(len + size)?;
+        out[ZIGZAG[k]] = extend_magnitude(bits, size) as i16;
+        *nonzero_coeffs += 1;
+        k += 1;
+    }
+    Ok(())
+}
+
 /// Upsamples chroma planes and interleaves the final image.
 fn assemble_image(
     frame: &FrameInfo,
@@ -864,25 +1083,47 @@ fn assemble_image(
         return Image::from_vec(frame.width, frame.height, ColorSpace::Gray, data);
     }
 
+    // Row-based assembly: full-resolution components hand their plane rows
+    // to the converter directly; 2×-subsampled ones are expanded once per
+    // row with the duplicating upsampler (`out[x] = src[x/2]`, the same
+    // nearest-neighbour mapping `x·h/h_max` evaluated without a per-pixel
+    // division). Vertical subsampling is just row selection.
     let mut data = vec![0u8; w * h * 3];
-    for y in 0..h {
-        for x in 0..w {
-            let mut ycc = [0u8; 3];
-            for (ci, spec) in specs.iter().enumerate() {
-                let plane = &planes[ci];
-                // Nearest-neighbour upsample by the sampling ratio.
-                let sx = x * spec.h as usize / h_max as usize;
-                let sy = y * spec.v as usize / v_max as usize;
-                let sx = sx.min(plane.width - 1);
-                let sy = sy.min(plane.height - 1);
-                ycc[ci] = plane.data[sy * plane.width + sx];
+    let mut upsampled: Vec<Vec<u8>> = specs
+        .iter()
+        .map(|s| {
+            if (s.h as usize) < h_max as usize {
+                vec![0u8; w]
+            } else {
+                Vec::new()
             }
-            let [r, g, b] = ycbcr_to_rgb(ycc[0], ycc[1], ycc[2]);
-            let o = (y * w + x) * 3;
-            data[o] = r;
-            data[o + 1] = g;
-            data[o + 2] = b;
+        })
+        .collect();
+    for y in 0..h {
+        for (ci, spec) in specs.iter().enumerate() {
+            if (spec.h as usize) < h_max as usize {
+                let plane = &planes[ci];
+                let sy = (y * spec.v as usize / v_max as usize).min(plane.height - 1);
+                let src = &plane.data[sy * plane.width..(sy + 1) * plane.width];
+                upsample_dup2_row(src, &mut upsampled[ci]);
+            }
         }
+        let row_of = |ci: usize| -> &[u8] {
+            let spec = &specs[ci];
+            if (spec.h as usize) < h_max as usize {
+                &upsampled[ci]
+            } else {
+                let plane = &planes[ci];
+                let sy = (y * spec.v as usize / v_max as usize).min(plane.height - 1);
+                &plane.data[sy * plane.width..sy * plane.width + w]
+            }
+        };
+        ycbcr_rows_to_rgb(
+            row_of(0),
+            row_of(1),
+            row_of(2),
+            &mut data[y * w * 3..(y + 1) * w * 3],
+        );
     }
     Image::from_vec(frame.width, frame.height, ColorSpace::Rgb, data)
 }
@@ -1150,10 +1391,104 @@ mod tests {
             .unwrap();
         assert!(stats.huffman_ns > 0);
         assert!(stats.idct_ns > 0);
+        assert!(stats.color_ns > 0);
         // Untimed decode leaves them zero.
         let (_, bare) = JpegDecoder::new().decode_with_stats(&bytes).unwrap();
         assert_eq!(bare.huffman_ns, 0);
         assert_eq!(bare.idct_ns, 0);
+        assert_eq!(bare.color_ns, 0);
+    }
+
+    #[test]
+    fn fast_and_reference_entropy_are_bit_exact() {
+        // The reservoir/LUT decoder must reproduce the bit-at-a-time
+        // decoder's pixels and work counters exactly. `entropy_bits` is
+        // excluded: it reports the reader's byte position, and the two
+        // readers buffer ahead differently at segment ends.
+        let fast = JpegDecoder::new();
+        let reference = JpegDecoder::new().with_reference_entropy(true);
+        for mode in [ChromaMode::Yuv444, ChromaMode::Yuv422, ChromaMode::Yuv420] {
+            for ri in [0u16, 1, 4] {
+                let img = test_image(49, 37);
+                let bytes = JpegEncoder::new(85)
+                    .unwrap()
+                    .with_mode(mode)
+                    .with_restart_interval(ri)
+                    .encode(&img)
+                    .unwrap();
+                let (a, sa) = fast.decode_with_stats(&bytes).unwrap();
+                let (b, sb) = reference.decode_with_stats(&bytes).unwrap();
+                assert_eq!(a.data(), b.data(), "{mode:?} ri={ri}");
+                assert_eq!(sa.mcus, sb.mcus, "{mode:?} ri={ri}");
+                assert_eq!(sa.blocks, sb.blocks, "{mode:?} ri={ri}");
+                assert_eq!(sa.nonzero_coeffs, sb.nonzero_coeffs, "{mode:?} ri={ri}");
+                assert_eq!(sa.restart_segments, sb.restart_segments, "{mode:?} ri={ri}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_entropy_rejects_malformed_streams_like_reference() {
+        // Corrupted scans must fail (or succeed) without panicking on both
+        // entropy decoders; when the reference path errors on a truncation,
+        // the fast path must too.
+        let img = test_image(48, 48);
+        let clean = JpegEncoder::new(85).unwrap().encode(&img).unwrap();
+        let fast = JpegDecoder::new();
+        let reference = JpegDecoder::new().with_reference_entropy(true);
+        for cut in [clean.len() / 3, clean.len() / 2, clean.len() - 4] {
+            let mut bytes = clean.clone();
+            bytes.truncate(cut);
+            assert!(fast.decode(&bytes).is_err(), "cut={cut}");
+            assert!(reference.decode(&bytes).is_err(), "cut={cut}");
+        }
+        for step in [3usize, 7, 11] {
+            let mut bytes = clean.clone();
+            let mut i = bytes.len() / 2;
+            while i < bytes.len() - 2 {
+                bytes[i] ^= 0x55;
+                i += step;
+            }
+            let _ = fast.decode(&bytes);
+            let _ = reference.decode(&bytes);
+        }
+    }
+
+    #[test]
+    fn roundtrip_422() {
+        let img = test_image(50, 38);
+        let bytes = JpegEncoder::new(90)
+            .unwrap()
+            .with_mode(ChromaMode::Yuv422)
+            .encode(&img)
+            .unwrap();
+        let info = JpegDecoder::new().decode_header(&bytes).unwrap();
+        assert_eq!(info.chroma_mode().unwrap(), ChromaMode::Yuv422);
+        let out = JpegDecoder::new().decode(&bytes).unwrap();
+        assert_eq!((out.width(), out.height()), (50, 38));
+        let p = psnr(&img, &out);
+        assert!(p > 28.0, "PSNR {p:.1} dB too low for q90 4:2:2");
+    }
+
+    #[test]
+    fn parallel_chunking_coalesces_small_segments() {
+        // 96x80 at 4:2:0 → 6x5 = 30 MCUs. ri=1 gives 30 one-MCU segments,
+        // which must coalesce into 32-MCU-minimum chunks (here: one chunk →
+        // sequential fallback) rather than 30 pool tasks; pixels stay
+        // bit-exact either way (checked in
+        // parallel_decode_bit_exact_with_sequential).
+        let img = test_image(96, 80);
+        let bytes = JpegEncoder::new(85)
+            .unwrap()
+            .with_restart_interval(1)
+            .encode(&img)
+            .unwrap();
+        let dec = JpegDecoder::new();
+        let (seq, ss) = dec.decode_with_stats(&bytes).unwrap();
+        let (par, ps) = dec.decode_parallel_with_stats(&bytes).unwrap();
+        assert_eq!(seq.data(), par.data());
+        assert_eq!(ss.restart_segments, 30);
+        assert_eq!(ss.work(), ps.work());
     }
 
     #[test]

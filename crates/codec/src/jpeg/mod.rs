@@ -51,6 +51,9 @@ pub enum ChromaMode {
     Grayscale,
     /// Three components, no subsampling (1×1,1×1,1×1).
     Yuv444,
+    /// Three components, 2×1 luma sampling (horizontal-only chroma
+    /// subsampling, common in video-derived stills).
+    Yuv422,
     /// Three components, 2×2 luma sampling (the common photographic mode and
     /// the paper's dataset format).
     Yuv420,
@@ -69,6 +72,7 @@ impl ChromaMode {
     pub fn luma_sampling(self) -> (u8, u8) {
         match self {
             ChromaMode::Yuv420 => (2, 2),
+            ChromaMode::Yuv422 => (2, 1),
             _ => (1, 1),
         }
     }
@@ -151,6 +155,7 @@ impl FrameInfo {
                 let y = &self.components[0];
                 match (y.h, y.v) {
                     (1, 1) => Ok(ChromaMode::Yuv444),
+                    (2, 1) => Ok(ChromaMode::Yuv422),
                     (2, 2) => Ok(ChromaMode::Yuv420),
                     (h, v) => Err(CodecError::Unsupported {
                         feature: format!("luma sampling {h}x{v}"),
@@ -175,7 +180,7 @@ pub fn component_layout(mode: ChromaMode) -> Vec<ComponentSpec> {
             dc_table: 0,
             ac_table: 0,
         }],
-        ChromaMode::Yuv444 | ChromaMode::Yuv420 => {
+        ChromaMode::Yuv444 | ChromaMode::Yuv422 | ChromaMode::Yuv420 => {
             let (h, v) = mode.luma_sampling();
             vec![
                 ComponentSpec {
@@ -227,6 +232,20 @@ mod tests {
     }
 
     #[test]
+    fn mcu_geometry_422() {
+        let info = FrameInfo {
+            width: 33,
+            height: 17,
+            components: component_layout(ChromaMode::Yuv422),
+            restart_interval: 0,
+        };
+        assert_eq!(info.max_sampling(), (2, 1));
+        assert_eq!(info.mcu_grid(), (3, 3));
+        assert_eq!(info.blocks_per_mcu(), 4);
+        assert_eq!(info.chroma_mode().unwrap(), ChromaMode::Yuv422);
+    }
+
+    #[test]
     fn mcu_geometry_420() {
         let info = FrameInfo {
             width: 33,
@@ -265,6 +284,7 @@ mod tests {
     fn mcu_sizes() {
         assert_eq!(ChromaMode::Grayscale.mcu_size(), (8, 8));
         assert_eq!(ChromaMode::Yuv444.mcu_size(), (8, 8));
+        assert_eq!(ChromaMode::Yuv422.mcu_size(), (16, 8));
         assert_eq!(ChromaMode::Yuv420.mcu_size(), (16, 16));
     }
 }

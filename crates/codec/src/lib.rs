@@ -20,6 +20,7 @@
 //! * [`huffman`] — bit I/O and canonical JPEG Huffman coding.
 //! * [`jpeg`] — baseline encoder/decoder over JFIF markers.
 //! * [`resize`] — nearest / bilinear / area resampling.
+//! * [`simd`] — runtime-dispatched AVX2 kernels with scalar fallback.
 //! * [`augment`] — crop / flip / normalize (the GPU-side stage).
 //! * [`synth`] — deterministic synthetic image generation.
 //! * [`bmp`] — minimal BMP export for examples.
@@ -38,6 +39,7 @@ pub mod jpeg;
 pub mod pixel;
 pub mod quant;
 pub mod resize;
+pub mod simd;
 pub mod synth;
 pub mod text;
 

@@ -237,6 +237,47 @@ pub fn ycbcr_to_rgb(y: u8, cb: u8, cr: u8) -> [u8; 3] {
     [clamp_u8(r), clamp_u8(g), clamp_u8(b)]
 }
 
+/// Full-range JFIF YCbCr → RGB conversion for a row of matched samples,
+/// writing interleaved RGB into `out` (`3 * y.len()` bytes). Dispatches to
+/// the AVX2 kernel when available; bit-exact with per-pixel
+/// [`ycbcr_to_rgb`] either way.
+pub fn ycbcr_rows_to_rgb(y: &[u8], cb: &[u8], cr: &[u8], out: &mut [u8]) {
+    assert_eq!(y.len(), cb.len());
+    assert_eq!(y.len(), cr.len());
+    assert_eq!(out.len(), y.len() * 3);
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::simd_active() {
+        // SAFETY: `simd_active` returns true only after runtime AVX2
+        // detection succeeds; lengths are checked above.
+        unsafe { crate::simd::ycbcr_rows_to_rgb_avx2(y, cb, cr, out) };
+        return;
+    }
+    for (i, ((&ys, &cbs), &crs)) in y.iter().zip(cb.iter()).zip(cr.iter()).enumerate() {
+        let [r, g, b] = ycbcr_to_rgb(ys, cbs, crs);
+        let o = i * 3;
+        out[o] = r;
+        out[o + 1] = g;
+        out[o + 2] = b;
+    }
+}
+
+/// 2× horizontal nearest-neighbour upsample of a chroma row:
+/// `out[i] = src[i / 2]`. `src` must hold at least `out.len().div_ceil(2)`
+/// samples.
+pub fn upsample_dup2_row(src: &[u8], out: &mut [u8]) {
+    assert!(src.len() >= out.len().div_ceil(2));
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::simd_active() {
+        // SAFETY: `simd_active` returns true only after runtime AVX2
+        // detection succeeds; the length invariant is checked above.
+        unsafe { crate::simd::upsample_dup2_row_avx2(src, out) };
+        return;
+    }
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = src[i / 2];
+    }
+}
+
 /// Clamp a float sample into the 8-bit range with rounding.
 #[inline]
 pub fn clamp_u8(v: f32) -> u8 {

@@ -57,36 +57,98 @@ fn resize_nearest(src: &Image, dst_w: u32, dst_h: u32) -> Image {
     Image::from_vec(dst_w, dst_h, src.color(), out).expect("dims validated")
 }
 
+/// One horizontal tap of the separable bilinear filter.
+struct XTap {
+    x0: usize,
+    x1: usize,
+    wx: f32,
+}
+
+/// Vertical bilinear blend of two horizontally-lerped rows into u8 output.
+/// Bit-exact between the AVX2 kernel and the scalar loop.
+#[inline]
+fn lerp_rows_to_u8(top: &[f32], bot: &[f32], wy: f32, out: &mut [u8]) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::simd_active() {
+        // SAFETY: `simd_active` returns true only after runtime AVX2
+        // detection succeeds; callers pass equal-length slices.
+        unsafe { crate::simd::lerp_rows_to_u8_avx2(top, bot, wy, out) };
+        return;
+    }
+    for ((o, &t), &b) in out.iter_mut().zip(top).zip(bot) {
+        *o = clamp_u8(t + (b - t) * wy);
+    }
+}
+
 fn resize_bilinear(src: &Image, dst_w: u32, dst_h: u32) -> Image {
     let c = src.channels();
     let sw = src.width() as usize;
     let sh = src.height() as usize;
     let sdata = src.data();
-    let mut out = vec![0u8; dst_w as usize * dst_h as usize * c];
+    let row_len = dst_w as usize * c;
+    let mut out = vec![0u8; row_len * dst_h as usize];
     // Pixel-centre mapping: d+0.5 in dst ↔ (d+0.5)·scale in src.
     let x_scale = sw as f32 / dst_w as f32;
     let y_scale = sh as f32 / dst_h as f32;
+    let taps: Vec<XTap> = (0..dst_w as usize)
+        .map(|dx| {
+            let fx = ((dx as f32 + 0.5) * x_scale - 0.5).max(0.0);
+            let x0 = fx as usize;
+            XTap {
+                x0,
+                x1: (x0 + 1).min(sw - 1),
+                wx: fx - x0 as f32,
+            }
+        })
+        .collect();
+    // Horizontal lerp of one source row into f32, shared by every output
+    // row that samples it: `p0 + (p1 − p0)·wx` — the same expression the
+    // per-pixel loop evaluated as `top`/`bot`.
+    let fill = |buf: &mut [f32], y: usize| {
+        let base = y * sw * c;
+        for (dx, t) in taps.iter().enumerate() {
+            for ch in 0..c {
+                let p0 = sdata[base + t.x0 * c + ch] as f32;
+                let p1 = sdata[base + t.x1 * c + ch] as f32;
+                buf[dx * c + ch] = p0 + (p1 - p0) * t.wx;
+            }
+        }
+    };
+    // Two-slot row cache keyed by source-row parity: `y0` and `y1` differ
+    // by at most one, so parity separates them, and because `y0` is
+    // nondecreasing in `dy` an evicted row is never needed again. Upscales
+    // lerp each source row once instead of once per output row.
+    let mut row_even = vec![0f32; row_len];
+    let mut row_odd = vec![0f32; row_len];
+    let mut idx_even = usize::MAX;
+    let mut idx_odd = usize::MAX;
     for dy in 0..dst_h as usize {
         let fy = ((dy as f32 + 0.5) * y_scale - 0.5).max(0.0);
         let y0 = fy as usize;
         let y1 = (y0 + 1).min(sh - 1);
         let wy = fy - y0 as f32;
-        for dx in 0..dst_w as usize {
-            let fx = ((dx as f32 + 0.5) * x_scale - 0.5).max(0.0);
-            let x0 = fx as usize;
-            let x1 = (x0 + 1).min(sw - 1);
-            let wx = fx - x0 as f32;
-            let d = (dy * dst_w as usize + dx) * c;
-            for ch in 0..c {
-                let p00 = sdata[(y0 * sw + x0) * c + ch] as f32;
-                let p01 = sdata[(y0 * sw + x1) * c + ch] as f32;
-                let p10 = sdata[(y1 * sw + x0) * c + ch] as f32;
-                let p11 = sdata[(y1 * sw + x1) * c + ch] as f32;
-                let top = p00 + (p01 - p00) * wx;
-                let bot = p10 + (p11 - p10) * wx;
-                out[d + ch] = clamp_u8(top + (bot - top) * wy);
+        for y in [y0, y1] {
+            let (buf, idx) = if y.is_multiple_of(2) {
+                (&mut row_even, &mut idx_even)
+            } else {
+                (&mut row_odd, &mut idx_odd)
+            };
+            if *idx != y {
+                fill(buf, y);
+                *idx = y;
             }
         }
+        let top = if y0.is_multiple_of(2) {
+            &row_even
+        } else {
+            &row_odd
+        };
+        let bot = if y1.is_multiple_of(2) {
+            &row_even
+        } else {
+            &row_odd
+        };
+        lerp_rows_to_u8(top, bot, wy, &mut out[dy * row_len..][..row_len]);
     }
     Image::from_vec(dst_w, dst_h, src.color(), out).expect("dims validated")
 }
@@ -192,6 +254,59 @@ mod tests {
         let out = resize(&img, 16, 4, ResizeFilter::Bilinear).unwrap();
         for x in 1..16 {
             assert!(out.pixel(x, 0)[0] >= out.pixel(x - 1, 0)[0]);
+        }
+    }
+
+    /// The original per-pixel bilinear loop, kept as the reference the
+    /// row-based/SIMD implementation must match byte-for-byte.
+    fn bilinear_reference(src: &Image, dst_w: u32, dst_h: u32) -> Vec<u8> {
+        let c = src.channels();
+        let sw = src.width() as usize;
+        let sh = src.height() as usize;
+        let sdata = src.data();
+        let mut out = vec![0u8; dst_w as usize * dst_h as usize * c];
+        let x_scale = sw as f32 / dst_w as f32;
+        let y_scale = sh as f32 / dst_h as f32;
+        for dy in 0..dst_h as usize {
+            let fy = ((dy as f32 + 0.5) * y_scale - 0.5).max(0.0);
+            let y0 = fy as usize;
+            let y1 = (y0 + 1).min(sh - 1);
+            let wy = fy - y0 as f32;
+            for dx in 0..dst_w as usize {
+                let fx = ((dx as f32 + 0.5) * x_scale - 0.5).max(0.0);
+                let x0 = fx as usize;
+                let x1 = (x0 + 1).min(sw - 1);
+                let wx = fx - x0 as f32;
+                let d = (dy * dst_w as usize + dx) * c;
+                for ch in 0..c {
+                    let p00 = sdata[(y0 * sw + x0) * c + ch] as f32;
+                    let p01 = sdata[(y0 * sw + x1) * c + ch] as f32;
+                    let p10 = sdata[(y1 * sw + x0) * c + ch] as f32;
+                    let p11 = sdata[(y1 * sw + x1) * c + ch] as f32;
+                    let top = p00 + (p01 - p00) * wx;
+                    let bot = p10 + (p11 - p10) * wx;
+                    out[d + ch] = clamp_u8(top + (bot - top) * wy);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn bilinear_matches_per_pixel_reference() {
+        let mut state = 0x1234_5678u32;
+        let mut rng = || {
+            state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            (state >> 24) as u8
+        };
+        for (sw, sh) in [(17, 13), (32, 32), (5, 40)] {
+            let data: Vec<u8> = (0..sw * sh * 3).map(|_| rng()).collect();
+            let img = Image::from_vec(sw, sh, ColorSpace::Rgb, data).unwrap();
+            for (dw, dh) in [(8, 8), (40, 9), (64, 64), (sw, 2 * sh)] {
+                let got = resize(&img, dw, dh, ResizeFilter::Bilinear).unwrap();
+                let want = bilinear_reference(&img, dw, dh);
+                assert_eq!(got.data(), &want[..], "{sw}x{sh} -> {dw}x{dh}");
+            }
         }
     }
 

@@ -7,6 +7,7 @@ use dlb_codec::huffman::{
 use dlb_codec::jpeg::ChromaMode;
 use dlb_codec::pixel::{rgb_to_ycbcr, ycbcr_to_rgb};
 use dlb_codec::resize::{resize, ResizeFilter};
+use dlb_codec::simd::{force_scalar, simd_active};
 use dlb_codec::synth::{generate, SynthStyle};
 use dlb_codec::{ColorSpace, Image, JpegDecoder, JpegEncoder};
 use proptest::prelude::*;
@@ -241,7 +242,11 @@ proptest! {
         w in 16u32..=96,
         h in 16u32..=96,
         interval in prop::sample::select(vec![0u16, 1, 7, 64]),
-        mode in prop::sample::select(vec![ChromaMode::Yuv420, ChromaMode::Yuv444]),
+        mode in prop::sample::select(vec![
+            ChromaMode::Yuv420,
+            ChromaMode::Yuv422,
+            ChromaMode::Yuv444,
+        ]),
         seed in any::<u64>(),
     ) {
         let img = generate(w, h, SynthStyle::Photo, seed);
@@ -281,6 +286,119 @@ proptest! {
     }
 
     #[test]
+    fn simd_and_scalar_decode_bit_exact(
+        w in 9u32..=80,
+        h in 9u32..=80,
+        quality in 60u8..=95,
+        mode in prop::sample::select(vec![
+            ChromaMode::Yuv444,
+            ChromaMode::Yuv422,
+            ChromaMode::Yuv420,
+        ]),
+        seed in any::<u64>(),
+    ) {
+        // The decode pipeline (iDCT, upsample, colour convert) must produce
+        // identical bytes with the AVX2 kernels and the scalar fallback, on
+        // every subsampling mode. On hosts without AVX2 both runs take the
+        // scalar path and the test degenerates to determinism.
+        let img = generate(w, h, SynthStyle::Photo, seed);
+        let bytes = JpegEncoder::new(quality)
+            .unwrap()
+            .with_mode(mode)
+            .encode(&img)
+            .unwrap();
+        let dec = JpegDecoder::new();
+        let _guard = SIMD_MODE_LOCK.lock().unwrap();
+        force_scalar(false);
+        let native = dec.decode(&bytes).unwrap();
+        force_scalar(true);
+        let scalar = dec.decode(&bytes);
+        force_scalar(false);
+        let scalar = scalar.unwrap();
+        prop_assert_eq!(native.data(), scalar.data());
+    }
+
+    #[test]
+    fn simd_and_scalar_resize_bit_exact(
+        sw in 2u32..=64, sh in 2u32..=64,
+        dw in 1u32..=64, dh in 1u32..=64,
+        seed in any::<u64>(),
+    ) {
+        let img = generate(sw, sh, SynthStyle::Photo, seed);
+        let _guard = SIMD_MODE_LOCK.lock().unwrap();
+        force_scalar(false);
+        let native = resize(&img, dw, dh, ResizeFilter::Bilinear).unwrap();
+        force_scalar(true);
+        let scalar = resize(&img, dw, dh, ResizeFilter::Bilinear);
+        force_scalar(false);
+        let scalar = scalar.unwrap();
+        prop_assert_eq!(native.data(), scalar.data());
+    }
+
+    #[test]
+    fn fast_and_reference_entropy_bit_exact_any_stream(
+        w in 9u32..=80,
+        h in 9u32..=80,
+        interval in prop::sample::select(vec![0u16, 1, 5]),
+        mode in prop::sample::select(vec![
+            ChromaMode::Yuv444,
+            ChromaMode::Yuv422,
+            ChromaMode::Yuv420,
+        ]),
+        seed in any::<u64>(),
+    ) {
+        // The reservoir/LUT Huffman decoder against the bit-at-a-time
+        // reference: identical pixels and work counters (entropy_bits is a
+        // reader-position artefact and is excluded).
+        let img = generate(w, h, SynthStyle::Photo, seed);
+        let bytes = JpegEncoder::new(85)
+            .unwrap()
+            .with_mode(mode)
+            .with_restart_interval(interval)
+            .encode(&img)
+            .unwrap();
+        let (a, sa) = JpegDecoder::new().decode_with_stats(&bytes).unwrap();
+        let (b, sb) = JpegDecoder::new()
+            .with_reference_entropy(true)
+            .decode_with_stats(&bytes)
+            .unwrap();
+        prop_assert_eq!(a.data(), b.data());
+        prop_assert_eq!(
+            (sa.mcus, sa.blocks, sa.nonzero_coeffs, sa.restart_segments),
+            (sb.mcus, sb.blocks, sb.nonzero_coeffs, sb.restart_segments)
+        );
+    }
+
+    #[test]
+    fn fast_and_reference_entropy_agree_on_malformed_streams(
+        flips in prop::collection::vec((0usize..4096, 0u8..=255), 1..12),
+        seed in any::<u64>(),
+    ) {
+        // Corrupted streams: both entropy decoders must agree on
+        // success/failure, and on the pixels when both succeed.
+        let img = generate(48, 48, SynthStyle::Photo, seed);
+        let mut bytes = JpegEncoder::new(80).unwrap().encode(&img).unwrap();
+        for &(pos, val) in &flips {
+            let idx = pos % bytes.len();
+            bytes[idx] = val;
+        }
+        let fast = JpegDecoder::new().decode(&bytes);
+        let reference = JpegDecoder::new()
+            .with_reference_entropy(true)
+            .decode(&bytes);
+        match (fast, reference) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a.data(), b.data()),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(
+                false,
+                "entropy decoder disagreement: fast {:?} reference {:?}",
+                a.is_ok(),
+                b.is_ok()
+            ),
+        }
+    }
+
+    #[test]
     fn parallel_decode_error_equivalent_on_malformed_streams(
         interval in prop::sample::select(vec![2u16, 5]),
         flips in prop::collection::vec((0usize..4096, 0u8..=255), 1..12),
@@ -313,6 +431,25 @@ proptest! {
 
 /// Serialises tests that mutate the global rayon thread override.
 static THREAD_OVERRIDE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Serialises tests that flip the global SIMD dispatch mode. Flips are
+/// harmless to concurrent decodes (SIMD and scalar outputs are bit-exact);
+/// the lock only keeps the comparing tests from racing each other.
+static SIMD_MODE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[test]
+fn force_scalar_env_override_disables_simd() {
+    let _guard = SIMD_MODE_LOCK.lock().unwrap();
+    std::env::set_var("DLB_CODEC_FORCE_SCALAR", "1");
+    force_scalar(false); // re-run detection with the env var set
+    assert!(!simd_active());
+    std::env::remove_var("DLB_CODEC_FORCE_SCALAR");
+    force_scalar(false);
+    // Whatever detection now reports, a decode must still work.
+    let img = generate(24, 24, SynthStyle::Photo, 7);
+    let bytes = JpegEncoder::new(85).unwrap().encode(&img).unwrap();
+    JpegDecoder::new().decode(&bytes).unwrap();
+}
 
 #[test]
 fn stuffed_ff_bytes_near_restart_boundaries_decode_identically() {

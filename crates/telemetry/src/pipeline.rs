@@ -195,6 +195,8 @@ pub mod names {
     pub const CODEC_IDCT_NANOS: &str = "codec.idct_ns";
     /// Codec: wall nanoseconds in resize (decode-side bilinear scaling).
     pub const CODEC_RESIZE_NANOS: &str = "codec.resize_ns";
+    /// Codec: wall nanoseconds in chroma upsampling + YCbCr→RGB conversion.
+    pub const CODEC_COLOR_NANOS: &str = "codec.color_ns";
 
     /// NIC: frames dropped because the bounded RX ring was full.
     pub const NET_RX_DROPS: &str = "net.rx_ring_drops";
@@ -592,6 +594,37 @@ impl ChaosMetrics {
     }
 }
 
+/// Per-stage codec timers exported by the decode workers (`codec.*_ns`).
+/// Summed across workers, so values can exceed wall time; together they
+/// account for where decode CPU cycles went (entropy, transform, colour,
+/// resize).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CodecMetrics {
+    /// Nanoseconds in Huffman entropy decoding.
+    pub huffman_nanos: u64,
+    /// Nanoseconds in dequantisation + inverse DCT.
+    pub idct_nanos: u64,
+    /// Nanoseconds in chroma upsampling + YCbCr→RGB conversion.
+    pub color_nanos: u64,
+    /// Nanoseconds in decode-side resizing.
+    pub resize_nanos: u64,
+}
+
+impl CodecMetrics {
+    /// True when no decode worker exported stage timers into this registry.
+    pub fn is_empty(&self) -> bool {
+        self.huffman_nanos == 0
+            && self.idct_nanos == 0
+            && self.color_nanos == 0
+            && self.resize_nanos == 0
+    }
+
+    /// Total accounted nanoseconds across the four stages.
+    pub fn total_nanos(&self) -> u64 {
+        self.huffman_nanos + self.idct_nanos + self.color_nanos + self.resize_nanos
+    }
+}
+
 /// One instrumented queue's view.
 #[derive(Debug, Clone, Default)]
 pub struct QueueMetrics {
@@ -637,6 +670,8 @@ pub struct PipelineSnapshot {
     pub cluster: ClusterMetrics,
     /// Chaos fault plane + retry/failover recovery accounting.
     pub chaos: ChaosMetrics,
+    /// Codec per-stage timers (entropy / iDCT / colour / resize).
+    pub codec: CodecMetrics,
     /// Instrumented queues (slot queues, trans queues, ...).
     pub queues: Vec<QueueMetrics>,
     /// Stages flagged as stalled at capture time.
@@ -718,6 +753,12 @@ impl PipelineSnapshot {
                 compute: raw.histogram(ENGINE_COMPUTE).cloned(),
             },
             router_delivered: raw.counter(ROUTER_DELIVERED),
+            codec: CodecMetrics {
+                huffman_nanos: raw.counter(CODEC_HUFFMAN_NANOS),
+                idct_nanos: raw.counter(CODEC_IDCT_NANOS),
+                color_nanos: raw.counter(CODEC_COLOR_NANOS),
+                resize_nanos: raw.counter(CODEC_RESIZE_NANOS),
+            },
             serving,
             cache,
             cluster,
