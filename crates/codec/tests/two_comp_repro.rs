@@ -1,0 +1,43 @@
+use dlb_codec::JpegDecoder;
+
+// Hand-built minimal baseline JPEG with TWO components (parser allows 1..=3).
+#[test]
+fn two_component_frame_does_not_panic() {
+    let mut b: Vec<u8> = Vec::new();
+    b.extend_from_slice(&[0xFF, 0xD8]); // SOI
+
+    // DQT: table 0, all ones
+    b.extend_from_slice(&[0xFF, 0xDB, 0x00, 0x43, 0x00]);
+    b.extend_from_slice(&[1u8; 64]);
+
+    // SOF0: 8-bit, 8x8, 2 components, both 1x1 sampling, qtable 0
+    b.extend_from_slice(&[0xFF, 0xC0, 0x00, 0x0E, 0x08, 0x00, 0x08, 0x00, 0x08, 0x02]);
+    b.extend_from_slice(&[0x01, 0x11, 0x00]);
+    b.extend_from_slice(&[0x02, 0x11, 0x00]);
+
+    // DHT: DC table 0, single symbol 0x00 with a 1-bit code
+    let mut dht_counts = [0u8; 16];
+    dht_counts[0] = 1;
+    b.extend_from_slice(&[0xFF, 0xC4, 0x00, 0x14, 0x00]);
+    b.extend_from_slice(&dht_counts);
+    b.push(0x00);
+    // DHT: AC table 0, same shape
+    b.extend_from_slice(&[0xFF, 0xC4, 0x00, 0x14, 0x10]);
+    b.extend_from_slice(&dht_counts);
+    b.push(0x00);
+
+    // SOS: 2 components, both using DC/AC table 0
+    b.extend_from_slice(&[0xFF, 0xDA, 0x00, 0x0A, 0x02]);
+    b.extend_from_slice(&[0x01, 0x00]);
+    b.extend_from_slice(&[0x02, 0x00]);
+    b.extend_from_slice(&[0x00, 0x3F, 0x00]);
+
+    // Entropy data: each block is DC code "0" (ssss=0) + AC EOB "0" = 2 bits;
+    // 2 blocks = 4 bits, padded with 1s.
+    b.push(0x0F);
+
+    b.extend_from_slice(&[0xFF, 0xD9]); // EOI
+
+    // Must not panic: Ok or Err are both acceptable.
+    let _ = JpegDecoder::new().decode(&b);
+}
