@@ -116,13 +116,29 @@ pub struct PoolScaffold {
 }
 
 impl PoolScaffold {
-    /// Builds the scaffold with `pool_units` buffers of `unit_size` bytes.
+    /// Builds the scaffold with `pool_units` buffers of `unit_size` bytes
+    /// and the pre-graph slot-queue depth of 8.
     pub fn new(
         n_slots: usize,
         unit_size: usize,
         pool_units: usize,
         max_batches: Option<u64>,
     ) -> Result<Self, String> {
+        Self::with_slot_depth(n_slots, 8, unit_size, pool_units, max_batches)
+    }
+
+    /// Like [`PoolScaffold::new`] with an explicit per-slot queue depth —
+    /// the knob a compiled pipeline graph sets from its sink stage.
+    pub fn with_slot_depth(
+        n_slots: usize,
+        slot_depth: usize,
+        unit_size: usize,
+        pool_units: usize,
+        max_batches: Option<u64>,
+    ) -> Result<Self, String> {
+        if slot_depth == 0 {
+            return Err("slot queue depth must be >= 1".into());
+        }
         let pool = MemManager::new(PoolConfig {
             unit_size,
             unit_count: pool_units,
@@ -131,7 +147,7 @@ impl PoolScaffold {
         .map_err(|e| e.to_string())?;
         Ok(Self {
             pool,
-            router: Arc::new(SlotRouter::new(n_slots, 8, max_batches)),
+            router: Arc::new(SlotRouter::new(n_slots, slot_depth, max_batches)),
             stop: Arc::new(AtomicBool::new(false)),
             cpu_busy_nanos: Arc::new(AtomicU64::new(0)),
         })

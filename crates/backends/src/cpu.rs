@@ -12,9 +12,14 @@ use dlb_cache::{CachedSample, SampleCache};
 use dlb_codec::resize::{resize, ResizeFilter};
 use dlb_codec::JpegDecoder;
 use dlb_fpga::DataSourceResolver;
+use dlb_graph::{
+    cpu_training, CompiledPipeline, DecodeDevice, GraphConfig, PipelineGraph, SampleAugmentor,
+};
 use dlb_membridge::BatchUnit;
 use dlb_telemetry::{names, Telemetry};
-use dlbooster_core::{sample_key, BackendError, DataCollector, HostBatch, PreprocessBackend};
+use dlbooster_core::{
+    augment_identity, sample_key, BackendError, DataCollector, HostBatch, PreprocessBackend,
+};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -45,6 +50,48 @@ impl CpuBackendConfig {
     fn unit_size(&self) -> usize {
         self.batch_size * self.target_w as usize * self.target_h as usize * 3
     }
+
+    /// The canned graph [`CpuBackend::start`] compiles: the exact chain the
+    /// pre-graph constructor wired by hand.
+    fn canned_graph(&self) -> PipelineGraph {
+        cpu_training(self.target_w, self.target_h, self.workers)
+    }
+
+    fn graph_config(&self) -> GraphConfig {
+        GraphConfig {
+            batch_size: self.batch_size,
+            n_engines: self.n_engines,
+            default_decode_parallelism: self.workers.max(1),
+            seed: 0,
+        }
+    }
+}
+
+/// The wiring a compiled graph (or the hardwired baseline) hands the
+/// scaffold: slot-queue depth and the optional augmentation hop.
+struct CpuWiring {
+    slot_depth: usize,
+    augmentor: Option<SampleAugmentor>,
+}
+
+impl CpuWiring {
+    /// The pre-graph constants: slot queues of 8, no augmentation.
+    /// Preserved verbatim as the differential baseline.
+    fn hardwired() -> Self {
+        CpuWiring {
+            slot_depth: 8,
+            augmentor: None,
+        }
+    }
+
+    /// Wiring derived from a compiled graph. Resolves `DLB_AUG_SEED` here —
+    /// at backend start, never inside `compile`.
+    fn from_compiled(compiled: &CompiledPipeline) -> Self {
+        CpuWiring {
+            slot_depth: compiled.slot_depth,
+            augmentor: compiled.augmentor(),
+        }
+    }
 }
 
 /// The running CPU-based backend.
@@ -56,13 +103,26 @@ pub struct CpuBackend {
 
 impl CpuBackend {
     /// Starts `config.workers` decode threads pulling metadata from
-    /// `collector` and bytes from `resolver`.
+    /// `collector` and bytes from `resolver`. Internally compiles the
+    /// canned CPU training graph — see [`CpuBackend::from_graph`] for
+    /// user-composed pipelines and [`CpuBackend::start_hardwired`] for the
+    /// pre-graph wiring.
     pub fn start(
         collector: Arc<DataCollector>,
         resolver: Arc<dyn DataSourceResolver>,
         config: CpuBackendConfig,
     ) -> Result<Self, String> {
-        Self::start_inner(collector, resolver, config, None)
+        let compiled = config
+            .canned_graph()
+            .compile(&config.graph_config())
+            .map_err(|e| e.to_string())?;
+        Self::start_inner(
+            collector,
+            resolver,
+            config,
+            CpuWiring::from_compiled(&compiled),
+            None,
+        )
     }
 
     /// [`CpuBackend::start`] with the per-stage `codec.*` timers exported
@@ -75,24 +135,134 @@ impl CpuBackend {
         config: CpuBackendConfig,
         telemetry: Arc<Telemetry>,
     ) -> Result<Self, String> {
-        Self::start_inner(collector, resolver, config, Some(telemetry))
+        let compiled = config
+            .canned_graph()
+            .compile(&config.graph_config())
+            .map_err(|e| e.to_string())?;
+        Self::start_inner(
+            collector,
+            resolver,
+            config,
+            CpuWiring::from_compiled(&compiled),
+            Some(telemetry),
+        )
+    }
+
+    /// The pre-refactor constructor: wires the worker pool from hardcoded
+    /// constants without ever building a graph. Kept as the differential
+    /// baseline — `tests/graph_equivalence.rs` holds [`CpuBackend::start`]
+    /// (canned graph) bitwise-equal to this path.
+    pub fn start_hardwired(
+        collector: Arc<DataCollector>,
+        resolver: Arc<dyn DataSourceResolver>,
+        config: CpuBackendConfig,
+    ) -> Result<Self, String> {
+        Self::start_inner(collector, resolver, config, CpuWiring::hardwired(), None)
+    }
+
+    /// [`CpuBackend::start_hardwired`] with a shared telemetry registry.
+    pub fn start_hardwired_with_telemetry(
+        collector: Arc<DataCollector>,
+        resolver: Arc<dyn DataSourceResolver>,
+        config: CpuBackendConfig,
+        telemetry: Arc<Telemetry>,
+    ) -> Result<Self, String> {
+        Self::start_inner(
+            collector,
+            resolver,
+            config,
+            CpuWiring::hardwired(),
+            Some(telemetry),
+        )
+    }
+
+    /// Builds the backend from a user-composed [`PipelineGraph`]. The graph
+    /// must decode on the CPU (`DecodeDevice::Cpu`); its resize geometry
+    /// overrides `config.target_w/h`, its decode parallelism overrides
+    /// `config.workers`, its sink queue depth overrides the substrate
+    /// default, and any augmentation stages run inside the workers with
+    /// per-(epoch, sample) seeded draws. The per-sample cache stays usable
+    /// under augmentation: it stores pre-augmentation pixels and bypassed
+    /// batches re-augment under their dispense epoch.
+    pub fn from_graph(
+        collector: Arc<DataCollector>,
+        resolver: Arc<dyn DataSourceResolver>,
+        config: CpuBackendConfig,
+        graph: &PipelineGraph,
+        seed: u64,
+    ) -> Result<Self, String> {
+        Self::from_graph_inner(collector, resolver, config, graph, seed, None)
+    }
+
+    /// [`CpuBackend::from_graph`] with a shared telemetry registry.
+    pub fn from_graph_with_telemetry(
+        collector: Arc<DataCollector>,
+        resolver: Arc<dyn DataSourceResolver>,
+        config: CpuBackendConfig,
+        graph: &PipelineGraph,
+        seed: u64,
+        telemetry: Arc<Telemetry>,
+    ) -> Result<Self, String> {
+        Self::from_graph_inner(collector, resolver, config, graph, seed, Some(telemetry))
+    }
+
+    fn from_graph_inner(
+        collector: Arc<DataCollector>,
+        resolver: Arc<dyn DataSourceResolver>,
+        mut config: CpuBackendConfig,
+        graph: &PipelineGraph,
+        seed: u64,
+        telemetry: Option<Arc<Telemetry>>,
+    ) -> Result<Self, String> {
+        let mut gc = config.graph_config();
+        gc.seed = seed;
+        let compiled = graph.compile(&gc).map_err(|e| e.to_string())?;
+        if compiled.decode != DecodeDevice::Cpu {
+            return Err(
+                "CpuBackend executes CPU-decode graphs; use DlBooster::from_graph for \
+                 DecodeDevice::Fpga"
+                    .into(),
+            );
+        }
+        config.target_w = compiled.resize.0;
+        config.target_h = compiled.resize.1;
+        config.workers = compiled.decode_parallelism;
+        Self::start_inner(
+            collector,
+            resolver,
+            config,
+            CpuWiring::from_compiled(&compiled),
+            telemetry,
+        )
     }
 
     fn start_inner(
         collector: Arc<DataCollector>,
         resolver: Arc<dyn DataSourceResolver>,
         config: CpuBackendConfig,
+        wiring: CpuWiring,
         telemetry: Option<Arc<Telemetry>>,
     ) -> Result<Self, String> {
         if config.workers == 0 || config.batch_size == 0 || config.n_engines == 0 {
             return Err("workers, batch_size and n_engines must be positive".into());
         }
-        let scaffold = Arc::new(PoolScaffold::new(
+        // Units hold the batch both as decoded (resize output) and after
+        // augmentation (which may grow items 4x via Normalize).
+        let unit_size = match &wiring.augmentor {
+            Some(aug) => {
+                let out = aug.output_bytes(config.target_w, config.target_h);
+                config.unit_size().max(config.batch_size * out)
+            }
+            None => config.unit_size(),
+        };
+        let scaffold = Arc::new(PoolScaffold::with_slot_depth(
             config.n_engines,
-            config.unit_size(),
+            wiring.slot_depth,
+            unit_size,
             (config.n_engines * 3).max(config.workers + 2),
             config.max_batches,
         )?);
+        let augmentor = wiring.augmentor;
         let mut workers = Vec::with_capacity(config.workers);
         for w in 0..config.workers {
             let collector = Arc::clone(&collector);
@@ -100,10 +270,13 @@ impl CpuBackend {
             let scaffold = Arc::clone(&scaffold);
             let config = config.clone();
             let telemetry = telemetry.clone();
+            let augmentor = augmentor.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("cpu-decode-{w}"))
-                    .spawn(move || cpu_worker(collector, resolver, scaffold, config, telemetry))
+                    .spawn(move || {
+                        cpu_worker(collector, resolver, scaffold, config, augmentor, telemetry)
+                    })
                     .expect("spawn cpu worker"),
             );
         }
@@ -125,6 +298,7 @@ fn cpu_worker(
     resolver: Arc<dyn DataSourceResolver>,
     scaffold: Arc<PoolScaffold>,
     config: CpuBackendConfig,
+    augmentor: Option<SampleAugmentor>,
     telemetry: Option<Arc<Telemetry>>,
 ) {
     // Stage timing costs per-block timestamp reads; only pay for it when
@@ -164,15 +338,40 @@ fn cpu_worker(
                 .collect();
             if let Some(samples) = cached {
                 let mut arrivals = Vec::with_capacity(metas.len());
+                // Cached samples are pre-augmentation pixels: with an
+                // augmentor attached, each bypassed item re-augments under
+                // *this* dispense epoch — a cache hit in epoch 3 draws
+                // epoch 3's crop, exactly as a live decode would.
                 for (meta, sample) in metas.iter().zip(&samples) {
                     arrivals.push(meta.arrival_nanos.unwrap_or(0));
-                    unit.append(
-                        &sample.data,
-                        sample.label,
-                        sample.width,
-                        sample.height,
-                        sample.channels,
-                    );
+                    match &augmentor {
+                        Some(aug) => {
+                            let out = aug.apply(
+                                meta.epoch,
+                                augment_identity(&meta.src),
+                                &sample.data,
+                                sample.width,
+                                sample.height,
+                                sample.channels,
+                            );
+                            unit.append(
+                                &out.data,
+                                sample.label,
+                                out.width,
+                                out.height,
+                                out.channels,
+                            );
+                        }
+                        None => {
+                            unit.append(
+                                &sample.data,
+                                sample.label,
+                                sample.width,
+                                sample.height,
+                                sample.channels,
+                            );
+                        }
+                    }
                 }
                 cache.note_bypass_batch();
                 scaffold
@@ -241,24 +440,54 @@ fn cpu_worker(
                     }
                     // The per-datum small copy of §5.2 — inherent to the
                     // CPU path: every image is decoded elsewhere and copied
-                    // into the transfer buffer.
-                    unit.append(img.data(), meta.label, config.target_w, config.target_h, 3);
+                    // into the transfer buffer. Augmentation (when a graph
+                    // composes it) runs here, after the cache insert above,
+                    // so cached pixels stay pre-augmentation and every
+                    // epoch redraws.
+                    match &augmentor {
+                        Some(aug) => {
+                            let out = aug.apply(
+                                meta.epoch,
+                                augment_identity(&meta.src),
+                                img.data(),
+                                config.target_w,
+                                config.target_h,
+                                3,
+                            );
+                            unit.append(&out.data, meta.label, out.width, out.height, out.channels);
+                        }
+                        None => {
+                            unit.append(
+                                img.data(),
+                                meta.label,
+                                config.target_w,
+                                config.target_h,
+                                3,
+                            );
+                        }
+                    }
                 }
                 None => {
                     // Failed fetch or decode: quarantine the key so the
                     // sample can never be admitted, and reserve a zeroed
-                    // slot so the batch layout stays rectangular.
+                    // slot so the batch layout stays rectangular (sized to
+                    // the augmented geometry when a plan is attached).
                     if let (Some(cache), Some(key)) = (&config.sample_cache, sample_key(&meta.src))
                     {
                         cache.poison(key);
                     }
-                    unit.reserve(
-                        config.target_w as usize * config.target_h as usize * 3,
-                        meta.label,
-                        config.target_w,
-                        config.target_h,
-                        3,
-                    );
+                    let (slot_bytes, slot_w, slot_h) = match &augmentor {
+                        Some(aug) => {
+                            let (w, h) = aug.output_dims(config.target_w, config.target_h);
+                            (aug.output_bytes(config.target_w, config.target_h), w, h)
+                        }
+                        None => (
+                            config.target_w as usize * config.target_h as usize * 3,
+                            config.target_w,
+                            config.target_h,
+                        ),
+                    };
+                    unit.reserve(slot_bytes, meta.label, slot_w, slot_h, 3);
                 }
             }
         }

@@ -319,7 +319,10 @@ fn parse_sof0(seg: &[u8]) -> CodecResult<FrameInfo> {
     let height = u16::from_be_bytes([seg[1], seg[2]]) as u32;
     let width = u16::from_be_bytes([seg[3], seg[4]]) as u32;
     let ncomp = seg[5] as usize;
-    if !(1..=3).contains(&ncomp) {
+    // Only the two JFIF interpretations exist: 1 component (grayscale) and
+    // 3 (YCbCr). A 2-component frame has no defined color model — and the
+    // row-based assembler indexes Y/Cb/Cr unconditionally.
+    if ncomp != 1 && ncomp != 3 {
         return Err(CodecError::Unsupported {
             feature: format!("{ncomp}-component frame"),
         });

@@ -23,6 +23,7 @@ use crate::collector::DataCollector;
 use crate::reader::{FpgaReader, ReaderConfig};
 use dlb_cache::SampleCache;
 use dlb_fpga::OutputFormat;
+use dlb_graph::{CompiledPipeline, DecodeDevice, GraphConfig, PipelineGraph, SampleAugmentor};
 use dlb_membridge::{BatchUnit, BlockingQueue, MemManager, PoolConfig};
 use dlb_telemetry::{names, Counter, PipelineSnapshot, Telemetry};
 use parking_lot::Mutex;
@@ -114,6 +115,55 @@ impl DlBoosterConfig {
             * self.target_h as usize
             * self.format.bytes_per_pixel() as usize
     }
+
+    /// The canned graph [`DlBooster::start`] compiles: the exact chain the
+    /// pre-graph constructor wired by hand.
+    fn canned_graph(&self) -> PipelineGraph {
+        if self.batches_per_epoch.is_some() {
+            dlb_graph::fpga_training(self.target_w as u32, self.target_h as u32)
+        } else {
+            dlb_graph::fpga_streaming(self.target_w as u32, self.target_h as u32)
+        }
+    }
+
+    fn graph_config(&self) -> GraphConfig {
+        GraphConfig {
+            batch_size: self.batch_size,
+            n_engines: self.n_engines,
+            default_decode_parallelism: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// The wiring knobs a compiled graph (or the hardwired baseline) hands the
+/// assembly: queue depths and the optional augmentation hop.
+struct Wiring {
+    full_queue_depth: usize,
+    slot_depth: usize,
+    augmentor: Option<SampleAugmentor>,
+}
+
+impl Wiring {
+    /// The pre-graph constants: `Full_Batch_Queue` of 64, slot queues of 8,
+    /// no augmentation. Preserved verbatim as the differential baseline.
+    fn hardwired() -> Self {
+        Wiring {
+            full_queue_depth: 64,
+            slot_depth: 8,
+            augmentor: None,
+        }
+    }
+
+    /// Wiring derived from a compiled graph. Resolves `DLB_AUG_SEED` here —
+    /// at pipeline start, never inside `compile`.
+    fn from_compiled(compiled: &CompiledPipeline) -> Self {
+        Wiring {
+            full_queue_depth: compiled.ingest_depth,
+            slot_depth: compiled.slot_depth,
+            augmentor: compiled.augmentor(),
+        }
+    }
 }
 
 /// The DLBooster preprocessing backend (paper Fig. 3).
@@ -139,7 +189,9 @@ pub struct DlBooster {
 impl DlBooster {
     /// Builds and starts the backend on an already-initialised channel
     /// (device + mirror + engine) and collector, with a private telemetry
-    /// registry.
+    /// registry. Internally compiles the canned training/streaming graph —
+    /// see [`DlBooster::from_graph`] for user-composed pipelines and
+    /// [`DlBooster::start_hardwired`] for the pre-graph wiring.
     pub fn start(
         collector: Arc<DataCollector>,
         channel: FpgaChannel,
@@ -158,12 +210,127 @@ impl DlBooster {
         config: DlBoosterConfig,
         telemetry: Arc<Telemetry>,
     ) -> Result<Self, String> {
+        let graph = config.canned_graph();
+        let compiled = graph
+            .compile(&config.graph_config())
+            .map_err(|e| e.to_string())?;
+        Self::start_wired(
+            collector,
+            channel,
+            config,
+            Wiring::from_compiled(&compiled),
+            telemetry,
+        )
+    }
+
+    /// The pre-refactor constructor: wires the pipeline from hardcoded
+    /// constants without ever building a graph. Kept as the differential
+    /// baseline — `tests/graph_equivalence.rs` holds [`DlBooster::start`]
+    /// (canned graph) bitwise-equal to this path.
+    pub fn start_hardwired(
+        collector: Arc<DataCollector>,
+        channel: FpgaChannel,
+        config: DlBoosterConfig,
+    ) -> Result<Self, String> {
+        Self::start_hardwired_with_telemetry(collector, channel, config, Telemetry::with_defaults())
+    }
+
+    /// [`DlBooster::start_hardwired`] with a shared telemetry registry.
+    pub fn start_hardwired_with_telemetry(
+        collector: Arc<DataCollector>,
+        channel: FpgaChannel,
+        config: DlBoosterConfig,
+        telemetry: Arc<Telemetry>,
+    ) -> Result<Self, String> {
+        Self::start_wired(collector, channel, config, Wiring::hardwired(), telemetry)
+    }
+
+    /// Builds the backend from a user-composed [`PipelineGraph`]. The graph
+    /// must decode on the FPGA (`DecodeDevice::Fpga`); its resize geometry
+    /// overrides `config.target_w/h`, its queue-depth knobs override the
+    /// substrate defaults, and any augmentation stages run host-side after
+    /// FINISH with per-(epoch, sample) seeded draws. Augmentation disables
+    /// the hybrid batch cache (replaying epoch-1 batches would freeze
+    /// epoch-1's crops); the per-*sample* cache stays usable because it
+    /// stores pre-augmentation pixels.
+    pub fn from_graph(
+        collector: Arc<DataCollector>,
+        channel: FpgaChannel,
+        config: DlBoosterConfig,
+        graph: &PipelineGraph,
+        seed: u64,
+    ) -> Result<Self, String> {
+        Self::from_graph_with_telemetry(
+            collector,
+            channel,
+            config,
+            graph,
+            seed,
+            Telemetry::with_defaults(),
+        )
+    }
+
+    /// [`DlBooster::from_graph`] with a shared telemetry registry.
+    pub fn from_graph_with_telemetry(
+        collector: Arc<DataCollector>,
+        channel: FpgaChannel,
+        mut config: DlBoosterConfig,
+        graph: &PipelineGraph,
+        seed: u64,
+        telemetry: Arc<Telemetry>,
+    ) -> Result<Self, String> {
+        let mut gc = config.graph_config();
+        gc.seed = seed;
+        let compiled = graph.compile(&gc).map_err(|e| e.to_string())?;
+        if compiled.decode != DecodeDevice::Fpga {
+            return Err(
+                "DlBooster executes FPGA-decode graphs; use CpuBackend::from_graph for \
+                 DecodeDevice::Cpu"
+                    .into(),
+            );
+        }
+        if compiled.resize.0 > u16::MAX as u32 || compiled.resize.1 > u16::MAX as u32 {
+            return Err("resize geometry exceeds the FPGA resizer's 16-bit range".into());
+        }
+        config.target_w = compiled.resize.0 as u16;
+        config.target_h = compiled.resize.1 as u16;
+        Self::start_wired(
+            collector,
+            channel,
+            config,
+            Wiring::from_compiled(&compiled),
+            telemetry,
+        )
+    }
+
+    fn start_wired(
+        collector: Arc<DataCollector>,
+        channel: FpgaChannel,
+        mut config: DlBoosterConfig,
+        wiring: Wiring,
+        telemetry: Arc<Telemetry>,
+    ) -> Result<Self, String> {
         if config.n_engines == 0 || config.batch_size == 0 {
             return Err("n_engines and batch_size must be positive".into());
         }
+        // Units hold the batch both at decode (device writeback) and after
+        // augmentation (which may grow items 4x via Normalize).
+        let unit_size = match &wiring.augmentor {
+            Some(aug) => {
+                let out = aug.output_bytes(config.target_w as u32, config.target_h as u32);
+                config.unit_size().max(config.batch_size * out)
+            }
+            None => config.unit_size(),
+        };
+        // An augmented pipeline must not replay whole batches from the
+        // hybrid cache: cached payloads carry epoch-1's crops/flips, and
+        // serving them again would freeze the augmentation stream.
+        if wiring.augmentor.is_some() {
+            config.cache_bytes = 0;
+        }
         let pool = MemManager::with_telemetry(
             PoolConfig {
-                unit_size: config.unit_size(),
+                unit_size,
                 unit_count: config.pool_units,
                 phys_base: 0x4_0000_0000,
             },
@@ -182,6 +349,8 @@ impl DlBooster {
                 format: config.format,
                 max_batches: None, // the router enforces the delivery bound
                 cmd_timeout: config.cmd_timeout,
+                full_queue_depth: wiring.full_queue_depth,
+                augmentor: wiring.augmentor,
             },
             &telemetry,
         );
@@ -195,7 +364,7 @@ impl DlBooster {
         let reader_cpu_nanos = Arc::new(AtomicU64::new(0));
         let slot_queues: Vec<BlockingQueue<HostBatch>> = (0..config.n_engines)
             .map(|i| {
-                let q = BlockingQueue::bounded(8);
+                let q = BlockingQueue::bounded(wiring.slot_depth.max(1));
                 q.instrument(&telemetry, &format!("slot{i}"));
                 q
             })

@@ -31,6 +31,11 @@ pub struct FileMeta {
     /// For served items: absolute SLO deadline in nanos (set by the
     /// serving layer's admission controller; `None` outside serving mode).
     pub deadline_nanos: Option<u64>,
+    /// Epoch this item was dispensed in (dataset mode; 0 for streams).
+    /// Stamped by [`DataCollector::next_metas`] at dispense time — it keys
+    /// per-(epoch, sample) augmentation seeds, so a mid-batch epoch wrap
+    /// stamps the two halves of the batch differently.
+    pub epoch: u64,
 }
 
 impl FileMeta {
@@ -47,6 +52,7 @@ impl FileMeta {
             channels: r.channels,
             arrival_nanos: None,
             deadline_nanos: None,
+            epoch: 0,
         }
     }
 
@@ -64,6 +70,7 @@ impl FileMeta {
             channels: 3,
             arrival_nanos: Some(d.arrival_nanos),
             deadline_nanos: None,
+            epoch: 0,
         }
     }
 }
@@ -172,7 +179,9 @@ impl DataCollector {
                 }
                 let idx = inner.order[inner.cursor] as usize;
                 inner.cursor += 1;
-                out.push(inner.manifest[idx].clone());
+                let mut meta = inner.manifest[idx].clone();
+                meta.epoch = inner.epoch;
+                out.push(meta);
             }
             inner.dispensed += out.len() as u64;
             return Some(out);
@@ -260,6 +269,19 @@ mod tests {
         // Wrapped into epoch 1 mid-batch.
         assert_eq!(c.epoch(), 1);
         assert_eq!(c.dispensed(), 14);
+    }
+
+    #[test]
+    fn epoch_stamped_per_item_across_mid_batch_wrap() {
+        let c = DataCollector::load_from_disk(&records(10), 0);
+        let first = c.next_metas(7).unwrap();
+        assert!(first.iter().all(|m| m.epoch == 0));
+        let second = c.next_metas(7).unwrap();
+        // Items 0..3 finish epoch 0, items 3..7 open epoch 1.
+        assert_eq!(
+            second.iter().map(|m| m.epoch).collect::<Vec<_>>(),
+            vec![0, 0, 0, 1, 1, 1, 1]
+        );
     }
 
     #[test]

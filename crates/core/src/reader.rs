@@ -15,6 +15,7 @@ use crate::channel::FpgaChannel;
 use crate::collector::DataCollector;
 use dlb_cache::{CachedSample, SampleCache, SampleKey};
 use dlb_fpga::{CompletedBatch, DataRef, DecodeCmd, FpgaError, OutputFormat, Submission};
+use dlb_graph::{source_identity, SampleAugmentor};
 use dlb_membridge::{BatchUnit, BlockingQueue, MemManager};
 use dlb_telemetry::{names, Counter, Gauge, Histogram, Telemetry};
 use std::collections::{HashMap, HashSet};
@@ -43,6 +44,16 @@ fn src_len(src: &DataRef) -> u64 {
     }
 }
 
+/// Stable augmentation identity of a decode source (see
+/// `dlb_graph::seed`): a hash of the source location, invariant to worker
+/// count, batch composition, delivery order, and retries.
+pub fn augment_identity(src: &DataRef) -> u64 {
+    match src {
+        DataRef::Disk { offset, len } => source_identity(0, *offset, *len as u64),
+        DataRef::HostMem { phys_addr, len } => source_identity(1, *phys_addr, *len as u64),
+    }
+}
+
 /// Reader configuration.
 #[derive(Debug, Clone)]
 pub struct ReaderConfig {
@@ -61,6 +72,15 @@ pub struct ReaderConfig {
     /// (fresh ids, fresh buffer); the late original is dropped on arrival,
     /// so no batch is ever lost *or* duplicated. None disables the watchdog.
     pub cmd_timeout: Option<Duration>,
+    /// Depth of the full-batch queue between the reader and its consumer —
+    /// the prefetch window a compiled graph sets from the source stage's
+    /// `queue_depth` knob (the pre-graph pipeline hardwired 64).
+    pub full_queue_depth: usize,
+    /// Host-side per-sample augmentation applied after FINISH (and to
+    /// cache-bypassed samples), keyed by `(epoch, source identity)` so
+    /// every draw replays bitwise from the run seed. `None` delivers raw
+    /// decoded pixels — the paper's pipeline.
+    pub augmentor: Option<SampleAugmentor>,
 }
 
 impl ReaderConfig {
@@ -161,7 +181,18 @@ impl FpgaReader {
             config.batch_size,
             config.item_bytes()
         );
-        let full_queue: BlockingQueue<HostBatch> = BlockingQueue::bounded(64);
+        if let Some(aug) = &config.augmentor {
+            let out = aug.output_bytes(config.target_w as u32, config.target_h as u32);
+            assert!(
+                out * config.batch_size <= pool.unit_size(),
+                "pool units ({} B) cannot hold a {}-image batch of {} B augmented items",
+                pool.unit_size(),
+                config.batch_size,
+                out
+            );
+        }
+        let full_queue: BlockingQueue<HostBatch> =
+            BlockingQueue::bounded(config.full_queue_depth.max(1));
         full_queue.instrument(telemetry, "reader_full");
         let stats = Arc::new(ReaderStats::register(telemetry));
         let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
@@ -239,12 +270,13 @@ impl std::fmt::Debug for FpgaReader {
 }
 
 /// One in-flight submission, keyed by its first cmd id. Carries enough to
-/// re-issue the batch after a timeout: sources and labels (geometry comes
-/// from the config).
+/// re-issue the batch after a timeout: sources, labels and dispense epochs
+/// (geometry comes from the config). The epoch rides along so a resubmitted
+/// sample re-derives the *same* augmentation seed — retries replay bitwise.
 struct Pending {
     arrivals: Vec<u64>,
     submitted_at: Instant,
-    items: Vec<(DataRef, u64)>,
+    items: Vec<(DataRef, u64, u64)>,
 }
 
 /// Mutable reader-loop state shared by the submit / complete / resubmit
@@ -272,7 +304,7 @@ impl ReaderCore<'_> {
     fn submit(
         &mut self,
         mut unit: BatchUnit,
-        items: Vec<(DataRef, u64)>,
+        items: Vec<(DataRef, u64, u64)>,
         arrivals: Vec<u64>,
     ) -> Result<Vec<CompletedBatch>, FpgaError> {
         let t0 = Instant::now();
@@ -280,7 +312,7 @@ impl ReaderCore<'_> {
         let out_len = self.config.item_bytes();
         let out_ch = self.config.format.bytes_per_pixel() as u8;
         let mut cmds = Vec::with_capacity(items.len());
-        for (src, label) in &items {
+        for (src, label, _epoch) in &items {
             let offset = unit
                 .reserve(
                     out_len,
@@ -349,7 +381,9 @@ impl ReaderCore<'_> {
         // size); failed decodes poison their key so a corrupt source is
         // never admitted, now or on a later epoch.
         if let (Some(cache), Some(p)) = (self.cache.get(), &pending) {
-            for (i, (finish, (src, label))) in done.finishes.iter().zip(&p.items).enumerate() {
+            for (i, (finish, (src, label, _epoch))) in
+                done.finishes.iter().zip(&p.items).enumerate()
+            {
                 let Some(key) = sample_key(src) else { continue };
                 if finish.status.is_ok() {
                     let item = unit.items()[i].clone();
@@ -368,6 +402,38 @@ impl ReaderCore<'_> {
                     cache.poison(key);
                 }
             }
+        }
+        // Augmentation runs host-side after FINISH (the paper keeps crops
+        // and flips off the FPGA, §3.1) and *after* cache admission, so
+        // cached samples stay pre-augmentation and every epoch redraws.
+        // Draws key on (dispense epoch, source identity) — a resubmitted
+        // or replayed sample augments identically.
+        if let (Some(aug), Some(p)) = (&self.config.augmentor, &pending) {
+            let t0 = Instant::now();
+            let rebuilt: Vec<(Vec<u8>, u64, u32, u32, u8)> = p
+                .items
+                .iter()
+                .enumerate()
+                .map(|(i, (src, label, epoch))| {
+                    let item = unit.items()[i].clone();
+                    let out = aug.apply(
+                        *epoch,
+                        augment_identity(src),
+                        unit.item_bytes(i),
+                        item.width,
+                        item.height,
+                        item.channels,
+                    );
+                    (out.data, *label, out.width, out.height, out.channels)
+                })
+                .collect();
+            unit.reset();
+            for (data, label, w, h, c) in &rebuilt {
+                unit.append(data, *label, *w, *h, *c);
+            }
+            self.stats
+                .cpu_busy_nanos
+                .add(t0.elapsed().as_nanos() as u64);
         }
         unit.seal(self.next_sequence);
         let batch = HostBatch {
@@ -555,14 +621,33 @@ fn run_reader(
         if let Some(samples) = cached {
             let mut unit = unit;
             let t0 = Instant::now();
-            for sample in &samples {
-                unit.append(
-                    &sample.data,
-                    sample.label,
-                    sample.width,
-                    sample.height,
-                    sample.channels,
-                );
+            // Cached samples are pre-augmentation pixels: with an augmentor
+            // attached, each bypassed item re-augments under *this* dispense
+            // epoch — a cache hit in epoch 3 draws epoch 3's crop, exactly
+            // as a live decode would.
+            for (sample, meta) in samples.iter().zip(&metas) {
+                match &config.augmentor {
+                    Some(aug) => {
+                        let out = aug.apply(
+                            meta.epoch,
+                            augment_identity(&meta.src),
+                            &sample.data,
+                            sample.width,
+                            sample.height,
+                            sample.channels,
+                        );
+                        unit.append(&out.data, sample.label, out.width, out.height, out.channels);
+                    }
+                    None => {
+                        unit.append(
+                            &sample.data,
+                            sample.label,
+                            sample.width,
+                            sample.height,
+                            sample.channels,
+                        );
+                    }
+                }
             }
             unit.seal(core.next_sequence);
             let batch = HostBatch {
@@ -585,7 +670,8 @@ fn run_reader(
         }
 
         // Cmd generation (Alg. 1 lines 11–12) and async submit.
-        let items: Vec<(DataRef, u64)> = metas.iter().map(|m| (m.src, m.label)).collect();
+        let items: Vec<(DataRef, u64, u64)> =
+            metas.iter().map(|m| (m.src, m.label, m.epoch)).collect();
         stats.batches_submitted.inc();
         stats.inflight.inc();
         match core.submit(unit, items, arrivals) {
@@ -662,6 +748,8 @@ mod tests {
                 format: OutputFormat::Rgb8,
                 max_batches,
                 cmd_timeout: None,
+                full_queue_depth: 64,
+                augmentor: None,
             },
         );
         (reader, pool)
@@ -733,6 +821,8 @@ mod tests {
                 format: OutputFormat::Rgb8,
                 max_batches: Some(6),
                 cmd_timeout: None,
+                full_queue_depth: 64,
+                augmentor: None,
             },
         );
         let cache = SampleCache::new(64 << 20);
@@ -812,6 +902,8 @@ mod tests {
                 format: OutputFormat::Rgb8,
                 max_batches: Some(8),
                 cmd_timeout: Some(Duration::from_millis(40)),
+                full_queue_depth: 64,
+                augmentor: None,
             },
             &telemetry,
         );
@@ -869,6 +961,8 @@ mod tests {
                     format: OutputFormat::Rgb8,
                     max_batches: Some(1),
                     cmd_timeout: None,
+                    full_queue_depth: 64,
+                    augmentor: None,
                 },
             )
         }));

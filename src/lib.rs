@@ -54,6 +54,7 @@
 //! | [`chaos`] | `dlb-chaos` | seeded fault injection + retry/backoff policies |
 //! | [`cluster`] | `dlb-cluster` | shard router: consistent-hash ring, tenant quotas, hedging, node failover |
 //! | [`codec`] | `dlb-codec` | from-scratch baseline JPEG + resize + augment |
+//! | [`graph`] | `dlb-graph` | composable pipeline graphs: typed stages, build-time validation, seeded augmentation |
 //! | [`simcore`] | `dlb-simcore` | deterministic DES engine, queueing, stats |
 //! | [`membridge`] | `dlb-membridge` | HugePage batch pool + blocking queues |
 //! | [`fpga`] | `dlb-fpga` | FPGA substrate: mirrors, functional engine, timing |
@@ -75,6 +76,7 @@ pub use dlb_codec as codec;
 pub use dlb_engines as engines;
 pub use dlb_fpga as fpga;
 pub use dlb_gpu as gpu;
+pub use dlb_graph as graph;
 pub use dlb_membridge as membridge;
 pub use dlb_net as net;
 pub use dlb_serving as serving;
@@ -104,6 +106,10 @@ pub mod prelude {
         ImageWorkload, OutputFormat,
     };
     pub use dlb_gpu::{GpuDevice, GpuSpec, GpuTimingModel, ModelZoo, Precision};
+    pub use dlb_graph::{
+        Chain, DataKind, DecodeDevice, GraphBuilder, GraphConfig, GraphError, PipelineGraph,
+        SampleAugmentor, SourceKind, StageSpec as GraphStageSpec,
+    };
     pub use dlb_membridge::{BatchUnit, BlockingQueue, MemManager, PoolConfig};
     pub use dlb_net::{ClientPool, NicRx, NicSpec};
     pub use dlb_serving::{ServeRequest, ServingBridge, ServingConfig, ShedPolicy, TenantClass};

@@ -121,6 +121,113 @@ fn online_backends_produce_identical_pixels() {
     }
 }
 
+fn dlbooster_pixels_via_graph(f: &Fixture, graph: &PipelineGraph) -> HashMap<u64, Vec<u8>> {
+    let collector = Arc::new(DataCollector::load_from_disk(&f.dataset.records, 0));
+    let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
+    device
+        .load_mirror(DecoderMirror::jpeg_paper_config())
+        .unwrap();
+    let engine = DecoderEngine::start(
+        device,
+        Arc::new(CombinedResolver::disk_only(Arc::clone(&f.disk))),
+    )
+    .unwrap();
+    let mut config = DlBoosterConfig::training(
+        1,
+        BATCH,
+        (TARGET as u16, TARGET as u16),
+        N_IMAGES,
+        Some((N_IMAGES / BATCH) as u64),
+    );
+    config.cache_bytes = 0;
+    let booster =
+        DlBooster::from_graph(collector, FpgaChannel::init(engine, 0), config, graph, 0).unwrap();
+    collect(&booster, N_IMAGES / BATCH)
+}
+
+fn cpu_pixels_via_graph(f: &Fixture, graph: &PipelineGraph) -> HashMap<u64, Vec<u8>> {
+    let collector = Arc::new(DataCollector::load_from_disk(&f.dataset.records, 0));
+    let backend = CpuBackend::from_graph(
+        collector,
+        Arc::new(CombinedResolver::disk_only(Arc::clone(&f.disk))),
+        CpuBackendConfig {
+            n_engines: 1,
+            batch_size: BATCH,
+            target_w: TARGET,
+            target_h: TARGET,
+            workers: 2,
+            max_batches: Some((N_IMAGES / BATCH) as u64),
+            sample_cache: None,
+        },
+        graph,
+        0,
+    )
+    .unwrap();
+    collect(&backend, N_IMAGES / BATCH)
+}
+
+#[test]
+fn graph_compiled_backends_match_the_legacy_constructors() {
+    // The graph plane must not change a single pixel: compiling the canned
+    // chains through `from_graph` yields exactly what the legacy `start`
+    // constructors (and therefore every other equivalent backend) produce.
+    let f = fixture();
+    let legacy_dlb = dlbooster_pixels(&f);
+    let legacy_cpu = cpu_pixels(&f);
+    let graph_dlb =
+        dlbooster_pixels_via_graph(&f, &dlbooster::graph::fpga_training(TARGET, TARGET));
+    let graph_cpu = cpu_pixels_via_graph(&f, &dlbooster::graph::cpu_training(TARGET, TARGET, 2));
+    assert_eq!(graph_dlb.len(), N_IMAGES);
+    assert_eq!(
+        graph_dlb, legacy_dlb,
+        "graph-compiled DLBooster diverges from the legacy constructor"
+    );
+    assert_eq!(
+        graph_cpu, legacy_cpu,
+        "graph-compiled CPU backend diverges from the legacy constructor"
+    );
+    assert_eq!(
+        graph_dlb, graph_cpu,
+        "graph-compiled backends diverge from each other"
+    );
+}
+
+#[test]
+fn hand_built_graph_matches_the_canned_chain() {
+    // Same pipeline, assembled with explicit `GraphBuilder` node handles
+    // instead of the `Chain` sugar or a canned constructor: the builder
+    // path must be pixel-identical.
+    let f = fixture();
+    let mut b = GraphBuilder::new();
+    let src = b.add(
+        "manifest",
+        GraphStageSpec::Source {
+            kind: SourceKind::Disk,
+        },
+    );
+    let dec = b.add(
+        "fpga-decode",
+        GraphStageSpec::Decode {
+            device: DecodeDevice::Fpga,
+        },
+    );
+    let rsz = b.add(
+        "resize",
+        GraphStageSpec::Resize {
+            width: TARGET,
+            height: TARGET,
+        },
+    );
+    let sink = b.add("dispatch", GraphStageSpec::Sink);
+    b.connect(src, dec);
+    b.connect(dec, rsz);
+    b.connect(rsz, sink);
+    let graph = b.build().expect("hand-built chain is well-typed");
+    let hand = dlbooster_pixels_via_graph(&f, &graph);
+    let canned = dlbooster_pixels_via_graph(&f, &dlbooster::graph::fpga_training(TARGET, TARGET));
+    assert_eq!(hand, canned, "builder-assembled graph diverges from canned");
+}
+
 #[test]
 fn lmdb_backend_preserves_labels_and_geometry() {
     // LMDB converts offline with an area filter (as Caffe's convert tool

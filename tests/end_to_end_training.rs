@@ -63,6 +63,61 @@ fn decoded_batches_match_reference_pixels() {
 }
 
 #[test]
+fn graph_compiled_pipeline_matches_reference_pixels() {
+    // The same reference-decode integrity check, but with the booster
+    // assembled from a pipeline graph instead of the legacy constructor:
+    // the graph plane must not perturb a single pixel on the wire.
+    let disk = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));
+    let dataset = Dataset::build(DatasetSpec::ilsvrc_small(8, 77), &disk).unwrap();
+    let collector = Arc::new(DataCollector::load_from_disk(&dataset.records, 0));
+    let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
+    device
+        .load_mirror(DecoderMirror::jpeg_paper_config())
+        .unwrap();
+    let engine = DecoderEngine::start(
+        device,
+        Arc::new(CombinedResolver::disk_only(Arc::clone(&disk))),
+    )
+    .unwrap();
+    let mut config = DlBoosterConfig::training(1, 4, (48, 48), 8, Some(2));
+    config.cache_bytes = 0;
+    let booster = DlBooster::from_graph(
+        collector,
+        FpgaChannel::init(engine, 0),
+        config,
+        &dlbooster::graph::fpga_training(48, 48),
+        0,
+    )
+    .unwrap();
+    let decoder = JpegDecoder::new();
+    let mut seen = 0;
+    while let Ok(batch) = booster.next_batch(0) {
+        for (i, item) in batch.unit.items().iter().enumerate() {
+            let record = &dataset.records[(batch.sequence as usize * 4 + i) % 8];
+            assert_eq!(item.label, record.label);
+            let bytes = disk.read(record.disk_offset, record.len).unwrap();
+            let reference = dlbooster::codec::resize::resize(
+                &decoder.decode(&bytes).unwrap(),
+                48,
+                48,
+                dlbooster::codec::resize::ResizeFilter::Bilinear,
+            )
+            .unwrap()
+            .to_rgb();
+            assert_eq!(
+                batch.unit.item_bytes(i),
+                reference.data(),
+                "batch {} item {i} pixel mismatch",
+                batch.sequence
+            );
+        }
+        seen += 1;
+        booster.recycle(batch.unit);
+    }
+    assert_eq!(seen, 2);
+}
+
+#[test]
 fn full_training_session_with_dlbooster_backend() {
     let (_disk, _dataset, booster) = build_pipeline(16, 2, 4, 8);
     let booster: Arc<dyn PreprocessBackend> = Arc::new(booster);
@@ -164,6 +219,78 @@ fn pipeline_snapshot_accounts_for_every_stage() {
         "healthy run must not trip the watchdog"
     );
     assert!(snap.to_text().contains("watchdog   quiet"));
+}
+
+#[test]
+fn graph_compiled_pipeline_snapshot_accounts_for_every_stage() {
+    // The telemetry conservation laws of the legacy snapshot test, run
+    // through a graph-compiled booster: every stage still reports in and
+    // every invariant still balances when the pipeline is assembled from
+    // a `PipelineGraph` instead of the hardwired constructor.
+    let telemetry = Telemetry::with_defaults();
+    let disk = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));
+    let dataset = Dataset::build(DatasetSpec::ilsvrc_small(16, 21), &disk).unwrap();
+    let collector = Arc::new(DataCollector::load_from_disk(&dataset.records, 0));
+    let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
+    device
+        .load_mirror(DecoderMirror::jpeg_paper_config())
+        .unwrap();
+    let engine = DecoderEngine::start_with_telemetry(
+        device,
+        Arc::new(CombinedResolver::disk_only(Arc::clone(&disk))),
+        &telemetry,
+    )
+    .unwrap();
+    let channel = FpgaChannel::init_with_telemetry(engine, 0, &telemetry);
+    let mut config = DlBoosterConfig::training(2, 4, (32, 32), 16, Some(8));
+    config.cache_bytes = 0;
+    let booster = DlBooster::from_graph_with_telemetry(
+        collector,
+        channel,
+        config,
+        &dlbooster::graph::fpga_training(32, 32),
+        0,
+        Arc::clone(&telemetry),
+    )
+    .unwrap();
+    let booster: Arc<dyn PreprocessBackend> = Arc::new(booster);
+    let gpus: Vec<GpuDevice> = (0..2)
+        .map(|i| GpuDevice::new(GpuSpec::tesla_p100(), i))
+        .collect();
+    let report = TrainingSession::run_with_telemetry(
+        Arc::clone(&booster),
+        &gpus,
+        &TrainingConfig {
+            model: ModelZoo::LeNet5,
+            batch_size: 4,
+            precision: Precision::Fp32,
+            iterations: 4,
+            time_scale: 0.0,
+            gpu_background_share: 0.0,
+        },
+        &telemetry,
+    );
+    assert_eq!(report.iterations, 8);
+    drop(booster);
+
+    let snap = telemetry.pipeline_snapshot();
+    assert!(snap.batches_in() > 0);
+    assert_eq!(snap.batches_in(), snap.batches_out() + snap.batch_errors());
+    assert!(snap.channel.cmds_submitted > 0);
+    assert!(snap.decoder.items_ok > 0);
+    assert!(snap.pool.leases > 0 && snap.pool.recycles > 0);
+    assert_eq!(snap.engines.batches, report.iterations);
+    assert!(snap.dispatcher.batches >= snap.engines.batches);
+    assert!(snap.router_delivered >= report.iterations);
+    assert!(
+        snap.invariant_violations().is_empty(),
+        "violations: {:?}",
+        snap.invariant_violations()
+    );
+    assert!(
+        snap.stalls.is_empty(),
+        "healthy run must not trip the watchdog"
+    );
 }
 
 #[test]

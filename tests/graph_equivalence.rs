@@ -1,0 +1,529 @@
+//! Differential suite for the pipeline-graph refactor: the canned-graph
+//! constructors (`DlBooster::start`, `CpuBackend::start`, which compile a
+//! [`dlbooster::graph`] chain) must be *bitwise identical* to the
+//! preserved pre-refactor wiring (`start_hardwired*`), batch for batch,
+//! across every mode the substrate runs in — training, served/streaming,
+//! chaos-driven failover, and hybrid-cache-enabled — and their
+//! [`PipelineSnapshot`] conservation outcomes must agree. Seed-swept so
+//! the equality is not an artifact of one dataset.
+
+use dlbooster::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Dataset-content and shuffle seeds swept by every dataset-mode test.
+const SWEEP: [(u64, u64); 3] = [(7, 0), (123, 1), (20_260_808, 2)];
+
+/// Which construction path a run uses.
+#[derive(Clone, Copy, PartialEq)]
+enum Path {
+    /// `start*`: compiles the canned pipeline graph.
+    Graph,
+    /// `start_hardwired*`: the preserved pre-graph wiring constants.
+    Hardwired,
+}
+
+fn drain_payloads(backend: &dyn PreprocessBackend) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    while let Ok(batch) = backend.next_batch(0) {
+        out.push(batch.unit.payload().to_vec());
+        backend.recycle(batch.unit);
+    }
+    out
+}
+
+fn drain_labeled(backend: &dyn PreprocessBackend) -> HashMap<u64, Vec<u8>> {
+    let mut out = HashMap::new();
+    while let Ok(batch) = backend.next_batch(0) {
+        for (i, item) in batch.unit.items().iter().enumerate() {
+            out.insert(item.label, batch.unit.item_bytes(i).to_vec());
+        }
+        backend.recycle(batch.unit);
+    }
+    out
+}
+
+/// Conservation outcome of a finished run: the snapshot's invariant
+/// verdicts, which must be identical between construction paths.
+fn conservation(snap: &PipelineSnapshot) -> (bool, bool, u64) {
+    (
+        snap.invariant_violations().is_empty(),
+        snap.batches_in() == snap.batches_out() + snap.batch_errors(),
+        snap.decoder.items_err,
+    )
+}
+
+fn fpga_booster(
+    records: &[dlbooster::storage::dataset::Record],
+    disk: &Arc<NvmeDisk>,
+    shuffle: u64,
+    config: DlBoosterConfig,
+    telemetry: Arc<Telemetry>,
+    path: Path,
+) -> DlBooster {
+    let collector = Arc::new(DataCollector::load_from_disk(records, shuffle));
+    let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
+    device
+        .load_mirror(DecoderMirror::jpeg_paper_config())
+        .unwrap();
+    let engine = DecoderEngine::start_with_telemetry(
+        device,
+        Arc::new(CombinedResolver::disk_only(Arc::clone(disk))),
+        &telemetry,
+    )
+    .unwrap();
+    let channel = FpgaChannel::init_with_telemetry(engine, 0, &telemetry);
+    match path {
+        Path::Graph => DlBooster::start_with_telemetry(collector, channel, config, telemetry),
+        Path::Hardwired => {
+            DlBooster::start_hardwired_with_telemetry(collector, channel, config, telemetry)
+        }
+    }
+    .unwrap()
+}
+
+#[test]
+fn training_mode_graph_equals_hardwired_bitwise() {
+    for &(data_seed, shuffle) in &SWEEP {
+        let disk = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));
+        let dataset = Dataset::build(DatasetSpec::ilsvrc_small(8, data_seed), &disk).unwrap();
+        let run = |path: Path| {
+            let telemetry = Telemetry::with_defaults();
+            let mut config = DlBoosterConfig::training(1, 4, (40, 40), 8, Some(4));
+            config.cache_bytes = 0; // live decode; cache mode is covered below
+            let booster = fpga_booster(
+                &dataset.records,
+                &disk,
+                shuffle,
+                config,
+                Arc::clone(&telemetry),
+                path,
+            );
+            let payloads = drain_payloads(&booster);
+            drop(booster); // join reader + router → quiescent counters
+            (payloads, telemetry.pipeline_snapshot())
+        };
+        let (graph, graph_snap) = run(Path::Graph);
+        let (hard, hard_snap) = run(Path::Hardwired);
+        assert_eq!(graph.len(), 4, "seed {data_seed}: wrong batch count");
+        assert_eq!(
+            graph, hard,
+            "seed {data_seed}/shuffle {shuffle}: training batches diverge"
+        );
+        assert_eq!(conservation(&graph_snap), (true, true, 0));
+        assert_eq!(
+            conservation(&graph_snap),
+            conservation(&hard_snap),
+            "seed {data_seed}: conservation outcomes diverge"
+        );
+    }
+}
+
+#[test]
+fn served_mode_graph_equals_hardwired_bitwise() {
+    for &(req_seed, _) in &SWEEP {
+        let n_requests = 16;
+        let batch = 4usize;
+        let run = |path: Path| {
+            let pool = ClientPool::small(1_000.0, req_seed);
+            let requests = pool.generate_requests(n_requests);
+            let nic = Arc::new(NicRx::new(NicSpec::forty_gbps(), 0x8_0000_0000));
+            let collector = Arc::new(DataCollector::load_from_net());
+            for r in &requests {
+                let desc = nic.deliver(&r.wire_bytes, 0).unwrap();
+                collector.push_from_net(&desc);
+            }
+            collector.close_stream();
+            let telemetry = Telemetry::with_defaults();
+            let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
+            device
+                .load_mirror(DecoderMirror::jpeg_paper_config())
+                .unwrap();
+            let engine = DecoderEngine::start_with_telemetry(
+                device,
+                Arc::new(CombinedResolver::nic_only(Arc::clone(&nic))),
+                &telemetry,
+            )
+            .unwrap();
+            let channel = FpgaChannel::init_with_telemetry(engine, 0, &telemetry);
+            let mut config = DlBoosterConfig::inference(1, batch, (56, 56));
+            config.max_batches = Some((n_requests / batch) as u64);
+            let booster = match path {
+                Path::Graph => {
+                    DlBooster::start_with_telemetry(collector, channel, config, telemetry.clone())
+                }
+                Path::Hardwired => DlBooster::start_hardwired_with_telemetry(
+                    collector,
+                    channel,
+                    config,
+                    telemetry.clone(),
+                ),
+            }
+            .unwrap();
+            let mut payloads = Vec::new();
+            let mut labels = Vec::new();
+            while let Ok(b) = booster.next_batch(0) {
+                payloads.push(b.unit.payload().to_vec());
+                labels.extend(b.unit.items().iter().map(|i| i.label));
+                booster.recycle(b.unit);
+            }
+            drop(booster);
+            (payloads, labels, telemetry.pipeline_snapshot())
+        };
+        let (graph, graph_labels, graph_snap) = run(Path::Graph);
+        let (hard, hard_labels, hard_snap) = run(Path::Hardwired);
+        assert_eq!(graph.len(), n_requests / batch);
+        assert_eq!(
+            graph, hard,
+            "request seed {req_seed}: served batches diverge"
+        );
+        assert_eq!(
+            graph_labels, hard_labels,
+            "request seed {req_seed}: request identity diverges"
+        );
+        assert_eq!(conservation(&graph_snap), (true, true, 0));
+        assert_eq!(conservation(&graph_snap), conservation(&hard_snap));
+    }
+}
+
+#[test]
+fn cache_enabled_mode_graph_equals_hardwired_bitwise() {
+    // The hybrid epoch cache stays on (training default): epoch 1 decodes,
+    // epochs 2-3 replay from memory. Replay and live batches alike must be
+    // construction-path invariant.
+    for &(data_seed, shuffle) in &SWEEP {
+        let disk = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));
+        let dataset = Dataset::build(DatasetSpec::ilsvrc_small(8, data_seed), &disk).unwrap();
+        let run = |path: Path| {
+            let telemetry = Telemetry::with_defaults();
+            let config = DlBoosterConfig::training(1, 4, (32, 32), 8, Some(6));
+            let booster = fpga_booster(
+                &dataset.records,
+                &disk,
+                shuffle,
+                config,
+                Arc::clone(&telemetry),
+                path,
+            );
+            let payloads = drain_payloads(&booster);
+            let hits = booster.cache().stats().0;
+            drop(booster);
+            (payloads, hits, telemetry.pipeline_snapshot())
+        };
+        let (graph, graph_hits, graph_snap) = run(Path::Graph);
+        let (hard, hard_hits, hard_snap) = run(Path::Hardwired);
+        assert_eq!(graph.len(), 6);
+        assert_eq!(
+            graph, hard,
+            "seed {data_seed}: cache-enabled batches diverge"
+        );
+        // Both paths replayed later epochs from the cache — same outcome.
+        assert!(graph_hits >= 4, "graph path must replay from cache");
+        assert_eq!(graph_hits, hard_hits, "cache hit accounting diverges");
+        assert_eq!(graph[0], graph[2], "epoch replay must be bitwise");
+        assert!(conservation(&graph_snap).0);
+        assert_eq!(conservation(&graph_snap), conservation(&hard_snap));
+    }
+}
+
+#[test]
+fn failover_mode_graph_equals_hardwired_per_label() {
+    // Chaos wedges the FPGA mid-run; the failover pair finishes on the CPU
+    // fallback. Which batches each side serves is timing-dependent, so the
+    // cross-path contract is per-label pixel identity plus identical
+    // failover accounting.
+    use dlbooster::chaos::Stage;
+    use std::time::Duration;
+
+    let total: u64 = 8;
+    let batch = 4usize;
+    let (data_seed, shuffle) = SWEEP[1];
+    let disk = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));
+    let dataset = Dataset::build(
+        DatasetSpec::ilsvrc_small(total as usize * batch, data_seed),
+        &disk,
+    )
+    .unwrap();
+
+    let run = |path: Path| {
+        let telemetry = Telemetry::with_defaults();
+        let records = dataset.records.clone();
+        let collector = Arc::new(DataCollector::load_from_disk(&dataset.records, shuffle));
+        let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
+        device
+            .load_mirror(DecoderMirror::jpeg_paper_config())
+            .unwrap();
+        let engine = DecoderEngine::start_with_telemetry(
+            device,
+            Arc::new(CombinedResolver::disk_only(Arc::clone(&disk))),
+            &telemetry,
+        )
+        .unwrap();
+        let mut plan = FaultPlan::disabled();
+        plan.seed = 23;
+        plan.fpga = StageSpec::rate(0.5).with_delay(Duration::from_secs(60));
+        let cancel = plan.cancel_token();
+        engine.attach_chaos(plan.injector(Stage::Fpga, &telemetry).unwrap());
+        let channel = FpgaChannel::init_with_telemetry(engine, 0, &telemetry);
+        let mut config =
+            DlBoosterConfig::training(1, batch, (32, 32), total as usize * batch, Some(total));
+        config.cache_bytes = 0;
+        let primary = Arc::new(
+            match path {
+                Path::Graph => DlBooster::start_with_telemetry(
+                    collector,
+                    channel,
+                    config,
+                    Arc::clone(&telemetry),
+                ),
+                Path::Hardwired => DlBooster::start_hardwired_with_telemetry(
+                    collector,
+                    channel,
+                    config,
+                    Arc::clone(&telemetry),
+                ),
+            }
+            .unwrap(),
+        );
+        let t2 = Arc::clone(&telemetry);
+        let fallback_disk = Arc::clone(&disk);
+        let backend = FailoverBackend::new(
+            Arc::clone(&primary),
+            Box::new(move |remaining| {
+                let collector = Arc::new(DataCollector::load_from_disk(&records, shuffle));
+                let config = CpuBackendConfig {
+                    n_engines: 1,
+                    batch_size: batch,
+                    target_w: 32,
+                    target_h: 32,
+                    workers: 2,
+                    max_batches: Some(remaining),
+                    sample_cache: None,
+                };
+                let resolver = Arc::new(CombinedResolver::disk_only(Arc::clone(&fallback_disk)));
+                match path {
+                    Path::Graph => CpuBackend::start_with_telemetry(
+                        collector,
+                        resolver,
+                        config,
+                        Arc::clone(&t2),
+                    ),
+                    Path::Hardwired => CpuBackend::start_hardwired_with_telemetry(
+                        collector,
+                        resolver,
+                        config,
+                        Arc::clone(&t2),
+                    ),
+                }
+                .map(|b| Box::new(b) as Box<dyn PreprocessBackend>)
+            }),
+            dlbooster::backends::FailoverConfig {
+                total_batches: total,
+                deadline: Duration::from_millis(200),
+                chaos_cancel: Some(cancel),
+            },
+            &telemetry,
+        );
+        let mut labeled = HashMap::new();
+        let mut delivered = 0u64;
+        loop {
+            match backend.next_batch(0) {
+                Ok(b) => {
+                    assert_eq!(b.len(), batch, "every batch arrives full");
+                    for (i, item) in b.unit.items().iter().enumerate() {
+                        labeled.insert(item.label, b.unit.item_bytes(i).to_vec());
+                    }
+                    delivered += 1;
+                    backend.recycle(b.unit);
+                }
+                Err(dlbooster::core::BackendError::Exhausted) => break,
+                Err(e) => panic!("run must complete cleanly, got {e}"),
+            }
+        }
+        let failed_over = backend.failed_over();
+        backend.shutdown();
+        drop(backend);
+        drop(primary);
+        let snap = telemetry.pipeline_snapshot();
+        (labeled, delivered, failed_over, snap)
+    };
+
+    let (graph, graph_n, graph_failed, graph_snap) = run(Path::Graph);
+    let (hard, hard_n, hard_failed, hard_snap) = run(Path::Hardwired);
+    assert!(graph_failed && hard_failed, "both paths must fail over");
+    assert_eq!(graph_n, total);
+    assert_eq!(hard_n, total);
+    assert_eq!(
+        graph.len(),
+        total as usize * batch,
+        "one epoch must cover every record"
+    );
+    let mut labels: Vec<_> = graph.keys().copied().collect();
+    labels.sort_unstable();
+    for label in labels {
+        assert_eq!(
+            graph.get(&label),
+            hard.get(&label),
+            "failover pixels diverge on label {label}"
+        );
+    }
+    assert_eq!(graph_snap.chaos.failovers, 1);
+    assert_eq!(hard_snap.chaos.failovers, 1);
+    assert!(graph_snap.invariant_violations().is_empty());
+    assert!(hard_snap.invariant_violations().is_empty());
+}
+
+#[test]
+fn cpu_backend_graph_equals_hardwired() {
+    for &(data_seed, shuffle) in &SWEEP {
+        let disk = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));
+        let dataset = Dataset::build(DatasetSpec::ilsvrc_small(8, data_seed), &disk).unwrap();
+        let run = |path: Path, workers: usize| {
+            let collector = Arc::new(DataCollector::load_from_disk(&dataset.records, shuffle));
+            let config = CpuBackendConfig {
+                n_engines: 1,
+                batch_size: 4,
+                target_w: 40,
+                target_h: 40,
+                workers,
+                max_batches: Some(2),
+                sample_cache: None,
+            };
+            let resolver = Arc::new(CombinedResolver::disk_only(Arc::clone(&disk)));
+            let backend = match path {
+                Path::Graph => CpuBackend::start(collector, resolver, config),
+                Path::Hardwired => CpuBackend::start_hardwired(collector, resolver, config),
+            }
+            .unwrap();
+            drain_labeled(&backend)
+        };
+        // Single worker: delivery order itself is deterministic, so the
+        // per-label maps compare the full epoch; multi-worker runs are
+        // compared the same way (batch composition is scheduling-
+        // dependent, pixels are not).
+        for workers in [1usize, 2] {
+            let graph = run(Path::Graph, workers);
+            let hard = run(Path::Hardwired, workers);
+            assert_eq!(graph.len(), 8);
+            assert_eq!(
+                graph, hard,
+                "seed {data_seed}/workers {workers}: CPU pixels diverge"
+            );
+        }
+    }
+}
+
+#[test]
+fn from_graph_with_canned_chain_equals_start() {
+    // `from_graph` fed the canned chains must behave exactly like the
+    // constructors that compile them internally — the graph API adds no
+    // hidden wiring.
+    let (data_seed, shuffle) = SWEEP[0];
+    let disk = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));
+    let dataset = Dataset::build(DatasetSpec::ilsvrc_small(8, data_seed), &disk).unwrap();
+
+    // FPGA path.
+    let fpga_run = |use_from_graph: bool| {
+        let collector = Arc::new(DataCollector::load_from_disk(&dataset.records, shuffle));
+        let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
+        device
+            .load_mirror(DecoderMirror::jpeg_paper_config())
+            .unwrap();
+        let engine = DecoderEngine::start(
+            device,
+            Arc::new(CombinedResolver::disk_only(Arc::clone(&disk))),
+        )
+        .unwrap();
+        let channel = FpgaChannel::init(engine, 0);
+        let mut config = DlBoosterConfig::training(1, 4, (40, 40), 8, Some(2));
+        config.cache_bytes = 0;
+        let booster = if use_from_graph {
+            let graph = dlbooster::graph::fpga_training(40, 40);
+            DlBooster::from_graph(collector, channel, config, &graph, 0)
+        } else {
+            DlBooster::start(collector, channel, config)
+        }
+        .unwrap();
+        drain_payloads(&booster)
+    };
+    assert_eq!(fpga_run(true), fpga_run(false), "FPGA from_graph diverges");
+
+    // CPU path.
+    let cpu_run = |use_from_graph: bool| {
+        let collector = Arc::new(DataCollector::load_from_disk(&dataset.records, shuffle));
+        let config = CpuBackendConfig {
+            n_engines: 1,
+            batch_size: 4,
+            target_w: 40,
+            target_h: 40,
+            workers: 2,
+            max_batches: Some(2),
+            sample_cache: None,
+        };
+        let resolver = Arc::new(CombinedResolver::disk_only(Arc::clone(&disk)));
+        let backend = if use_from_graph {
+            let graph = dlbooster::graph::cpu_training(40, 40, 2);
+            CpuBackend::from_graph(collector, resolver, config, &graph, 0)
+        } else {
+            CpuBackend::start(collector, resolver, config)
+        }
+        .unwrap();
+        drain_labeled(&backend)
+    };
+    assert_eq!(cpu_run(true), cpu_run(false), "CPU from_graph diverges");
+}
+
+#[test]
+fn from_graph_rejects_wrong_device() {
+    // A CPU-decode chain cannot start the FPGA executor and vice versa;
+    // the mismatch is a structured start-time error, not a panic.
+    let disk = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));
+    let dataset = Dataset::build(DatasetSpec::ilsvrc_small(4, 3), &disk).unwrap();
+
+    let collector = Arc::new(DataCollector::load_from_disk(&dataset.records, 0));
+    let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
+    device
+        .load_mirror(DecoderMirror::jpeg_paper_config())
+        .unwrap();
+    let engine = DecoderEngine::start(
+        device,
+        Arc::new(CombinedResolver::disk_only(Arc::clone(&disk))),
+    )
+    .unwrap();
+    let config = DlBoosterConfig::training(1, 4, (32, 32), 4, Some(1));
+    let cpu_chain = dlbooster::graph::cpu_training(32, 32, 2);
+    assert!(
+        DlBooster::from_graph(
+            collector,
+            FpgaChannel::init(engine, 0),
+            config,
+            &cpu_chain,
+            0
+        )
+        .is_err(),
+        "FPGA executor must reject a CPU-decode graph"
+    );
+
+    let collector = Arc::new(DataCollector::load_from_disk(&dataset.records, 0));
+    let fpga_chain = dlbooster::graph::fpga_training(32, 32);
+    let config = CpuBackendConfig {
+        n_engines: 1,
+        batch_size: 4,
+        target_w: 32,
+        target_h: 32,
+        workers: 1,
+        max_batches: Some(1),
+        sample_cache: None,
+    };
+    assert!(
+        CpuBackend::from_graph(
+            collector,
+            Arc::new(CombinedResolver::disk_only(disk)),
+            config,
+            &fpga_chain,
+            0
+        )
+        .is_err(),
+        "CPU executor must reject an FPGA-decode graph"
+    );
+}
