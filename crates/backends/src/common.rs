@@ -57,7 +57,13 @@ impl SlotRouter {
 
     /// Delivers one finished unit. Returns `false` once the router is done
     /// (max reached or queues closed) — producers should then stop.
-    pub fn deliver(&self, mut unit: BatchUnit, arrivals: Vec<u64>) -> bool {
+    pub fn deliver(&self, unit: BatchUnit, arrivals: Vec<u64>) -> bool {
+        self.deliver_traced(unit, arrivals, 0)
+    }
+
+    /// Like [`SlotRouter::deliver`] but stamping the batch with a trace
+    /// ordinal (`0` = untraced) so span records survive the hand-off.
+    pub fn deliver_traced(&self, mut unit: BatchUnit, arrivals: Vec<u64>, trace: u64) -> bool {
         let mut order = self.order.lock();
         if let Some(max) = self.max_batches {
             if *order >= max {
@@ -73,6 +79,7 @@ impl SlotRouter {
             sequence: seq,
             ready_at: Instant::now(),
             arrivals,
+            trace,
         };
         let ok = self.queues[slot].push(batch).is_ok();
         if ok {

@@ -17,11 +17,12 @@ use dlb_graph::{
 };
 use dlb_membridge::BatchUnit;
 use dlb_telemetry::{names, Telemetry};
+use dlb_trace::{stages, SpanKind, Tracer};
 use dlbooster_core::{
     augment_identity, sample_key, BackendError, DataCollector, HostBatch, PreprocessBackend,
 };
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -99,6 +100,9 @@ pub struct CpuBackend {
     scaffold: Arc<PoolScaffold>,
     workers: Vec<JoinHandle<()>>,
     name: &'static str,
+    /// Shared tracer slot (from the wiring telemetry) so `next_batch` can
+    /// close the `queue.deliver` span; `None` without telemetry.
+    tracer_cell: Option<Arc<OnceLock<Arc<Tracer>>>>,
 }
 
 impl CpuBackend {
@@ -284,6 +288,7 @@ impl CpuBackend {
             scaffold,
             workers,
             name: "CPU-based",
+            tracer_cell: telemetry.as_ref().map(|t| t.tracer_cell()),
         })
     }
 
@@ -307,6 +312,9 @@ fn cpu_worker(
     let decoder =
         JpegDecoder::new().with_stage_timing(telemetry.is_some() || config.sample_cache.is_some());
     'produce: while !scaffold.stop.load(Ordering::SeqCst) {
+        // Resolved per batch so a tracer installed after worker start is
+        // still picked up; one `OnceLock::get` branch when disabled.
+        let tr: Option<&Arc<Tracer>> = telemetry.as_ref().and_then(|t| t.tracer());
         if !scaffold.router.claim() {
             break;
         }
@@ -322,9 +330,20 @@ fn cpu_worker(
                 Some(m) => break m,
             }
         };
+        let trace_id = tr.map_or(0, |t| t.next_batch_id());
+        let lease_t0 = tr.map(|_| Instant::now());
         let Ok(mut unit) = scaffold.pool.get_item() else {
             break;
         };
+        if let (Some(t), Some(l0)) = (tr, lease_t0) {
+            t.span(
+                trace_id,
+                stages::POOL_LEASE,
+                SpanKind::Queue,
+                l0,
+                Instant::now(),
+            );
+        }
         let t0 = Instant::now();
         // Whole-batch cache bypass: if every sample in the batch is
         // resident, fill the unit straight from the cache and skip
@@ -374,10 +393,19 @@ fn cpu_worker(
                     }
                 }
                 cache.note_bypass_batch();
+                if let Some(t) = tr {
+                    t.span(
+                        trace_id,
+                        stages::CACHE_BYPASS,
+                        SpanKind::Service,
+                        t0,
+                        Instant::now(),
+                    );
+                }
                 scaffold
                     .cpu_busy_nanos
                     .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                if !scaffold.router.deliver(unit, arrivals) {
+                if !scaffold.router.deliver_traced(unit, arrivals, trace_id) {
                     break;
                 }
                 continue;
@@ -394,11 +422,31 @@ fn cpu_worker(
                 resolver.fetch(&meta.src).ok()
             })
             .collect();
+        if let Some(t) = tr {
+            t.span(
+                trace_id,
+                stages::FETCH,
+                SpanKind::Service,
+                t0,
+                Instant::now(),
+            );
+        }
         let payloads: Vec<&[u8]> = fetched
             .iter()
             .map(|b| b.as_deref().unwrap_or(&[]))
             .collect();
+        let decode_t0 = tr.map(|_| Instant::now());
         let decoded = decoder.decode_batch_with_stats(&payloads);
+        if let (Some(t), Some(d0)) = (tr, decode_t0) {
+            t.span(
+                trace_id,
+                stages::CPU_DECODE,
+                SpanKind::Service,
+                d0,
+                Instant::now(),
+            );
+        }
+        let assemble_t0 = tr.map(|_| Instant::now());
         let mut huffman_ns = 0u64;
         let mut idct_ns = 0u64;
         let mut color_ns = 0u64;
@@ -446,6 +494,7 @@ fn cpu_worker(
                     // epoch redraws.
                     match &augmentor {
                         Some(aug) => {
+                            let aug_t0 = tr.map(|_| Instant::now());
                             let out = aug.apply(
                                 meta.epoch,
                                 augment_identity(&meta.src),
@@ -454,6 +503,15 @@ fn cpu_worker(
                                 config.target_h,
                                 3,
                             );
+                            if let (Some(t), Some(a0)) = (tr, aug_t0) {
+                                t.span(
+                                    trace_id,
+                                    stages::AUGMENT,
+                                    SpanKind::Service,
+                                    a0,
+                                    Instant::now(),
+                                );
+                            }
                             unit.append(&out.data, meta.label, out.width, out.height, out.channels);
                         }
                         None => {
@@ -491,6 +549,18 @@ fn cpu_worker(
                 }
             }
         }
+        if let (Some(t), Some(a0)) = (tr, assemble_t0) {
+            // Resize dominates assembly; per-image augment spans recorded
+            // above sit inside this window and win segmentation, so resize
+            // is charged only what augmentation didn't consume.
+            t.span(
+                trace_id,
+                stages::RESIZE,
+                SpanKind::Service,
+                a0,
+                Instant::now(),
+            );
+        }
         if let Some(t) = &telemetry {
             t.registry
                 .counter(names::CODEC_HUFFMAN_NANOS)
@@ -502,7 +572,7 @@ fn cpu_worker(
         scaffold
             .cpu_busy_nanos
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        if !scaffold.router.deliver(unit, arrivals) {
+        if !scaffold.router.deliver_traced(unit, arrivals, trace_id) {
             break;
         }
     }
@@ -514,11 +584,24 @@ impl PreprocessBackend for CpuBackend {
     }
 
     fn next_batch(&self, slot: usize) -> Result<HostBatch, BackendError> {
-        self.scaffold
+        let batch = self
+            .scaffold
             .router
             .queue(slot)
             .pop()
-            .map_err(|_| BackendError::Exhausted)
+            .map_err(|_| BackendError::Exhausted)?;
+        if let Some(t) = self.tracer_cell.as_ref().and_then(|c| c.get()) {
+            if batch.trace != 0 {
+                t.span(
+                    batch.trace,
+                    stages::QUEUE_DELIVER,
+                    SpanKind::Queue,
+                    batch.ready_at,
+                    Instant::now(),
+                );
+            }
+        }
+        Ok(batch)
     }
 
     fn recycle(&self, unit: BatchUnit) {

@@ -23,6 +23,7 @@
 use dlb_chaos::CancelToken;
 use dlb_membridge::BatchUnit;
 use dlb_telemetry::{names, Counter, Telemetry};
+use dlb_trace::{stages, Tracer};
 use dlbooster_core::{BackendError, DlBooster, HostBatch, PreprocessBackend};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -57,6 +58,7 @@ pub struct FailoverBackend {
     deadline: Duration,
     chaos_cancel: Option<CancelToken>,
     failovers: Arc<Counter>,
+    tracer_cell: Arc<OnceLock<Arc<Tracer>>>,
 }
 
 impl FailoverBackend {
@@ -77,6 +79,7 @@ impl FailoverBackend {
             deadline: config.deadline,
             chaos_cancel: config.chaos_cancel,
             failovers: telemetry.registry.counter(names::CHAOS_FAILOVER_TOTAL),
+            tracer_cell: telemetry.tracer_cell(),
         }
     }
 
@@ -116,6 +119,10 @@ impl FailoverBackend {
             unreachable!("fallback set exactly once, under the factory lock");
         }
         self.failovers.inc();
+        if let Some(t) = self.tracer_cell.get() {
+            // Pipeline-level event, not tied to one batch ordinal.
+            t.mark(0, stages::FAILOVER);
+        }
         self.failed_over.store(true, Ordering::Release);
         Ok(())
     }

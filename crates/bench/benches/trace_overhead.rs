@@ -1,0 +1,84 @@
+//! Pay-for-what-you-use overhead of the dlb-trace span plane.
+//!
+//! Every record site in the pipeline is gated on a single branch (an
+//! `OnceLock::get` / `Option` probe). This bench quantifies both sides
+//! of that bargain on a live end-to-end `DlBooster` run:
+//!
+//! * **disabled** — no tracer installed (the production default): each
+//!   site costs one relaxed probe returning `None`; no clocks are read.
+//! * **enabled** — a `Tracer` installed on the telemetry hub: every
+//!   stage pays two `Instant::now()` reads plus a push into the
+//!   per-thread ring buffer.
+//!
+//! The measured quantity is end-to-end pipeline throughput (batches
+//! through a live `DlBooster` run), so the overhead is diluted by the
+//! real decode work exactly as it is in production. The acceptance bar
+//! is ≤2% enabled overhead; results are archived in `BENCH_trace.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dlb_fpga::{DecoderEngine, DecoderMirror, DeviceSpec, FpgaDevice};
+use dlb_storage::{Dataset, DatasetSpec, NvmeDisk, NvmeSpec};
+use dlb_telemetry::Telemetry;
+use dlb_trace::Tracer;
+use dlbooster_core::{
+    CombinedResolver, DataCollector, DlBooster, DlBoosterConfig, FpgaChannel, PreprocessBackend,
+};
+use std::sync::Arc;
+
+const BATCHES: u64 = 8;
+const BATCH: usize = 4;
+
+/// Runs one full training-shaped pipeline to completion; `traced`
+/// installs a live tracer so every record site takes its slow path.
+fn run_pipeline(records: &[dlb_storage::Record], disk: &Arc<NvmeDisk>, traced: bool) -> u64 {
+    let telemetry = Telemetry::with_defaults();
+    if traced {
+        telemetry.install_tracer(Arc::new(Tracer::new()));
+    }
+    let collector = Arc::new(DataCollector::load_from_disk(records, 0));
+    let mut device = FpgaDevice::new(DeviceSpec::arria10_ax());
+    device
+        .load_mirror(DecoderMirror::jpeg_paper_config())
+        .unwrap();
+    let engine = DecoderEngine::start_with_telemetry(
+        device,
+        Arc::new(CombinedResolver::disk_only(Arc::clone(disk))),
+        &telemetry,
+    )
+    .unwrap();
+    let channel = FpgaChannel::init_with_telemetry(engine, 0, &telemetry);
+    let mut config = DlBoosterConfig::training(1, BATCH, (32, 32), records.len(), Some(BATCHES));
+    config.cache_bytes = 0;
+    let booster = DlBooster::start_with_telemetry(collector, channel, config, telemetry).unwrap();
+    let mut n = 0;
+    while let Ok(batch) = booster.next_batch(0) {
+        n += 1;
+        booster.recycle(batch.unit);
+    }
+    n
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_overhead");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(BATCHES * BATCH as u64));
+
+    let disk = Arc::new(NvmeDisk::new(NvmeSpec::optane_900p()));
+    let ds = Dataset::build(
+        DatasetSpec::ilsvrc_small(BATCHES as usize * BATCH, 7),
+        &disk,
+    )
+    .unwrap();
+
+    group.bench_function("pipeline_trace_disabled", |b| {
+        b.iter(|| run_pipeline(&ds.records, &disk, false))
+    });
+    group.bench_function("pipeline_trace_enabled", |b| {
+        b.iter(|| run_pipeline(&ds.records, &disk, true))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

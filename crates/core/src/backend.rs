@@ -23,6 +23,10 @@ pub struct HostBatch {
     /// Request arrival timestamps (nanos) for latency accounting, parallel
     /// to `unit.items()` — empty in training mode.
     pub arrivals: Vec<u64>,
+    /// Trace ordinal (`dlb-trace` batch identity) assigned by the producing
+    /// stage; `0` when tracing is disabled. Rides with the batch through
+    /// every hand-off so downstream spans key to the same identity.
+    pub trace: u64,
 }
 
 impl HostBatch {
@@ -107,6 +111,7 @@ mod tests {
             sequence: 7,
             ready_at: Instant::now(),
             arrivals: vec![],
+            trace: 0,
         };
         assert_eq!(batch.len(), 2);
         assert!(!batch.is_empty());

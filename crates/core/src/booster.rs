@@ -26,6 +26,7 @@ use dlb_fpga::OutputFormat;
 use dlb_graph::{CompiledPipeline, DecodeDevice, GraphConfig, PipelineGraph, SampleAugmentor};
 use dlb_membridge::{BatchUnit, BlockingQueue, MemManager, PoolConfig};
 use dlb_telemetry::{names, Counter, PipelineSnapshot, Telemetry};
+use dlb_trace::{stages, SpanKind, Tracer};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -383,6 +384,7 @@ impl DlBooster {
             reader_cpu_nanos: Arc::clone(&reader_cpu_nanos),
             delivered: Arc::clone(&delivered),
             config: config.clone(),
+            tracer_cell: telemetry.tracer_cell(),
         };
         let full_queue = reader.full_queue().clone();
         let router = std::thread::Builder::new()
@@ -456,9 +458,29 @@ impl DlBooster {
         slot: usize,
         timeout: std::time::Duration,
     ) -> Result<Option<HostBatch>, BackendError> {
-        self.slot_queues[slot]
+        let got = self.slot_queues[slot]
             .pop_timeout(timeout)
-            .map_err(|_| BackendError::Exhausted)
+            .map_err(|_| BackendError::Exhausted)?;
+        if let Some(b) = &got {
+            self.trace_delivery(b);
+        }
+        Ok(got)
+    }
+
+    /// Records the decoded→consumed wait (full-queue + slot-queue
+    /// residency) for a popped batch. One branch when tracing is off.
+    fn trace_delivery(&self, batch: &HostBatch) {
+        if let Some(t) = self.telemetry.tracer() {
+            if batch.trace != 0 {
+                t.span(
+                    batch.trace,
+                    stages::QUEUE_DELIVER,
+                    SpanKind::Queue,
+                    batch.ready_at,
+                    Instant::now(),
+                );
+            }
+        }
     }
 
     /// Retires a wedged pipeline for failover: stops the router, drains
@@ -509,9 +531,11 @@ impl PreprocessBackend for DlBooster {
     }
 
     fn next_batch(&self, slot: usize) -> Result<HostBatch, BackendError> {
-        self.slot_queues[slot]
+        let batch = self.slot_queues[slot]
             .pop()
-            .map_err(|_| BackendError::Exhausted)
+            .map_err(|_| BackendError::Exhausted)?;
+        self.trace_delivery(&batch);
+        Ok(batch)
     }
 
     fn recycle(&self, unit: BatchUnit) {
@@ -562,6 +586,7 @@ struct RouterCtx {
     reader_cpu_nanos: Arc<AtomicU64>,
     delivered: Arc<Counter>,
     config: DlBoosterConfig,
+    tracer_cell: Arc<OnceLock<Arc<Tracer>>>,
 }
 
 fn run_router(reader: FpgaReader, ctx: RouterCtx) -> Option<FpgaReader> {
@@ -679,11 +704,28 @@ fn run_router(reader: FpgaReader, ctx: RouterCtx) -> Option<FpgaReader> {
         }
         ctx.cpu_nanos
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        // A replayed batch is a fresh delivery: it gets its own trace
+        // ordinal, with the restore cost recorded as its service time.
+        let trace = match ctx.tracer_cell.get() {
+            Some(t) => {
+                let id = t.next_batch_id();
+                t.span(
+                    id,
+                    stages::CACHE_REPLAY,
+                    SpanKind::Service,
+                    t0,
+                    Instant::now(),
+                );
+                id
+            }
+            None => 0,
+        };
         let batch = HostBatch {
             unit,
             sequence: seq_out,
             ready_at: Instant::now(),
             arrivals: Vec::new(),
+            trace,
         };
         if !deliver(batch, &mut seq_out) {
             break;

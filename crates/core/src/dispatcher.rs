@@ -17,7 +17,8 @@ use dlb_gpu::stream::{CompletedOp, GpuOp};
 use dlb_gpu::{DeviceBuffer, StreamSet};
 use dlb_membridge::{BlockingQueue, ItemDesc};
 use dlb_telemetry::{names, Counter, Histogram, Telemetry};
-use std::sync::Arc;
+use dlb_trace::{stages, SpanKind, Tracer};
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -133,9 +134,10 @@ impl Dispatcher {
         let stats = Arc::new(DispatcherStats::register(telemetry));
         let t = trans.clone();
         let st = Arc::clone(&stats);
+        let tc = telemetry.tracer_cell();
         let handle = std::thread::Builder::new()
             .name("dispatcher".into())
-            .spawn(move || run_dispatcher(backend, streams, t, st, pcie_bytes_per_sec))
+            .spawn(move || run_dispatcher(backend, streams, t, st, pcie_bytes_per_sec, tc))
             .expect("spawn dispatcher");
         Self {
             handle: Some(handle),
@@ -177,6 +179,7 @@ struct PendingMeta {
     ready_at: Instant,
     arrivals: Vec<u64>,
     submitted_at: Instant,
+    trace: u64,
 }
 
 fn run_dispatcher(
@@ -185,6 +188,7 @@ fn run_dispatcher(
     trans: Vec<Arc<TransQueues>>,
     stats: Arc<DispatcherStats>,
     pcie_bytes_per_sec: f64,
+    tracer_cell: Arc<OnceLock<Arc<Tracer>>>,
 ) {
     let n = trans.len();
     let mut pending: Vec<Option<PendingMeta>> = (0..n).map(|_| None).collect();
@@ -213,6 +217,7 @@ fn run_dispatcher(
                 ready_at: batch.ready_at,
                 arrivals: batch.arrivals.clone(),
                 submitted_at: t0,
+                trace: batch.trace,
             });
             streams.stream(slot).enqueue(GpuOp::MemcpyH2D {
                 host: batch.unit,
@@ -233,6 +238,17 @@ fn run_dispatcher(
             stats
                 .copy_latency
                 .record_duration(meta.submitted_at.elapsed());
+            if let Some(t) = tracer_cell.get() {
+                if meta.trace != 0 {
+                    t.span(
+                        meta.trace,
+                        stages::DISPATCH_H2D,
+                        SpanKind::Service,
+                        meta.submitted_at,
+                        Instant::now(),
+                    );
+                }
+            }
             let t0 = Instant::now();
             for op in completed {
                 if let CompletedOp::MemcpyH2D { host, dev, error } = op {
@@ -356,6 +372,7 @@ mod tests {
                 sequence: seq,
                 ready_at: Instant::now(),
                 arrivals: vec![seq * 10; self.items_per_batch],
+                trace: 0,
             })
         }
         fn recycle(&self, unit: BatchUnit) {

@@ -18,6 +18,7 @@ use dlb_fpga::{CompletedBatch, DataRef, DecodeCmd, FpgaError, OutputFormat, Subm
 use dlb_graph::{source_identity, SampleAugmentor};
 use dlb_membridge::{BatchUnit, BlockingQueue, MemManager};
 use dlb_telemetry::{names, Counter, Gauge, Histogram, Telemetry};
+use dlb_trace::{stages, SpanKind, Tracer};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, OnceLock};
@@ -201,9 +202,10 @@ impl FpgaReader {
         let st = Arc::clone(&stats);
         let sp = Arc::clone(&stop);
         let cc = Arc::clone(&cache_cell);
+        let tc = telemetry.tracer_cell();
         let handle = std::thread::Builder::new()
             .name("fpga-reader".into())
-            .spawn(move || run_reader(collector, pool, channel, config, fq, st, sp, cc))
+            .spawn(move || run_reader(collector, pool, channel, config, fq, st, sp, cc, tc))
             .expect("spawn reader");
         Self {
             handle: Some(handle),
@@ -277,6 +279,8 @@ struct Pending {
     arrivals: Vec<u64>,
     submitted_at: Instant,
     items: Vec<(DataRef, u64, u64)>,
+    /// Trace ordinal the batch keeps across resubmissions (0 = untraced).
+    trace: u64,
 }
 
 /// Mutable reader-loop state shared by the submit / complete / resubmit
@@ -288,6 +292,7 @@ struct ReaderCore<'a> {
     full_queue: &'a BlockingQueue<HostBatch>,
     stats: &'a ReaderStats,
     cache: &'a OnceLock<Arc<SampleCache>>,
+    tracer: &'a OnceLock<Arc<Tracer>>,
     next_cmd_id: u64,
     next_sequence: u64,
     /// In-flight submissions by first cmd id.
@@ -306,6 +311,7 @@ impl ReaderCore<'_> {
         mut unit: BatchUnit,
         items: Vec<(DataRef, u64, u64)>,
         arrivals: Vec<u64>,
+        trace: u64,
     ) -> Result<Vec<CompletedBatch>, FpgaError> {
         let t0 = Instant::now();
         let first_id = self.next_cmd_id;
@@ -345,6 +351,7 @@ impl ReaderCore<'_> {
                 arrivals,
                 submitted_at: Instant::now(),
                 items,
+                trace,
             },
         );
         self.channel.submit_cmd(Submission { unit, cmds })
@@ -366,10 +373,20 @@ impl ReaderCore<'_> {
             .as_ref()
             .map(|p| p.arrivals.clone())
             .unwrap_or_default();
+        let trace = pending.as_ref().map_or(0, |p| p.trace);
         if let Some(p) = &pending {
             self.stats
                 .submit_latency
                 .record_duration(p.submitted_at.elapsed());
+            if let Some(t) = self.tracer.get() {
+                t.span(
+                    trace,
+                    stages::FPGA_DECODE,
+                    SpanKind::Service,
+                    p.submitted_at,
+                    Instant::now(),
+                );
+            }
         }
         self.stats.inflight.dec();
         let errors = done.finishes.iter().filter(|f| !f.status.is_ok()).count() as u64;
@@ -434,6 +451,15 @@ impl ReaderCore<'_> {
             self.stats
                 .cpu_busy_nanos
                 .add(t0.elapsed().as_nanos() as u64);
+            if let Some(t) = self.tracer.get() {
+                t.span(
+                    trace,
+                    stages::AUGMENT,
+                    SpanKind::Service,
+                    t0,
+                    Instant::now(),
+                );
+            }
         }
         unit.seal(self.next_sequence);
         let batch = HostBatch {
@@ -441,6 +467,7 @@ impl ReaderCore<'_> {
             sequence: self.next_sequence,
             ready_at: Instant::now(),
             arrivals,
+            trace,
         };
         self.next_sequence += 1;
         self.stats.batches_completed.inc();
@@ -470,7 +497,12 @@ impl ReaderCore<'_> {
         self.abandoned.insert(key);
         self.stats.cmd_timeouts.inc();
         self.stats.cmd_resubmits.inc();
-        match self.submit(unit, p.items, p.arrivals) {
+        if let Some(t) = self.tracer.get() {
+            // The batch keeps its ordinal across the retry; the mark makes
+            // the abandoned window visible in the dump.
+            t.mark(p.trace, stages::RETRY_RESUBMIT);
+        }
+        match self.submit(unit, p.items, p.arrivals, p.trace) {
             Ok(done_batches) => {
                 for done in done_batches {
                     if !self.on_completion(done) {
@@ -528,6 +560,7 @@ fn run_reader(
     stats: Arc<ReaderStats>,
     stop: Arc<std::sync::atomic::AtomicBool>,
     cache_cell: Arc<OnceLock<Arc<SampleCache>>>,
+    tracer_cell: Arc<OnceLock<Arc<Tracer>>>,
 ) -> FpgaChannel {
     let mut core = ReaderCore {
         pool: &pool,
@@ -536,6 +569,7 @@ fn run_reader(
         full_queue: &full_queue,
         stats: &stats,
         cache: &cache_cell,
+        tracer: &tracer_cell,
         next_cmd_id: 0,
         next_sequence: 0,
         pending: HashMap::new(),
@@ -576,6 +610,7 @@ fn run_reader(
 
         // Lease a holder; while none is free, drain completions (Alg. 1
         // lines 5–9) — this is both back-pressure and forward progress.
+        let lease_t0 = tracer_cell.get().map(|_| Instant::now());
         let unit = loop {
             match pool.try_get_item() {
                 Some(u) => break u,
@@ -600,6 +635,19 @@ fn run_reader(
         };
 
         let arrivals: Vec<u64> = metas.iter().map(|m| m.arrival_nanos.unwrap_or(0)).collect();
+
+        // Trace identity is born here: one ordinal per batch attempt,
+        // carried through decode (or bypass), retries, and delivery.
+        let trace_id = match tracer_cell.get() {
+            Some(t) => {
+                let id = t.next_batch_id();
+                if let Some(t0) = lease_t0 {
+                    t.span(id, stages::POOL_LEASE, SpanKind::Queue, t0, Instant::now());
+                }
+                id
+            }
+            None => 0,
+        };
 
         // Batch-granular cache bypass: when *every* item in the batch is
         // resident (all-or-nothing keeps item order and unit layout
@@ -655,6 +703,7 @@ fn run_reader(
                 sequence: core.next_sequence,
                 ready_at: Instant::now(),
                 arrivals,
+                trace: trace_id,
             };
             core.next_sequence += 1;
             bypassed += 1;
@@ -663,6 +712,15 @@ fn run_reader(
                 .expect("cached implies cache")
                 .note_bypass_batch();
             stats.cpu_busy_nanos.add(t0.elapsed().as_nanos() as u64);
+            if let Some(t) = tracer_cell.get() {
+                t.span(
+                    trace_id,
+                    stages::CACHE_BYPASS,
+                    SpanKind::Service,
+                    t0,
+                    Instant::now(),
+                );
+            }
             if full_queue.push(batch).is_err() {
                 break 'main;
             }
@@ -674,7 +732,7 @@ fn run_reader(
             metas.iter().map(|m| (m.src, m.label, m.epoch)).collect();
         stats.batches_submitted.inc();
         stats.inflight.inc();
-        match core.submit(unit, items, arrivals) {
+        match core.submit(unit, items, arrivals, trace_id) {
             Ok(done_batches) => {
                 for done in done_batches {
                     if !core.on_completion(done) {

@@ -12,7 +12,9 @@
 //!   decoder, pool, dispatcher, engines) with conservation invariants and
 //!   text/JSON rendering;
 //! * [`Json`] — a dependency-free JSON value used for every structured
-//!   report in the workspace.
+//!   report in the workspace;
+//! * [`prometheus`] — text-exposition rendering of a [`RegistrySnapshot`]
+//!   for scrape-based collection, next to the JSON export.
 //!
 //! Stage crates record through `Arc` handles obtained once at
 //! construction; the hot path is a relaxed atomic op. The [`Telemetry`]
@@ -24,6 +26,7 @@
 pub mod json;
 pub mod metrics;
 pub mod pipeline;
+pub mod prometheus;
 pub mod registry;
 pub mod watchdog;
 
@@ -35,4 +38,4 @@ pub use pipeline::{
     TenantServingMetrics,
 };
 pub use registry::{MetricValue, Registry, RegistrySnapshot};
-pub use watchdog::{Heartbeat, StallReport, Watchdog};
+pub use watchdog::{Heartbeat, QueueProgress, StallReport, Watchdog};

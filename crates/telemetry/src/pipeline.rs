@@ -7,7 +7,8 @@ use crate::json::Json;
 use crate::metrics::HistogramSnapshot;
 use crate::registry::{Registry, RegistrySnapshot};
 use crate::watchdog::{StallReport, Watchdog};
-use std::sync::Arc;
+use dlb_trace::Tracer;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// Canonical metric names, shared by stage wiring and aggregation.
@@ -235,6 +236,62 @@ pub mod names {
 
     /// Prefix for per-queue metrics (`queue.<name>.depth` etc.).
     pub const QUEUE_PREFIX: &str = "queue.";
+
+    /// Every *counter* that participates in a
+    /// [`PipelineSnapshot::invariant_violations`](super::PipelineSnapshot::invariant_violations)
+    /// conservation law, under its canonical registry name. Stage wiring
+    /// must register these exact strings — a silent rename would make a
+    /// law trivially "hold" on zeros. `tests/api_surface.rs` audits that
+    /// each name feeds the typed snapshot field the law reads.
+    /// (Per-queue and per-tenant counters are discovered by prefix and are
+    /// exercised separately.)
+    pub const CONSERVATION_COUNTERS: &[&str] = &[
+        // batch law
+        READER_BATCHES_SUBMITTED,
+        READER_BATCHES_COMPLETED,
+        READER_BATCH_ERRORS,
+        // item law
+        DECODER_ITEMS_IN,
+        DECODER_ITEMS_OK,
+        DECODER_ITEMS_ERR,
+        // channel law
+        CHANNEL_CMDS_SUBMITTED,
+        CHANNEL_CMDS_DRAINED,
+        // serving laws
+        SERVING_OFFERED,
+        SERVING_ADMITTED,
+        SERVING_REJECTED,
+        SERVING_COMPLETED,
+        SERVING_SHED,
+        SERVING_GOOD,
+        // cache laws
+        CACHE_LOOKUPS,
+        CACHE_HITS,
+        CACHE_MISSES,
+        CACHE_INSERTIONS,
+        CACHE_INSERTED_BYTES,
+        CACHE_EVICTIONS,
+        CACHE_EVICTED_BYTES,
+        // cluster laws
+        CLUSTER_REQUESTS,
+        CLUSTER_ADMITTED,
+        CLUSTER_SHED,
+        CLUSTER_QUOTA_SHED,
+        CLUSTER_DISPATCHES,
+        CLUSTER_HEDGES,
+        CLUSTER_HEDGE_WINS,
+        CLUSTER_HEDGE_DUPS,
+        CLUSTER_REPLAYS,
+        CLUSTER_COMPLETIONS,
+        CLUSTER_SERVED,
+        CLUSTER_REPLAYED,
+        CLUSTER_LOST,
+        CLUSTER_LOST_UNREPLAYED,
+        // retry law
+        RETRY_ATTEMPTS,
+        RETRY_RETRIES,
+        RETRY_GIVEUPS,
+    ];
 }
 
 /// Registry + watchdog bundle threaded through pipeline construction.
@@ -244,6 +301,13 @@ pub struct Telemetry {
     pub registry: Arc<Registry>,
     /// Stall watchdog over stage queues.
     pub watchdog: Arc<Watchdog>,
+    /// Optional span tracer (see [`Telemetry::install_tracer`]). Empty by
+    /// default: stages probe it per batch and skip recording when unset, so
+    /// disabled tracing costs one load + branch per record site. Shared
+    /// behind an `Arc` so stage daemons can keep a clone of the cell and
+    /// observe a tracer installed after they started (the same
+    /// first-attach-wins shape as the chaos and cache hooks).
+    tracer: Arc<OnceLock<Arc<Tracer>>>,
 }
 
 impl Telemetry {
@@ -252,6 +316,7 @@ impl Telemetry {
         Arc::new(Self {
             registry: Arc::new(Registry::new()),
             watchdog: Arc::new(Watchdog::new(stall_threshold)),
+            tracer: Arc::new(OnceLock::new()),
         })
     }
 
@@ -259,6 +324,27 @@ impl Telemetry {
     /// trip it (2 s).
     pub fn with_defaults() -> Arc<Self> {
         Self::new(Duration::from_secs(2))
+    }
+
+    /// Installs a span tracer; every stage holding this bundle starts
+    /// recording spans through it. First install wins (mirrors the
+    /// first-attach-wins cells used elsewhere in the pipeline); returns
+    /// `false` if a tracer was already installed.
+    pub fn install_tracer(&self, tracer: Arc<Tracer>) -> bool {
+        self.tracer.set(tracer).is_ok()
+    }
+
+    /// The installed tracer, if any. Stages call this per batch; `None`
+    /// means tracing is disabled and the record site is a no-op.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.get()
+    }
+
+    /// The shared tracer cell, for stage daemons that outlive their
+    /// construction-time `&Telemetry` borrow: probe `cell.get()` per batch
+    /// exactly like [`Telemetry::tracer`].
+    pub fn tracer_cell(&self) -> Arc<OnceLock<Arc<Tracer>>> {
+        Arc::clone(&self.tracer)
     }
 
     /// Captures a [`PipelineSnapshot`] right now.
@@ -1215,6 +1301,26 @@ impl PipelineSnapshot {
                                 ("stage", s.stage.as_str().into()),
                                 ("idle_ms", Json::from(s.idle.as_millis() as u64)),
                                 ("depth", s.depth.into()),
+                                (
+                                    "queues",
+                                    Json::Array(
+                                        s.queues
+                                            .iter()
+                                            .map(|q| {
+                                                Json::object(vec![
+                                                    ("stage", q.stage.as_str().into()),
+                                                    (
+                                                        "last_progress_ms",
+                                                        Json::from(
+                                                            q.last_progress.as_millis() as u64
+                                                        ),
+                                                    ),
+                                                    ("depth", q.depth.into()),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
                             ])
                         })
                         .collect(),
@@ -1420,6 +1526,13 @@ impl PipelineSnapshot {
                     "  watchdog   STALL {} idle={:?} depth={}",
                     s.stage, s.idle, s.depth
                 );
+                for q in &s.queues {
+                    let _ = writeln!(
+                        out,
+                        "    at trip: {:<12} last_progress={:?} depth={}",
+                        q.stage, q.last_progress, q.depth
+                    );
+                }
             }
         }
         out

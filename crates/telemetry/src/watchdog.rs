@@ -41,6 +41,18 @@ struct Watched {
     depth: Option<Arc<Gauge>>,
 }
 
+/// Progress state of one watched stage, captured when a stall trips (or on
+/// demand via [`Watchdog::queue_progress`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueProgress {
+    /// Stage name as registered.
+    pub stage: String,
+    /// Time since this stage last made progress.
+    pub last_progress: Duration,
+    /// Queue depth right now (0 for stages watched without a depth gauge).
+    pub depth: i64,
+}
+
 /// One stalled stage, as reported by [`Watchdog::stalled`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StallReport {
@@ -51,6 +63,9 @@ pub struct StallReport {
     /// Queue depth at detection time (0 for stages watched without a
     /// depth gauge).
     pub depth: i64,
+    /// Progress age + depth of *every* watched stage, captured at trip
+    /// time, so one stall report alone localizes the wedged stage.
+    pub queues: Vec<QueueProgress>,
 }
 
 /// Flags stage queues that hold work but have stopped moving.
@@ -102,9 +117,29 @@ impl Watchdog {
         hb
     }
 
-    /// Stages currently stalled, worst (longest idle) first.
+    /// Progress age and depth of every watched stage, right now.
+    pub fn queue_progress(&self) -> Vec<QueueProgress> {
+        let watched = self.watched.lock().unwrap_or_else(|p| p.into_inner());
+        Self::progress_of(&watched)
+    }
+
+    fn progress_of(watched: &[Watched]) -> Vec<QueueProgress> {
+        watched
+            .iter()
+            .map(|w| QueueProgress {
+                stage: w.stage.clone(),
+                last_progress: w.heartbeat.idle(),
+                depth: w.depth.as_ref().map_or(0, |g| g.get()),
+            })
+            .collect()
+    }
+
+    /// Stages currently stalled, worst (longest idle) first. Each report
+    /// carries a [`QueueProgress`] snapshot of every watched stage taken at
+    /// trip time (computed once, only when something actually stalled).
     pub fn stalled(&self) -> Vec<StallReport> {
         let watched = self.watched.lock().unwrap_or_else(|p| p.into_inner());
+        let mut queues: Option<Vec<QueueProgress>> = None;
         let mut reports: Vec<StallReport> = watched
             .iter()
             .filter_map(|w| {
@@ -117,10 +152,14 @@ impl Watchdog {
                 if w.depth.is_some() && depth <= 0 {
                     return None;
                 }
+                let queues = queues
+                    .get_or_insert_with(|| Self::progress_of(&watched))
+                    .clone();
                 Some(StallReport {
                     stage: w.stage.clone(),
                     idle,
                     depth,
+                    queues,
                 })
             })
             .collect();
@@ -175,6 +214,41 @@ mod tests {
             hb.beat();
         }
         assert!(wd.stalled().is_empty());
+    }
+
+    #[test]
+    fn stall_report_snapshots_all_watched_queues() {
+        let wd = Watchdog::new(Duration::from_millis(5));
+        let depth_a = Arc::new(Gauge::new());
+        let depth_b = Arc::new(Gauge::new());
+        let _hb_a = wd.watch_queue("wedged", Arc::clone(&depth_a));
+        let hb_b = wd.watch_queue("healthy", Arc::clone(&depth_b));
+        depth_a.set(7);
+        depth_b.set(2);
+        std::thread::sleep(Duration::from_millis(15));
+        hb_b.beat();
+        let stalls = wd.stalled();
+        assert_eq!(stalls.len(), 1);
+        assert_eq!(stalls[0].stage, "wedged");
+        // The trip-time snapshot covers every watched stage, including the
+        // healthy one, with its depth and last-progress age.
+        assert_eq!(stalls[0].queues.len(), 2);
+        let wedged = stalls[0]
+            .queues
+            .iter()
+            .find(|q| q.stage == "wedged")
+            .unwrap();
+        let healthy = stalls[0]
+            .queues
+            .iter()
+            .find(|q| q.stage == "healthy")
+            .unwrap();
+        assert_eq!(wedged.depth, 7);
+        assert!(wedged.last_progress >= Duration::from_millis(5));
+        assert_eq!(healthy.depth, 2);
+        assert!(healthy.last_progress < Duration::from_millis(5));
+        // On-demand progress works without a stall too.
+        assert_eq!(wd.queue_progress().len(), 2);
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Chrome/Perfetto `trace_event` JSON export.
+//!
+//! [`TraceSnapshot::to_perfetto`](crate::TraceSnapshot::to_perfetto) renders
+//! a snapshot in the [Trace Event Format] consumed by `chrome://tracing` and
+//! <https://ui.perfetto.dev>: load the emitted string as a `.json` file and
+//! every stage span appears on a per-thread track, with the batch ordinal in
+//! the event arguments for filtering.
+//!
+//! * Queue/Service spans become complete events (`"ph": "X"`) with
+//!   microsecond `ts`/`dur`.
+//! * Marks and links become instant events (`"ph": "i"`); links carry the
+//!   winning ordinal as `args.link`.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::{SpanKind, TraceSnapshot};
+use std::fmt::Write as _;
+
+impl TraceSnapshot {
+    /// Render the snapshot as Chrome/Perfetto `trace_event` JSON.
+    pub fn to_perfetto(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 128 + 64);
+        out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+        let mut first = true;
+        for e in &self.events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let ts_us = e.start_ns as f64 / 1_000.0;
+            match e.kind {
+                SpanKind::Queue | SpanKind::Service => {
+                    let dur_us = e.end_ns.saturating_sub(e.start_ns) as f64 / 1_000.0;
+                    let _ = write!(
+                        out,
+                        "{{\"name\":{name},\"cat\":\"{cat}\",\"ph\":\"X\",\"ts\":{ts:.3},\"dur\":{dur:.3},\"pid\":1,\"tid\":{tid},\"args\":{{\"batch\":{batch}}}}}",
+                        name = json_str(e.stage),
+                        cat = e.kind.label(),
+                        ts = ts_us,
+                        dur = dur_us,
+                        tid = e.thread,
+                        batch = e.batch,
+                    );
+                }
+                SpanKind::Mark | SpanKind::Link => {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":{name},\"cat\":\"{cat}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts:.3},\"pid\":1,\"tid\":{tid},\"args\":{{\"batch\":{batch},\"link\":{link}}}}}",
+                        name = json_str(e.stage),
+                        cat = e.kind.label(),
+                        ts = ts_us,
+                        tid = e.thread,
+                        batch = e.batch,
+                        link = e.link,
+                    );
+                }
+            }
+        }
+        let _ = write!(out, "],\"otherData\":{{\"dropped\":{}}}}}", self.dropped);
+        out
+    }
+}
+
+/// Minimal JSON string literal escaping (stage names are static ASCII, but
+/// stay safe for anything).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{stages, Tracer};
+
+    #[test]
+    fn perfetto_dump_has_expected_shape() {
+        let t = Tracer::new();
+        let b = t.next_batch_id();
+        t.span_ns(b, stages::FPGA_DECODE, SpanKind::Service, 1_000, 3_000);
+        t.span_ns(b, stages::QUEUE_DELIVER, SpanKind::Queue, 3_000, 5_500);
+        t.mark(b, stages::FAILOVER);
+        t.link(b + 1, b);
+        let json = t.snapshot().to_perfetto();
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"fpga.decode\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":2.000"));
+        assert!(json.contains("\"cat\":\"queue\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains(&format!("\"link\":{b}")));
+        assert!(json.ends_with("\"otherData\":{\"dropped\":0}}"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn json_str_escapes() {
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("line\nbreak"), "\"line\\nbreak\"");
+    }
+}

@@ -28,6 +28,7 @@ use dlb_serving::{TenantClass, WeightedFairQueue};
 use dlb_simcore::stats::LatencyStats;
 use dlb_simcore::{Scheduler, SimModel, SimRng, SimTime, Simulation};
 use dlb_telemetry::{PipelineSnapshot, Registry};
+use dlb_trace::{stages, Tracer};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
@@ -221,6 +222,8 @@ struct InFlightCopy {
     tenant: u32,
     kind: CopyKind,
     dispatched_at: SimTime,
+    /// Trace ordinal of this copy (0 = untraced).
+    trace: u64,
 }
 
 /// One simulated preprocessing node.
@@ -262,6 +265,10 @@ pub struct ClusterSim {
     next_id: u64,
     arrivals_generated: u64,
     killed: u32,
+    /// Optional span recorder: per-copy ordinals, hedge-dup links.
+    tracer: Option<Arc<Tracer>>,
+    /// Winning copy's trace ordinal per request, for linking late dups.
+    won_trace: HashMap<u64, u64>,
 
     // Measurement.
     latency: LatencyStats,
@@ -326,6 +333,8 @@ impl ClusterSim {
             next_id: 0,
             arrivals_generated: 0,
             killed: 0,
+            tracer: None,
+            won_trace: HashMap::new(),
             latency: LatencyStats::new(),
             tenant_latency: BTreeMap::new(),
             wins: 0,
@@ -357,6 +366,14 @@ impl ClusterSim {
         sched.after(SimTime::from_secs_f64(gap), Ev::Arrival);
     }
 
+    /// Attaches a span recorder: every dispatched copy gets a trace
+    /// ordinal, and duplicate completions are linked to the winning copy.
+    /// Recording never touches the sim's RNG, so attaching a tracer
+    /// cannot change the outcome.
+    pub fn attach_tracer(&mut self, tracer: Arc<Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
     /// Puts one copy of `req` on `node`'s queue and starts service if the
     /// node is idle.
     fn dispatch(&mut self, now: SimTime, node: u32, req: u64, kind: CopyKind) {
@@ -368,6 +385,7 @@ impl ClusterSim {
         let tenant = info.tenant;
         self.ledger.dispatch(req);
         self.instruments.on_dispatch(kind);
+        let trace = self.tracer.as_ref().map_or(0, |t| t.next_batch_id());
         self.nodes[node as usize].queue.push(
             tenant,
             InFlightCopy {
@@ -375,8 +393,23 @@ impl ClusterSim {
                 tenant,
                 kind,
                 dispatched_at: now,
+                trace,
             },
         );
+    }
+
+    /// Records a duplicate completion against the request's winning copy:
+    /// a `cluster.hedge_dup` mark on the dup's ordinal, plus a link folding
+    /// its spans into the winner's timeline.
+    fn trace_duplicate(&self, copy: &InFlightCopy) {
+        let Some(t) = &self.tracer else { return };
+        if copy.trace == 0 {
+            return;
+        }
+        t.mark(copy.trace, stages::HEDGE_DUP);
+        if let Some(&winner) = self.won_trace.get(&copy.req) {
+            t.link(copy.trace, winner);
+        }
     }
 
     fn try_start(&mut self, node: u32, sched: &mut Scheduler<Ev>) {
@@ -399,6 +432,7 @@ impl ClusterSim {
                 // duplicate instead of burning service time on it.
                 let outcome = self.ledger.complete(copy.req, copy.kind);
                 debug_assert!(matches!(outcome, CompletionOutcome::Duplicate));
+                self.trace_duplicate(&copy);
                 self.instruments
                     .on_completion(copy.tenant, copy.kind, false, false);
                 continue;
@@ -505,6 +539,9 @@ impl ClusterSim {
         let outcome = self.ledger.complete(copy.req, copy.kind);
         let won = matches!(outcome, CompletionOutcome::Won(_));
         if won {
+            if self.tracer.is_some() && copy.trace != 0 {
+                self.won_trace.insert(copy.req, copy.trace);
+            }
             let info = self.reqs.remove(&copy.req).expect("won unknown request");
             let latency = now.saturating_sub(info.arrival);
             let good = now <= info.deadline;
@@ -532,6 +569,7 @@ impl ClusterSim {
             }
             self.done_at = now;
         } else {
+            self.trace_duplicate(&copy);
             self.instruments
                 .on_completion(copy.tenant, copy.kind, false, false);
         }
@@ -620,7 +658,22 @@ impl SimModel for ClusterSim {
 impl ClusterSim {
     /// Runs one cluster experiment to quiescence.
     pub fn run(params: ClusterParams) -> ClusterOutcome {
-        let mut sim = Simulation::new(ClusterSim::new(params));
+        Self::run_with(params, None)
+    }
+
+    /// [`ClusterSim::run`] with a span recorder attached: dispatched
+    /// copies get trace ordinals and hedge duplicates link to the winning
+    /// copy. The outcome is bitwise identical to the untraced run.
+    pub fn run_traced(params: ClusterParams, tracer: Arc<Tracer>) -> ClusterOutcome {
+        Self::run_with(params, Some(tracer))
+    }
+
+    fn run_with(params: ClusterParams, tracer: Option<Arc<Tracer>>) -> ClusterOutcome {
+        let mut model = ClusterSim::new(params);
+        if let Some(t) = tracer {
+            model.attach_tracer(t);
+        }
+        let mut sim = Simulation::new(model);
         sim.seed(SimTime::ZERO, Ev::Kickoff);
         let summary = sim.run_until(SimTime::from_secs(3600), 50_000_000);
         assert!(summary.events > 0, "cluster sim processed no events at all");

@@ -25,6 +25,8 @@
 //!   behind the `dlb-cluster` shard router (consistent-hash placement,
 //!   per-tenant quotas, deadline-budget hedging, mid-run chaos kills with
 //!   replay), reported as a goodput/p99-vs-killed-nodes figure.
+//! * [`trace`] — critical-path figure folded from `dlb-trace` span
+//!   snapshots: per-stage service load and the pipeline bottleneck.
 
 pub mod calibration;
 pub mod chaos;
@@ -33,6 +35,7 @@ pub mod economics;
 pub mod figures;
 pub mod inference;
 pub mod report;
+pub mod trace;
 pub mod training;
 
 pub use calibration::{BackendKind, Calibration, Workload};
@@ -43,4 +46,5 @@ pub use inference::{
     SweepGrid, OVERLOAD_MULTIPLIERS,
 };
 pub use report::{goodput_vs_offered_load, FigureReport, Row, TelemetryReport};
+pub use trace::critical_path_figure;
 pub use training::{TrainingOutcome, TrainingSim};

@@ -62,7 +62,8 @@
 //! | [`storage`] | `dlb-storage` | NVMe model, synthetic datasets, LMDB store |
 //! | [`net`] | `dlb-net` | 40 Gbps NIC, framing, client generators |
 //! | [`serving`] | `dlb-serving` | SLO-aware serving: dynamic batching, admission control, load shedding, per-tenant WFQ |
-//! | [`telemetry`] | `dlb-telemetry` | pipeline metrics, snapshots, stall watchdog |
+//! | [`telemetry`] | `dlb-telemetry` | pipeline metrics, snapshots, stall watchdog, Prometheus export |
+//! | [`trace`] | `dlb-trace` | per-batch span tracing, critical-path attribution, Perfetto export |
 //! | [`core`] | `dlbooster-core` | the paper's host bridger (Algorithms 1–3) |
 //! | [`backends`] | `dlb-backends` | CPU-based / LMDB / nvJPEG baselines |
 //! | [`engines`] | `dlb-engines` | NVCaffe-like trainer, TensorRT-like server |
@@ -83,6 +84,7 @@ pub use dlb_serving as serving;
 pub use dlb_simcore as simcore;
 pub use dlb_storage as storage;
 pub use dlb_telemetry as telemetry;
+pub use dlb_trace as trace;
 pub use dlb_workflows as workflows;
 pub use dlbooster_core as core;
 
@@ -115,6 +117,7 @@ pub mod prelude {
     pub use dlb_serving::{ServeRequest, ServingBridge, ServingConfig, ShedPolicy, TenantClass};
     pub use dlb_storage::{Dataset, DatasetSpec, LmdbStore, NvmeDisk, NvmeSpec};
     pub use dlb_telemetry::{PipelineSnapshot, Telemetry};
+    pub use dlb_trace::{CriticalPathReport, SpanKind, TraceSnapshot, Tracer};
     pub use dlb_workflows::calibration::{BackendKind, Calibration, Workload};
     pub use dlbooster_core::{
         CombinedResolver, DataCollector, Dispatcher, DlBooster, DlBoosterConfig, FpgaChannel,
